@@ -1,0 +1,54 @@
+//! Criterion benches for E17–E18, E20: the divide & conquer forest vs the
+//! baselines, plus leader election.
+
+use amoebot_bench::{
+    forest_rounds, leader_rounds, sequential_rounds, standard_structure, wavefront_rounds,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_forest(c: &mut Criterion) {
+    let s = standard_structure(512);
+    let mut g = c.benchmark_group("forest_by_k");
+    for k in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| forest_rounds(&s, k))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("baseline_sequential_by_k");
+    for k in [2usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| sequential_rounds(&s, k))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("baseline_wavefront_by_n");
+    for nt in [512usize, 4096] {
+        let s = standard_structure(nt);
+        g.bench_with_input(BenchmarkId::from_parameter(s.len()), &s, |b, s| {
+            b.iter(|| wavefront_rounds(s, 4))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("leader_election");
+    for n in [64usize, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                leader_rounds(n, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_forest
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benches for E1–E3: the PASC programs (wall-clock of the exact
+//! round-faithful simulation; round counts are printed by `experiments`).
+
+use amoebot_bench::{pasc_chain_rounds, pasc_prefix_rounds, pasc_tree_rounds};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pasc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pasc_chain");
+    for m in [64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| pasc_chain_rounds(m))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("pasc_tree");
+    for levels in [5usize, 8, 11] {
+        g.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &l| {
+            b.iter(|| pasc_tree_rounds(l))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("pasc_prefix");
+    for w in [4usize, 64, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter(|| pasc_prefix_rounds(1024, w))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pasc
+}
+criterion_main!(benches);

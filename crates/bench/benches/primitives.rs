@@ -1,0 +1,48 @@
+//! Criterion benches for E4–E9: ETT, root-and-prune, election, centroids,
+//! centroid decomposition.
+
+use amoebot_bench::{
+    centroid_rounds, decomposition_stats, election_rounds, root_prune_rounds,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("root_prune");
+    for q in [8usize, 64, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| root_prune_rounds(512, q))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("election");
+    for n in [64usize, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| election_rounds(n, n / 8))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("centroid");
+    for q in [16usize, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| centroid_rounds(512, q))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("decomposition");
+    for q in [16usize, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| decomposition_stats(256, q))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_primitives
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches for E11–E14: shortest path trees (SPT / SPSP / SSSP)
+//! and the line algorithm.
+
+use amoebot_bench::{line_rounds, spsp_rounds, spt_rounds, sssp_rounds, standard_structure};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_spt(c: &mut Criterion) {
+    let s = standard_structure(512);
+    let mut g = c.benchmark_group("spt_by_l");
+    for l in [1usize, 16, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            b.iter(|| spt_rounds(&s, l))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("spsp_by_n");
+    for nt in [128usize, 512, 2048] {
+        let s = standard_structure(nt);
+        g.bench_with_input(BenchmarkId::from_parameter(s.len()), &s, |b, s| {
+            b.iter(|| spsp_rounds(s))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("sssp_by_n");
+    for nt in [128usize, 512, 2048] {
+        let s = standard_structure(nt);
+        g.bench_with_input(BenchmarkId::from_parameter(s.len()), &s, |b, s| {
+            b.iter(|| sssp_rounds(s))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("line");
+    for n in [256usize, 2048] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| line_rounds(n, 8))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_spt
+}
+criterion_main!(benches);

@@ -1,0 +1,212 @@
+//! Shared workloads and round-count measurements for the benchmark harness.
+//!
+//! Every function returns the *exact simulator round count* of one
+//! experiment configuration; the `experiments` binary prints the paper's
+//! tables/series from them and the Criterion benches measure the simulator's
+//! wall-clock on the same workloads. See `DESIGN.md` §3 for the experiment
+//! index (E1–E20) and `EXPERIMENTS.md` for recorded results.
+
+use amoebot_circuits::{leader, Topology, World};
+use amoebot_grid::{shapes, AmoebotStructure, NodeId};
+use amoebot_pasc::{chain_specs, tree_specs, PascRun};
+use amoebot_spf::forest::{line_forest, shortest_path_forest};
+use amoebot_spf::links::{FWD_PRIMARY, FWD_SECONDARY, LINKS, SYNC};
+use amoebot_spf::primitives::{centroid_decomposition, q_centroids, root_and_prune};
+use amoebot_spf::spt::{shortest_path_tree, spsp, sssp};
+use amoebot_spf::Tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `ceil(log2(x))` for display of polylog predictors.
+pub fn log2_ceil(x: u64) -> u64 {
+    if x <= 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros() as u64
+    }
+}
+
+/// A path world with `n` nodes and the standard link count.
+pub fn path_world(n: usize) -> World {
+    let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    World::new(Topology::from_edges(n, &edges), LINKS)
+}
+
+/// E1 (Lemma 4): rounds of the chain PASC for a chain of `m` amoebots.
+pub fn pasc_chain_rounds(m: usize) -> u64 {
+    let mut world = path_world(m);
+    let nodes: Vec<usize> = (0..m).collect();
+    let specs = chain_specs(world.topology(), &nodes, FWD_PRIMARY, FWD_SECONDARY, None);
+    let mut run = PascRun::new(&mut world, specs, SYNC);
+    let values = run.run_to_completion(&mut world);
+    assert!(values.iter().enumerate().all(|(i, &v)| v == i as u64));
+    world.rounds()
+}
+
+/// E2 (Corollary 5): rounds of the tree PASC on a balanced binary tree with
+/// `h` levels (height `h - 1`).
+pub fn pasc_tree_rounds(levels: usize) -> u64 {
+    let n = (1usize << levels) - 1;
+    let edges: Vec<(usize, usize)> = (1..n).map(|v| ((v - 1) / 2, v)).collect();
+    let mut world = World::new(Topology::from_edges(n, &edges), LINKS);
+    let parent: Vec<Option<usize>> = (0..n).map(|v| (v > 0).then(|| (v - 1) / 2)).collect();
+    let participates = vec![true; n];
+    let (specs, _) = tree_specs(world.topology(), &parent, &participates, FWD_PRIMARY, FWD_SECONDARY);
+    let mut run = PascRun::new(&mut world, specs, SYNC);
+    run.run_to_completion(&mut world);
+    world.rounds()
+}
+
+/// E3 (Corollary 6): rounds of the weighted prefix-sum PASC on a chain of
+/// `m` amoebots with exactly `w` unit weights (spread evenly).
+pub fn pasc_prefix_rounds(m: usize, w: usize) -> u64 {
+    let mut world = path_world(m);
+    let nodes: Vec<usize> = (0..m).collect();
+    let weights: Vec<bool> = (0..m).map(|i| w > 0 && i % m.div_ceil(w).max(1) == 0).collect();
+    let specs = chain_specs(
+        world.topology(),
+        &nodes,
+        FWD_PRIMARY,
+        FWD_SECONDARY,
+        Some(&weights),
+    );
+    let mut run = PascRun::new(&mut world, specs, SYNC);
+    run.run_to_completion(&mut world);
+    world.rounds()
+}
+
+/// A deterministic random tree over `n` nodes (attachment to a random
+/// earlier node) plus a Q of the given size.
+pub fn random_tree_and_q(n: usize, q_size: usize, seed: u64) -> (World, Tree, Vec<bool>) {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<(usize, usize)> = (1..n).map(|v| (rng.gen_range(0..v), v)).collect();
+    let world = World::new(Topology::from_edges(n, &edges), LINKS);
+    let tree = Tree::from_edges(n, 0, &edges);
+    let mut q = vec![false; n];
+    for i in shapes::random_subset(n, q_size.min(n), &mut rng) {
+        q[i] = true;
+    }
+    (world, tree, q)
+}
+
+/// E4/E5 (Lemmas 14, 20): rounds of root-and-prune on a random tree.
+pub fn root_prune_rounds(n: usize, q_size: usize) -> u64 {
+    let (mut world, tree, q) = random_tree_and_q(n, q_size, 7);
+    root_and_prune(&mut world, std::slice::from_ref(&tree), &q);
+    world.rounds()
+}
+
+/// E6 (Lemma 21): rounds of the election primitive.
+pub fn election_rounds(n: usize, q_size: usize) -> u64 {
+    let (mut world, tree, q) = random_tree_and_q(n, q_size.max(1), 11);
+    let before = world.rounds();
+    amoebot_spf::primitives::elect(&mut world, std::slice::from_ref(&tree), &q);
+    world.rounds() - before
+}
+
+/// E7 (Lemma 23): rounds of the Q-centroid primitive.
+pub fn centroid_rounds(n: usize, q_size: usize) -> u64 {
+    let (mut world, tree, q) = random_tree_and_q(n, q_size.max(1), 13);
+    q_centroids(&mut world, std::slice::from_ref(&tree), &q);
+    world.rounds()
+}
+
+/// E8 (Corollary 29): the observed `|A_Q| / |Q|` ratio on a random tree.
+pub fn augmentation_ratio(n: usize, q_size: usize) -> f64 {
+    let (mut world, tree, q) = random_tree_and_q(n, q_size.max(1), 17);
+    let rp = root_and_prune(&mut world, std::slice::from_ref(&tree), &q);
+    let a = rp.augmentation_set().len() as f64;
+    let qn = q.iter().filter(|&&b| b).count().max(1) as f64;
+    a / qn
+}
+
+/// E9 (Lemmas 30, 31): rounds and height of the centroid decomposition.
+pub fn decomposition_stats(n: usize, q_size: usize) -> (u64, u32) {
+    let (mut world, tree, q) = random_tree_and_q(n, q_size.max(1), 19);
+    let rp = root_and_prune(&mut world, std::slice::from_ref(&tree), &q);
+    let mut qp = q.clone();
+    for v in rp.augmentation_set() {
+        qp[v] = true;
+    }
+    let before = world.rounds();
+    let d = centroid_decomposition(&mut world, &tree, &qp);
+    (world.rounds() - before, d.levels)
+}
+
+/// The standard 2D structure for the SPT/forest experiments: a `w × w/2`
+/// parallelogram.
+pub fn standard_structure(n_target: usize) -> AmoebotStructure {
+    let w = ((2 * n_target) as f64).sqrt().ceil() as usize;
+    AmoebotStructure::new(shapes::parallelogram(w, (w / 2).max(1))).unwrap()
+}
+
+/// Evenly spread `k` node ids over a structure.
+pub fn spread(structure: &AmoebotStructure, k: usize) -> Vec<NodeId> {
+    let n = structure.len();
+    (0..k)
+        .map(|i| NodeId((i * (n - 1) / (k - 1).max(1)) as u32))
+        .collect()
+}
+
+/// E11 (Theorem 39): SPT rounds for `l` destinations on a fixed structure.
+/// Destinations are spread over `1..n` so none coincides with the source.
+pub fn spt_rounds(structure: &AmoebotStructure, l: usize) -> u64 {
+    let n = structure.len();
+    let l = l.max(1).min(n - 1);
+    let mut dests: Vec<NodeId> = (0..l)
+        .map(|i| NodeId((1 + i * (n - 2) / l.max(2).min(n - 1)) as u32))
+        .collect();
+    dests.dedup();
+    shortest_path_tree(structure, NodeId(0), &dests).rounds
+}
+
+/// E12 (Theorem 39): SPSP rounds (source and target in opposite corners).
+pub fn spsp_rounds(structure: &AmoebotStructure) -> u64 {
+    spsp(structure, NodeId(0), NodeId((structure.len() - 1) as u32)).rounds
+}
+
+/// E13 (Theorem 39): SSSP rounds.
+pub fn sssp_rounds(structure: &AmoebotStructure) -> u64 {
+    sssp(structure, NodeId(0)).rounds
+}
+
+/// E14 (Lemma 40): line algorithm rounds with `k` sources on `n` amoebots.
+pub fn line_rounds(n: usize, k: usize) -> u64 {
+    let s = AmoebotStructure::new(shapes::line(n)).unwrap();
+    let mut world = World::new(Topology::from_structure(&s), LINKS);
+    let chain: Vec<usize> = (0..n).collect();
+    let mut is_source = vec![false; n];
+    for id in spread(&s, k.max(1)) {
+        is_source[id.index()] = true;
+    }
+    line_forest(&mut world, &chain, &is_source);
+    world.rounds()
+}
+
+/// E17 (Theorem 56): forest rounds for `k` sources on a structure.
+pub fn forest_rounds(structure: &AmoebotStructure, k: usize) -> u64 {
+    let sources = spread(structure, k.max(2));
+    let all: Vec<NodeId> = structure.nodes().collect();
+    shortest_path_forest(structure, &sources, &all).rounds
+}
+
+/// E18a: BFS wavefront rounds.
+pub fn wavefront_rounds(structure: &AmoebotStructure, k: usize) -> u64 {
+    let sources = spread(structure, k.max(1));
+    amoebot_baselines::bfs_wavefront(structure, &sources).rounds
+}
+
+/// E18b: sequential merging rounds.
+pub fn sequential_rounds(structure: &AmoebotStructure, k: usize) -> u64 {
+    let sources = spread(structure, k.max(1));
+    amoebot_baselines::sequential_forest(structure, &sources).rounds
+}
+
+/// E20 (Theorem 2 substitute): leader election rounds + success flag.
+pub fn leader_rounds(n: usize, seed: u64) -> (u64, bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut world = path_world(n);
+    let result = leader::elect_leader(&mut world, &mut rng);
+    (result.rounds, result.leader().is_some())
+}

@@ -1,0 +1,176 @@
+//! Port-labelled communication topologies.
+//!
+//! A [`Topology`] is the graph `G_X` (or an abstract tree, for the tree
+//! primitives of §3 which are "not limited to the geometric variant") with a
+//! local *port numbering*: each node refers to its incident edges by a port
+//! index, and each edge knows the port it occupies on either endpoint. This
+//! models the paper's assumption that "neighboring amoebots have a common
+//! labeling of their incident external links" (§1.2).
+
+use amoebot_grid::{AmoebotStructure, Direction, ALL_DIRECTIONS};
+
+/// A port index local to a node (`0..ports_len(v)`). For topologies derived
+/// from an [`AmoebotStructure`], port `i` corresponds to
+/// [`Direction::from_index`]`(i)` (some ports may be vacant).
+pub type PortId = usize;
+
+/// An undirected, port-labelled multigraph-free topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// `ports[v][p] = Some((w, q))` iff the edge at port `p` of `v` leads to
+    /// node `w`, where it occupies port `q`.
+    ports: Vec<Vec<Option<(usize, PortId)>>>,
+    edge_count: usize,
+}
+
+impl Topology {
+    /// Builds a topology from an undirected edge list over nodes `0..n`.
+    /// Ports are assigned in order of appearance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, self-loops, or duplicate edges.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Topology {
+        let mut ports: Vec<Vec<Option<(usize, PortId)>>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge endpoint out of range");
+            assert_ne!(u, v, "self-loops are not allowed");
+            assert!(
+                !ports[u].iter().flatten().any(|&(w, _)| w == v),
+                "duplicate edge ({u}, {v})"
+            );
+            let pu = ports[u].len();
+            let pv = ports[v].len();
+            ports[u].push(Some((v, pv)));
+            ports[v].push(Some((u, pu)));
+        }
+        Topology {
+            ports,
+            edge_count: edges.len(),
+        }
+    }
+
+    /// Builds the topology of `G_X` with ports indexed by [`Direction`]:
+    /// port `d.index()` of node `v` leads to the neighbor in direction `d`
+    /// (vacant if unoccupied). Every node has exactly 6 port slots.
+    pub fn from_structure(structure: &AmoebotStructure) -> Topology {
+        let n = structure.len();
+        let mut ports: Vec<Vec<Option<(usize, PortId)>>> = vec![vec![None; 6]; n];
+        let mut edge_count = 0;
+        for v in structure.nodes() {
+            for d in ALL_DIRECTIONS {
+                if let Some(w) = structure.neighbor(v, d) {
+                    ports[v.index()][d.index()] = Some((w.index(), d.opposite().index()));
+                    if v.index() < w.index() {
+                        edge_count += 1;
+                    }
+                }
+            }
+        }
+        Topology { ports, edge_count }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Whether the topology has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of port slots of `v` (vacant slots included).
+    #[inline]
+    pub fn ports_len(&self, v: usize) -> usize {
+        self.ports[v].len()
+    }
+
+    /// The neighbor behind port `p` of `v` and the port the edge occupies on
+    /// the neighbor's side, or `None` for a vacant slot.
+    #[inline]
+    pub fn peer(&self, v: usize, p: PortId) -> Option<(usize, PortId)> {
+        self.ports[v][p]
+    }
+
+    /// Iterator over the occupied ports of `v` as `(port, neighbor, peer_port)`.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (PortId, usize, PortId)> + '_ {
+        self.ports[v]
+            .iter()
+            .enumerate()
+            .filter_map(|(p, slot)| slot.map(|(w, q)| (p, w, q)))
+    }
+
+    /// Degree of `v` (occupied ports).
+    pub fn degree(&self, v: usize) -> usize {
+        self.ports[v].iter().flatten().count()
+    }
+
+    /// The port of `v` that leads to `w`, if the two are adjacent.
+    pub fn port_to(&self, v: usize, w: usize) -> Option<PortId> {
+        self.neighbors(v).find(|&(_, x, _)| x == w).map(|(p, _, _)| p)
+    }
+
+    /// The grid direction of port `p` for structure-derived topologies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= 6`.
+    pub fn port_direction(p: PortId) -> Direction {
+        Direction::from_index(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoebot_grid::{shapes, Coord};
+
+    #[test]
+    fn edge_list_ports_are_mutual() {
+        let t = Topology::from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.edge_count(), 3);
+        assert_eq!(t.degree(1), 3);
+        for v in 0..4 {
+            for (p, w, q) in t.neighbors(v) {
+                assert_eq!(t.peer(w, q), Some((v, p)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate_edges() {
+        Topology::from_edges(2, &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn structure_ports_follow_directions() {
+        let s = AmoebotStructure::new(shapes::parallelogram(3, 2)).unwrap();
+        let t = Topology::from_structure(&s);
+        assert_eq!(t.edge_count(), s.edge_count());
+        let v = s.node_at(Coord::new(1, 0)).unwrap();
+        let e = s.node_at(Coord::new(2, 0)).unwrap();
+        let p = Direction::E.index();
+        assert_eq!(t.peer(v.index(), p), Some((e.index(), Direction::W.index())));
+        // Mutuality across the whole structure.
+        for v in 0..t.len() {
+            for (p, w, q) in t.neighbors(v) {
+                assert_eq!(t.peer(w, q), Some((v, p)));
+                assert_eq!(
+                    Topology::port_direction(q),
+                    Topology::port_direction(p).opposite()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,530 @@
+//! The synchronous round simulator.
+
+use crate::topology::{PortId, Topology};
+
+/// A pin reference local to a node: `(port, link)` with `link < c`.
+pub type Pin = (PortId, usize);
+
+/// The simulated world: a topology, `c` external links per edge, the current
+/// pin configuration of every amoebot, and the beep state.
+///
+/// One call to [`World::tick`] is one round of the fully synchronous
+/// activation model: beeps sent during the current round are delivered (on
+/// the *current* pin configurations) at the beginning of the next round,
+/// exactly as specified in §1.2 of the paper.
+#[derive(Debug, Clone)]
+pub struct World {
+    topo: Topology,
+    c: usize,
+    /// Base index of node `v`'s pins/partition-set ids in the global arrays.
+    base: Vec<u32>,
+    /// Global pin index -> local partition set id of the owning node.
+    pin_pset: Vec<u16>,
+    /// Partition sets (by global id) that beep this round.
+    send: Vec<bool>,
+    /// Partition sets (by global id) that received a beep last round.
+    recv: Vec<bool>,
+    /// Union-find scratch (parents over global partition-set ids).
+    uf: Vec<u32>,
+    rounds: u64,
+    /// Audited rounds charged without simulation (see [`World::charge_rounds`]).
+    charged: u64,
+    charge_log: Vec<(String, u64)>,
+    /// Total beeps sent (diagnostic; the model itself never counts beeps).
+    beeps_sent: u64,
+}
+
+impl World {
+    /// Creates a world over `topo` with `c >= 1` external links per edge.
+    /// Every pin starts in its own (singleton) partition set and no beeps are
+    /// pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == 0`.
+    pub fn new(topo: Topology, c: usize) -> World {
+        assert!(c >= 1, "the model requires at least one external link");
+        let n = topo.len();
+        let mut base = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        for v in 0..n {
+            base.push(acc);
+            acc += (topo.ports_len(v) * c) as u32;
+        }
+        base.push(acc);
+        let total = acc as usize;
+        let mut w = World {
+            topo,
+            c,
+            base,
+            pin_pset: vec![0; total],
+            send: vec![false; total],
+            recv: vec![false; total],
+            uf: vec![0; total],
+            rounds: 0,
+            charged: 0,
+            charge_log: Vec::new(),
+            beeps_sent: 0,
+        };
+        for v in 0..w.topo.len() {
+            w.singleton_pin_config(v);
+        }
+        w
+    }
+
+    /// The underlying topology.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The number of external links per edge.
+    #[inline]
+    pub fn links_per_edge(&self) -> usize {
+        self.c
+    }
+
+    /// Number of simulated + charged rounds so far.
+    #[inline]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Rounds accounted via [`World::charge_rounds`] (a subset of
+    /// [`World::rounds`]); kept separate so the audit trail distinguishes
+    /// simulated from charged rounds.
+    #[inline]
+    pub fn charged_rounds(&self) -> u64 {
+        self.charged
+    }
+
+    /// The audit log of charged rounds as `(reason, rounds)` entries.
+    pub fn charge_log(&self) -> &[(String, u64)] {
+        &self.charge_log
+    }
+
+    /// Total distinct beeps sent so far (diagnostic instrumentation; one
+    /// partition-set activation per round counts once).
+    pub fn beeps_sent(&self) -> u64 {
+        self.beeps_sent
+    }
+
+    #[inline]
+    fn pin_gid(&self, v: usize, pin: Pin) -> usize {
+        let (port, link) = pin;
+        debug_assert!(link < self.c, "link {link} out of range (c = {})", self.c);
+        debug_assert!(port < self.topo.ports_len(v), "port {port} out of range");
+        self.base[v] as usize + port * self.c + link
+    }
+
+    #[inline]
+    fn pset_gid(&self, v: usize, pset: u16) -> usize {
+        let gid = self.base[v] as usize + pset as usize;
+        debug_assert!(
+            gid < self.base[v + 1] as usize,
+            "partition set {pset} out of range for node {v}"
+        );
+        gid
+    }
+
+    /// Maximum number of partition sets node `v` may use (= its pin count).
+    pub fn pset_capacity(&self, v: usize) -> usize {
+        (self.base[v + 1] - self.base[v]) as usize
+    }
+
+    /// Assigns a single pin of `v` to local partition set `pset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the pin or partition set is out of range.
+    #[inline]
+    pub fn set_pin(&mut self, v: usize, port: PortId, link: usize, pset: u16) {
+        let gid = self.pin_gid(v, (port, link));
+        debug_assert!((pset as usize) < self.pset_capacity(v));
+        self.pin_pset[gid] = pset;
+    }
+
+    /// Resets `v` to the singleton configuration: pin `(port, link)` goes to
+    /// partition set `port * c + link`, so no two pins share a set and every
+    /// circuit through `v` connects exactly two neighbors.
+    pub fn singleton_pin_config(&mut self, v: usize) {
+        for port in 0..self.topo.ports_len(v) {
+            for link in 0..self.c {
+                let pset = (port * self.c + link) as u16;
+                self.set_pin(v, port, link, pset);
+            }
+        }
+    }
+
+    /// Puts all pins of `v` into partition set `0` (the *global circuit*
+    /// configuration: if every amoebot does this, the whole structure forms
+    /// one circuit).
+    pub fn global_pin_config(&mut self, v: usize) {
+        for port in 0..self.topo.ports_len(v) {
+            for link in 0..self.c {
+                self.set_pin(v, port, link, 0);
+            }
+        }
+    }
+
+    /// Groups the given pins of `v` into one partition set and returns its
+    /// id. The id is the minimum singleton id (`port * c + link`) of the
+    /// members, so disjoint groups never collide — concurrent primitives can
+    /// partition a node's pins without central coordination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pins` is empty.
+    pub fn group_pins(&mut self, v: usize, pins: &[Pin]) -> u16 {
+        let id = pins
+            .iter()
+            .map(|&(port, link)| (port * self.c + link) as u16)
+            .min()
+            .expect("group must contain at least one pin");
+        for &(port, link) in pins {
+            self.set_pin(v, port, link, id);
+        }
+        id
+    }
+
+    /// Dedicates `link` as a *global broadcast link* on `v`: all of `v`'s
+    /// pins on this link join one partition set with the node-independent id
+    /// [`World::global_link_pset`]`(link)`. If every node does this (and no
+    /// primitive ever touches the reserved link), the link permanently
+    /// carries one structure-spanning circuit — used for synchronization
+    /// ("anyone still active?") and leader broadcasts without disturbing the
+    /// pin configurations of concurrently running primitives.
+    pub fn global_link_config(&mut self, v: usize, link: usize) {
+        let id = Self::global_link_pset(link);
+        for port in 0..self.topo.ports_len(v) {
+            self.set_pin(v, port, link, id);
+        }
+    }
+
+    /// The partition-set id used by [`World::global_link_config`].
+    #[inline]
+    pub fn global_link_pset(link: usize) -> u16 {
+        link as u16
+    }
+
+    /// Resets all pins of `v` to singletons except those on the listed
+    /// (reserved) links, which are left untouched. Primitives call this when
+    /// taking over a node so stale partition sets from earlier phases cannot
+    /// leak circuits into the new configuration.
+    pub fn reset_pins_keeping_links(&mut self, v: usize, keep: &[usize]) {
+        for port in 0..self.topo.ports_len(v) {
+            for link in 0..self.c {
+                if !keep.contains(&link) {
+                    self.set_pin(v, port, link, (port * self.c + link) as u16);
+                }
+            }
+        }
+    }
+
+    /// Makes `v` beep on its local partition set `pset` this round.
+    #[inline]
+    pub fn beep(&mut self, v: usize, pset: u16) {
+        let gid = self.pset_gid(v, pset);
+        if !self.send[gid] {
+            self.beeps_sent += 1;
+        }
+        self.send[gid] = true;
+    }
+
+    /// Whether `v`'s partition set `pset` received a beep delivered at the
+    /// beginning of the current round.
+    #[inline]
+    pub fn received(&self, v: usize, pset: u16) -> bool {
+        self.recv[self.pset_gid(v, pset)]
+    }
+
+    /// Whether any partition set of `v` received a beep this round.
+    pub fn received_any(&self, v: usize) -> bool {
+        (self.base[v]..self.base[v + 1]).any(|gid| self.recv[gid as usize])
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.uf[x as usize] != x {
+            let gp = self.uf[self.uf[x as usize] as usize];
+            self.uf[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            // Union by id keeps it deterministic; depth is tamed by halving.
+            if ra < rb {
+                self.uf[rb as usize] = ra;
+            } else {
+                self.uf[ra as usize] = rb;
+            }
+        }
+    }
+
+    /// Executes one synchronous round: circuits are computed from the current
+    /// pin configurations, beeps sent via [`World::beep`] are delivered to
+    /// every partition set of their circuit, and the round counter advances.
+    pub fn tick(&mut self) {
+        let total = self.pin_pset.len();
+        for i in 0..total {
+            self.uf[i] = i as u32;
+        }
+        // Union partition sets along every external link.
+        for v in 0..self.topo.len() {
+            // Visit each undirected edge once.
+            let ports: Vec<(PortId, usize, PortId)> = self.topo.neighbors(v).collect();
+            for (p, w, q) in ports {
+                if v < w {
+                    for link in 0..self.c {
+                        let a = self.base[v] as usize + p * self.c + link;
+                        let b = self.base[w] as usize + q * self.c + link;
+                        let pa = self.base[v] + self.pin_pset[a] as u32;
+                        let pb = self.base[w] + self.pin_pset[b] as u32;
+                        self.union(pa, pb);
+                    }
+                }
+            }
+        }
+        // Deliver beeps: a circuit beeps iff any of its partition sets sent.
+        let mut fresh = vec![false; total];
+        for gid in 0..total as u32 {
+            if self.send[gid as usize] {
+                let root = self.find(gid);
+                fresh[root as usize] = true;
+            }
+        }
+        for gid in 0..total as u32 {
+            let root = self.find(gid);
+            self.recv[gid as usize] = fresh[root as usize];
+        }
+        self.send.iter_mut().for_each(|b| *b = false);
+        self.rounds += 1;
+    }
+
+    /// Accounts `k` rounds for a step performed abstractly by the harness
+    /// (e.g. a figure-level glue step whose circuit mechanics are not worth
+    /// simulating). The charge is recorded in an audit log; the paper's
+    /// algorithms in this workspace only charge O(1) glue per composite step.
+    pub fn charge_rounds(&mut self, k: u64, reason: &str) {
+        self.rounds += k;
+        self.charged += k;
+        self.charge_log.push((reason.to_string(), k));
+    }
+
+    /// Rebates `k` rounds from the counter with an audit-log entry.
+    ///
+    /// Used for *parallel composition*: when several primitives operate on
+    /// vertex-disjoint regions (disjoint circuits), the model runs them in
+    /// the same rounds, but the simulator executes them sequentially. The
+    /// caller measures each region's span and rebates `sum - max` so the
+    /// counter reflects the parallel execution. Every rebate is recorded in
+    /// the charge log (as a negative entry) for auditability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rebating more rounds than have elapsed.
+    pub fn rebate_rounds(&mut self, k: u64, reason: &str) {
+        assert!(k <= self.rounds, "cannot rebate {k} of {} rounds", self.rounds);
+        self.rounds -= k;
+        self.charge_log.push((format!("rebate: {reason}"), k));
+    }
+
+    /// Number of distinct circuits under the current pin configuration
+    /// (diagnostic; does not advance the round counter).
+    pub fn circuit_count(&mut self) -> usize {
+        let total = self.pin_pset.len();
+        for i in 0..total {
+            self.uf[i] = i as u32;
+        }
+        for v in 0..self.topo.len() {
+            let ports: Vec<(PortId, usize, PortId)> = self.topo.neighbors(v).collect();
+            for (p, w, q) in ports {
+                if v < w {
+                    for link in 0..self.c {
+                        let a = self.base[v] as usize + p * self.c + link;
+                        let b = self.base[w] as usize + q * self.c + link;
+                        let pa = self.base[v] + self.pin_pset[a] as u32;
+                        let pb = self.base[w] + self.pin_pset[b] as u32;
+                        self.union(pa, pb);
+                    }
+                }
+            }
+        }
+        // Count roots that are actually referenced by some pin.
+        let mut is_used = vec![false; total];
+        for v in 0..self.topo.len() {
+            for port in 0..self.topo.ports_len(v) {
+                for link in 0..self.c {
+                    let gid = self.base[v] + self.pin_pset[self.pin_gid(v, (port, link))] as u32;
+                    is_used[gid as usize] = true;
+                }
+            }
+        }
+        let mut roots = std::collections::HashSet::new();
+        for gid in 0..total as u32 {
+            if is_used[gid as usize] {
+                let r = self.find(gid);
+                roots.insert(r);
+            }
+        }
+        roots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_world(n: usize, c: usize) -> World {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        World::new(Topology::from_edges(n, &edges), c)
+    }
+
+    #[test]
+    fn global_circuit_broadcasts() {
+        let mut w = path_world(5, 1);
+        for v in 0..5 {
+            w.global_pin_config(v);
+        }
+        w.beep(0, 0);
+        w.tick();
+        for v in 0..5 {
+            assert!(w.received(v, 0), "node {v} missed the broadcast");
+        }
+        assert_eq!(w.rounds(), 1);
+        // Without new beeps, the next round is silent.
+        w.tick();
+        for v in 0..5 {
+            assert!(!w.received(v, 0));
+        }
+    }
+
+    #[test]
+    fn singleton_config_reaches_only_neighbors() {
+        let mut w = path_world(4, 1);
+        // Default singleton config. Node 1 beeps towards node 2 (its port 1).
+        let pset = 1 * 1 + 0; // port 1, link 0 under singleton numbering
+        w.beep(1, pset as u16);
+        w.tick();
+        // Node 2 hears it on its port-0 pin (towards node 1)...
+        assert!(w.received(2, 0));
+        // ...but node 3 does not, and node 0 does not.
+        assert!(!w.received_any(3));
+        assert!(!w.received_any(0));
+    }
+
+    #[test]
+    fn links_are_independent() {
+        let mut w = path_world(2, 2);
+        // Beep only on link 1 of the single edge.
+        let pset_link1 = 0 * 2 + 1;
+        w.beep(0, pset_link1 as u16);
+        w.tick();
+        assert!(w.received(1, 1)); // link 1 pin
+        assert!(!w.received(1, 0)); // link 0 pin silent
+    }
+
+    #[test]
+    fn split_circuit_blocks_signal() {
+        // 0 - 1 - 2: node 1 keeps its two pins in separate sets, so beeps
+        // from 0 stop at 1.
+        let mut w = path_world(3, 1);
+        w.beep(0, 0);
+        w.tick();
+        assert!(w.received(1, 0));
+        assert!(!w.received_any(2));
+        // Now node 1 merges its pins into one set; the beep passes through.
+        w.set_pin(1, 0, 0, 0);
+        w.set_pin(1, 1, 0, 0);
+        w.beep(0, 0);
+        w.tick();
+        assert!(w.received(2, 0));
+    }
+
+    #[test]
+    fn receiver_cannot_count_origins() {
+        let mut w = path_world(3, 1);
+        for v in 0..3 {
+            w.global_pin_config(v);
+        }
+        w.beep(0, 0);
+        w.beep(2, 0);
+        w.tick();
+        // One bit only: node 1 sees "a beep", indistinguishable from a single
+        // origin — the API exposes just a boolean.
+        assert!(w.received(1, 0));
+    }
+
+    #[test]
+    fn circuit_count_diagnostic() {
+        let mut w = path_world(3, 1);
+        // Singleton config: circuits are per-edge: 2 circuits.
+        assert_eq!(w.circuit_count(), 2);
+        for v in 0..3 {
+            w.global_pin_config(v);
+        }
+        assert_eq!(w.circuit_count(), 1);
+    }
+
+    #[test]
+    fn charge_rounds_is_audited() {
+        let mut w = path_world(2, 1);
+        w.tick();
+        w.charge_rounds(3, "glue");
+        assert_eq!(w.rounds(), 4);
+        assert_eq!(w.charged_rounds(), 3);
+        assert_eq!(w.charge_log().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod safety_tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    /// Stale pin groups from an earlier phase must not leak circuits into a
+    /// later phase once the node resets its non-reserved pins.
+    #[test]
+    fn reset_pins_prevents_stale_group_leaks() {
+        // 0 - 1 - 2 with c = 3 (link 2 reserved as a global link).
+        let edges = [(0usize, 1usize), (1, 2)];
+        let mut w = World::new(Topology::from_edges(3, &edges), 3);
+        for v in 0..3 {
+            w.global_link_config(v, 2);
+        }
+        // Phase 1: node 1 bridges its two link-0 pins.
+        let bridge = w.group_pins(1, &[(0, 0), (1, 0)]);
+        w.beep(0, 0);
+        w.tick();
+        assert!(w.received(2, 0), "bridge active in phase 1");
+        let _ = bridge;
+        // Phase 2: node 1 resets (keeping the reserved link); the bridge
+        // must be gone while the global link still spans the structure.
+        w.reset_pins_keeping_links(1, &[2]);
+        w.beep(0, 0);
+        w.tick();
+        assert!(!w.received_any(2) || w.received(2, World::global_link_pset(2)) == false,
+            "stale bridge must not leak");
+        // The reserved global link still works.
+        w.beep(0, World::global_link_pset(2));
+        w.tick();
+        assert!(w.received(2, World::global_link_pset(2)));
+    }
+
+    #[test]
+    fn beep_instrumentation_counts_once_per_pset_round() {
+        let mut w = World::new(Topology::from_edges(2, &[(0, 1)]), 1);
+        assert_eq!(w.beeps_sent(), 0);
+        w.beep(0, 0);
+        w.beep(0, 0); // duplicate in the same round: counted once
+        w.tick();
+        assert_eq!(w.beeps_sent(), 1);
+        w.beep(1, 0);
+        w.tick();
+        assert_eq!(w.beeps_sent(), 2);
+    }
+}

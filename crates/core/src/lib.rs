@@ -1,0 +1,43 @@
+//! Shortest path forests in the reconfigurable-circuit amoebot model.
+//!
+//! This crate is the core of the reproduction of *Polylogarithmic Time
+//! Algorithms for Shortest Path Forests in Programmable Matter* (Padalkin &
+//! Scheideler, PODC 2024). It implements, on top of the
+//! [`amoebot_circuits`] simulator and the [`amoebot_pasc`] PASC programs:
+//!
+//! * the Euler tour technique (ETT) adapted to reconfigurable circuits
+//!   (§3.1) — [`ett`],
+//! * the tree primitives: root-and-prune, election, Q-centroids, centroid
+//!   decomposition (§3.2–§3.4) — [`primitives`],
+//! * portal graphs and the portal-tree variants of the primitives (§2.3,
+//!   §3.5) — [`portals`],
+//! * the shortest path tree algorithm for a single source (§4, Theorem 39)
+//!   — [`spt`],
+//! * the shortest path forest algorithm for multiple sources (§5,
+//!   Theorem 56 / Corollary 57), with its line, merging and propagation
+//!   subroutines — [`forest`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use amoebot_grid::{shapes, AmoebotStructure, NodeId};
+//! use amoebot_spf::spt::shortest_path_tree;
+//!
+//! let structure = AmoebotStructure::new(shapes::parallelogram(6, 4)).unwrap();
+//! let source = NodeId(0);
+//! let dests: Vec<NodeId> = vec![NodeId(20), NodeId(23)];
+//! let outcome = shortest_path_tree(&structure, source, &dests);
+//! assert!(amoebot_grid::validate_forest(
+//!     &structure, &[source], &dests, &outcome.parents
+//! ).is_empty());
+//! ```
+
+pub mod ett;
+pub mod forest;
+pub mod links;
+pub mod portals;
+pub mod primitives;
+pub mod spt;
+pub mod tree;
+
+pub use tree::Tree;

@@ -1,0 +1,17 @@
+//! The tree primitives of §3: root-and-prune, election, Q-centroids and
+//! centroid decomposition.
+//!
+//! These operate on arbitrary trees embedded in the communication topology
+//! ("These are not limited to the geometric variant of the amoebot model",
+//! §3) and are reused by the portal-tree variants (§3.5) and the shortest
+//! path algorithms (§4, §5).
+
+pub mod centroid;
+pub mod decomposition;
+pub mod election;
+pub mod root_prune;
+
+pub use centroid::{q_centroids, CentroidOutcome};
+pub use decomposition::{centroid_decomposition, Decomposition};
+pub use election::elect;
+pub use root_prune::{root_and_prune, RootPrune};

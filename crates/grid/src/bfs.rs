@@ -1,0 +1,134 @@
+//! Centralized reference algorithms: (multi-source) BFS over `G_X`.
+//!
+//! These are *not* part of the distributed model; they provide ground-truth
+//! distances and parents against which every distributed algorithm in the
+//! workspace is validated (system S16 of DESIGN.md).
+
+use std::collections::VecDeque;
+
+use crate::structure::{AmoebotStructure, NodeId};
+
+/// Multi-source BFS. Returns `(distances, closest_source)` where
+/// `distances[v]` is `dist(S, v)` and `closest_source[v]` is the source
+/// realizing it (smallest source id among ties, determined by BFS order).
+///
+/// Unreachable nodes get `None` in both vectors (impossible on a connected
+/// structure with non-empty `sources`).
+pub fn multi_source_bfs(
+    structure: &AmoebotStructure,
+    sources: &[NodeId],
+) -> (Vec<Option<u32>>, Vec<Option<NodeId>>) {
+    let n = structure.len();
+    let mut dist: Vec<Option<u32>> = vec![None; n];
+    let mut owner: Vec<Option<NodeId>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    let mut sorted: Vec<NodeId> = sources.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    for &s in &sorted {
+        dist[s.index()] = Some(0);
+        owner[s.index()] = Some(s);
+        queue.push_back(s);
+    }
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()].expect("queued node has a distance");
+        for (_, w) in structure.neighbors_of(v) {
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(dv + 1);
+                owner[w.index()] = owner[v.index()];
+                queue.push_back(w);
+            }
+        }
+    }
+    (dist, owner)
+}
+
+/// Single-source BFS distances.
+pub fn bfs_distances(structure: &AmoebotStructure, source: NodeId) -> Vec<u32> {
+    multi_source_bfs(structure, &[source])
+        .0
+        .into_iter()
+        .map(|d| d.expect("structure is connected"))
+        .collect()
+}
+
+/// A BFS tree from `source`: `parents[v]` is `None` for the source, otherwise
+/// some neighbor one step closer to the source.
+pub fn bfs_parents(structure: &AmoebotStructure, source: NodeId) -> Vec<Option<NodeId>> {
+    let dist = bfs_distances(structure, source);
+    structure
+        .nodes()
+        .map(|v| {
+            if v == source {
+                return None;
+            }
+            structure
+                .neighbors_of(v)
+                .map(|(_, w)| w)
+                .find(|w| dist[w.index()] + 1 == dist[v.index()])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+    use crate::Coord;
+
+    #[test]
+    fn bfs_on_line() {
+        let s = AmoebotStructure::new(shapes::line(6)).unwrap();
+        let src = s.node_at(Coord::new(0, 0)).unwrap();
+        let d = bfs_distances(&s, src);
+        for (i, &dv) in d.iter().enumerate() {
+            let v = s.node_at(Coord::new(i as i32, 0)).unwrap();
+            assert_eq!(d[v.index()], dv.min(d[v.index()]));
+            assert_eq!(d[v.index()], s.coord(v).q as u32);
+        }
+    }
+
+    #[test]
+    fn multi_source_picks_closest() {
+        let s = AmoebotStructure::new(shapes::line(10)).unwrap();
+        let a = s.node_at(Coord::new(0, 0)).unwrap();
+        let b = s.node_at(Coord::new(9, 0)).unwrap();
+        let (dist, owner) = multi_source_bfs(&s, &[a, b]);
+        for v in s.nodes() {
+            let q = s.coord(v).q;
+            assert_eq!(dist[v.index()], Some((q.min(9 - q)) as u32));
+            let o = owner[v.index()].unwrap();
+            if q < 5 {
+                assert_eq!(o, a);
+            } else if q > 5 {
+                assert_eq!(o, b);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_parents_decrease_distance() {
+        let s = AmoebotStructure::new(shapes::hexagon(3)).unwrap();
+        let src = NodeId(0);
+        let dist = bfs_distances(&s, src);
+        let parents = bfs_parents(&s, src);
+        for v in s.nodes() {
+            match parents[v.index()] {
+                None => assert_eq!(v, src),
+                Some(p) => assert_eq!(dist[p.index()] + 1, dist[v.index()]),
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_matches_grid_distance_on_convex_shape() {
+        // On a hexagon (a convex, hole-free shape), structure distance from
+        // the center equals grid distance.
+        let s = AmoebotStructure::new(shapes::hexagon(4)).unwrap();
+        let center = s.node_at(Coord::origin()).unwrap();
+        let d = bfs_distances(&s, center);
+        for v in s.nodes() {
+            assert_eq!(d[v.index()], Coord::origin().grid_distance(s.coord(v)));
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! ASCII rendering of amoebot structures, used to regenerate the paper's
+//! worked figures (experiment E19) and by the example binaries.
+
+use std::collections::HashMap;
+
+use crate::coord::Coord;
+use crate::structure::{AmoebotStructure, NodeId};
+
+/// Renders the structure as ASCII art, one character per amoebot, with rows
+/// offset by half a cell to suggest the triangular lattice.
+///
+/// `glyph` maps each node to the character drawn for it; unoccupied cells are
+/// blank.
+pub fn render_structure(
+    structure: &AmoebotStructure,
+    mut glyph: impl FnMut(NodeId) -> char,
+) -> String {
+    let (min_q, max_q, min_r, max_r) = structure.bounding_box();
+    let mut out = String::new();
+    for r in min_r..=max_r {
+        // Triangular rows shift eastward as r grows; render with a half-step
+        // indent so neighbors line up diagonally.
+        let indent = (r - min_r) as usize;
+        out.push_str(&" ".repeat(indent));
+        for q in min_q..=max_q {
+            match structure.node_at(Coord::new(q, r)) {
+                Some(v) => out.push(glyph(v)),
+                None => out.push(' '),
+            }
+            out.push(' ');
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a structure with per-node labels from a map, defaulting to `'.'`.
+pub fn render_labels(structure: &AmoebotStructure, labels: &HashMap<NodeId, char>) -> String {
+    render_structure(structure, |v| *labels.get(&v).unwrap_or(&'.'))
+}
+
+/// Renders a forest: sources as `S`, destinations as `D`, other members by
+/// the direction of their parent pointer, non-members as `'.'`.
+pub fn render_forest(
+    structure: &AmoebotStructure,
+    sources: &[NodeId],
+    destinations: &[NodeId],
+    parents: &[Option<NodeId>],
+) -> String {
+    render_structure(structure, |v| {
+        if sources.contains(&v) {
+            'S'
+        } else if let Some(p) = parents[v.index()] {
+            let d = crate::coord::Direction::between(structure.coord(v), structure.coord(p));
+            match d {
+                Some(crate::coord::Direction::E) => '>',
+                Some(crate::coord::Direction::W) => '<',
+                Some(crate::coord::Direction::Ne) => '/',
+                Some(crate::coord::Direction::Sw) => ',',
+                Some(crate::coord::Direction::Nw) => '\\',
+                Some(crate::coord::Direction::Se) => 'v',
+                None => '?',
+            }
+        } else if destinations.contains(&v) {
+            'D'
+        } else {
+            '.'
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    #[test]
+    fn renders_every_amoebot_once() {
+        let s = AmoebotStructure::new(shapes::parallelogram(3, 2)).unwrap();
+        let mut seen = 0;
+        let art = render_structure(&s, |_| {
+            seen += 1;
+            '*'
+        });
+        assert_eq!(seen, s.len());
+        assert_eq!(art.matches('*').count(), s.len());
+        assert_eq!(art.lines().count(), 2);
+    }
+
+    #[test]
+    fn render_forest_marks_sources() {
+        let s = AmoebotStructure::new(shapes::line(3)).unwrap();
+        let parents = vec![None, Some(NodeId(0)), Some(NodeId(1))];
+        let art = render_forest(&s, &[NodeId(0)], &[NodeId(2)], &parents);
+        assert!(art.contains('S'));
+        assert!(art.contains('<'));
+    }
+}

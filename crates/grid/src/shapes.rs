@@ -1,0 +1,295 @@
+//! Workload shape generators.
+//!
+//! All generators return coordinate sets that form connected, hole-free
+//! structures (verified by tests), matching the paper's standing assumption
+//! (§1.1). The randomized generator grows blobs with a local rule that
+//! preserves simple-connectivity.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+use crate::coord::{Coord, ALL_DIRECTIONS};
+
+/// A horizontal line of `n` amoebots: `(0,0) .. (n-1,0)`.
+pub fn line(n: usize) -> Vec<Coord> {
+    (0..n as i32).map(|q| Coord::new(q, 0)).collect()
+}
+
+/// An `a × b` parallelogram: `a` columns and `b` rows.
+pub fn parallelogram(a: usize, b: usize) -> Vec<Coord> {
+    let mut out = Vec::with_capacity(a * b);
+    for r in 0..b as i32 {
+        for q in 0..a as i32 {
+            out.push(Coord::new(q, r));
+        }
+    }
+    out
+}
+
+/// An upward triangle with `side` amoebots on each side.
+pub fn triangle(side: usize) -> Vec<Coord> {
+    let mut out = Vec::new();
+    for r in 0..side as i32 {
+        for q in 0..(side as i32 - r) {
+            out.push(Coord::new(q, r));
+        }
+    }
+    out
+}
+
+/// A hexagon of the given radius (`radius = 0` is a single amoebot,
+/// `radius = 1` is 7 amoebots, generally `3r(r+1) + 1`).
+pub fn hexagon(radius: usize) -> Vec<Coord> {
+    let radius = radius as i32;
+    let mut out = Vec::new();
+    for q in -radius..=radius {
+        for r in (-radius).max(-q - radius)..=radius.min(-q + radius) {
+            out.push(Coord::new(q, r));
+        }
+    }
+    out
+}
+
+/// A comb: a horizontal spine of length `width` with vertical teeth of length
+/// `tooth_len` attached at every other spine cell. Combs maximize the gap
+/// between structure distance and grid distance, stressing the portal
+/// machinery and the propagation algorithm's second phase.
+pub fn comb(width: usize, tooth_len: usize) -> Vec<Coord> {
+    let mut out = Vec::new();
+    for q in 0..width as i32 {
+        out.push(Coord::new(q, 0));
+        if q % 2 == 0 {
+            for r in 1..=tooth_len as i32 {
+                out.push(Coord::new(q, r));
+            }
+        }
+    }
+    out
+}
+
+/// A staircase of `steps` steps, each `step_len` long: alternating east and
+/// south-east runs. Produces many distinct portals per axis.
+pub fn staircase(steps: usize, step_len: usize) -> Vec<Coord> {
+    let mut out = Vec::new();
+    let mut cur = Coord::origin();
+    out.push(cur);
+    for s in 0..steps {
+        let dir = if s % 2 == 0 {
+            crate::coord::Direction::E
+        } else {
+            crate::coord::Direction::Se
+        };
+        for _ in 0..step_len {
+            cur = cur.neighbor(dir);
+            out.push(cur);
+        }
+    }
+    out
+}
+
+/// An "L" shape: a `long × thick` horizontal arm and a `thick × long`
+/// vertical arm sharing a corner.
+pub fn l_shape(long: usize, thick: usize) -> Vec<Coord> {
+    let mut set = HashSet::new();
+    for r in 0..thick as i32 {
+        for q in 0..long as i32 {
+            set.insert(Coord::new(q, r));
+        }
+    }
+    for r in 0..long as i32 {
+        for q in 0..thick as i32 {
+            set.insert(Coord::new(q, r));
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// A random hole-free blob of exactly `n` amoebots grown from the origin.
+///
+/// Growth rule: a boundary cell may be added iff its occupied neighbors form
+/// a single contiguous arc in the cyclic order of its six neighbors. Adding
+/// such a cell can neither disconnect the complement nor enclose a pocket, so
+/// the invariant "connected and hole-free" is preserved at every step; tests
+/// verify this via [`crate::AmoebotStructure::is_hole_free`].
+pub fn random_blob<R: Rng>(n: usize, rng: &mut R) -> Vec<Coord> {
+    assert!(n >= 1, "blob must have at least one amoebot");
+    let mut occupied: HashSet<Coord> = HashSet::with_capacity(n);
+    occupied.insert(Coord::origin());
+    let mut frontier: Vec<Coord> = Coord::origin().neighbors().to_vec();
+
+    let arc_ok = |occupied: &HashSet<Coord>, c: Coord| -> bool {
+        // The 6 neighbors in cyclic order; count maximal occupied runs.
+        let occ: Vec<bool> = ALL_DIRECTIONS
+            .into_iter()
+            .map(|d| occupied.contains(&c.neighbor(d)))
+            .collect();
+        let total: usize = occ.iter().filter(|&&b| b).count();
+        if total == 0 {
+            return false;
+        }
+        if total == 6 {
+            return true;
+        }
+        let mut runs = 0;
+        for i in 0..6 {
+            if occ[i] && !occ[(i + 5) % 6] {
+                runs += 1;
+            }
+        }
+        runs == 1
+    };
+
+    while occupied.len() < n {
+        frontier.retain(|c| !occupied.contains(c));
+        frontier.shuffle(rng);
+        let pick = frontier
+            .iter()
+            .copied()
+            .find(|&c| arc_ok(&occupied, c))
+            .unwrap_or_else(|| {
+                // A blob always has at least one addable boundary cell (e.g.
+                // an extreme cell in lexicographic order); fall back to a
+                // fresh scan in the unlikely event the frontier went stale.
+                let mut candidates: Vec<Coord> = occupied
+                    .iter()
+                    .flat_map(|&c| c.neighbors())
+                    .filter(|c| !occupied.contains(c) && arc_ok(&occupied, *c))
+                    .collect();
+                candidates.sort();
+                candidates[0]
+            });
+        occupied.insert(pick);
+        frontier.extend(pick.neighbors());
+    }
+    let mut out: Vec<Coord> = occupied.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// A random subset of `k` distinct node indices out of `n`, for source /
+/// destination selection in workloads.
+pub fn random_subset<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k <= n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AmoebotStructure;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_sizes() {
+        assert_eq!(line(5).len(), 5);
+        assert_eq!(parallelogram(4, 3).len(), 12);
+        assert_eq!(triangle(4).len(), 10);
+        assert_eq!(hexagon(0).len(), 1);
+        assert_eq!(hexagon(1).len(), 7);
+        assert_eq!(hexagon(2).len(), 19);
+        assert_eq!(staircase(3, 2).len(), 7);
+    }
+
+    #[test]
+    fn all_shapes_connected_and_hole_free() {
+        let shapes: Vec<Vec<Coord>> = vec![
+            line(12),
+            parallelogram(6, 4),
+            triangle(6),
+            hexagon(3),
+            comb(9, 4),
+            staircase(5, 3),
+            l_shape(8, 2),
+        ];
+        for coords in shapes {
+            let s = AmoebotStructure::new(coords).unwrap();
+            assert!(s.is_hole_free());
+        }
+    }
+
+    #[test]
+    fn random_blobs_connected_and_hole_free() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [1, 2, 5, 17, 60, 200] {
+            let coords = random_blob(n, &mut rng);
+            assert_eq!(coords.len(), n);
+            let s = AmoebotStructure::new(coords).unwrap();
+            assert!(s.is_hole_free(), "blob of size {n} has a hole");
+        }
+    }
+
+    #[test]
+    fn random_subset_properties() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sub = random_subset(100, 10, &mut rng);
+        assert_eq!(sub.len(), 10);
+        assert!(sub.windows(2).all(|w| w[0] < w[1]));
+        assert!(sub.iter().all(|&i| i < 100));
+    }
+}
+
+/// A zigzag corridor: alternating east and north-east runs, `segments`
+/// segments of length `len`. Thin, long diameter, many portals on every
+/// axis — the adversarial case for O(diam) baselines.
+pub fn zigzag(segments: usize, len: usize) -> Vec<Coord> {
+    let mut out = vec![Coord::origin()];
+    let mut cur = Coord::origin();
+    for s in 0..segments {
+        let dir = if s % 2 == 0 {
+            crate::coord::Direction::E
+        } else {
+            crate::coord::Direction::Ne
+        };
+        for _ in 0..len {
+            cur = cur.neighbor(dir);
+            out.push(cur);
+        }
+    }
+    out
+}
+
+/// A rectangular spiral of the given number of turns and arm thickness 1,
+/// with spacing 2 between arms (hole-free by construction: the spiral is a
+/// simple path thickened on the triangular grid).
+pub fn spiral(turns: usize) -> Vec<Coord> {
+    let mut out = HashSet::new();
+    let mut cur = Coord::origin();
+    out.insert(cur);
+    let mut len = 2usize;
+    let dirs = [
+        crate::coord::Direction::E,
+        crate::coord::Direction::Se,
+        crate::coord::Direction::W,
+        crate::coord::Direction::Nw,
+    ];
+    let mut di = 0;
+    for _ in 0..2 * turns {
+        for _ in 0..len {
+            cur = cur.neighbor(dirs[di]);
+            out.insert(cur);
+        }
+        di = (di + 1) % 4;
+        len += 2;
+    }
+    out.into_iter().collect()
+}
+
+/// A "diamond with bites": a hexagon with every other boundary cell of the
+/// northern edge removed — concave boundary, still hole-free. Stresses the
+/// implicit-portal local rules and the propagation visibility analysis.
+pub fn bitten_hexagon(radius: usize) -> Vec<Coord> {
+    let mut cells: HashSet<Coord> = hexagon(radius).into_iter().collect();
+    let r = radius as i32;
+    let mut q = -r + 1;
+    while q <= -1 {
+        cells.remove(&Coord::new(q, -r));
+        q += 2;
+    }
+    cells.into_iter().collect()
+}

@@ -1,0 +1,293 @@
+//! Ground-truth validation of `(S, D)`-shortest path forests.
+//!
+//! Checks the five properties of §1.3 of the paper against centralized
+//! multi-source BFS distances.
+
+use std::fmt;
+
+use crate::bfs::multi_source_bfs;
+use crate::structure::{AmoebotStructure, NodeId};
+
+/// A violation of the `(S, D)`-shortest path forest properties (§1.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForestViolation {
+    /// A source was given a parent (sources must be roots; property 1/3).
+    SourceHasParent(NodeId),
+    /// `parents[v]` is not adjacent to `v` in `G_X` (property 1).
+    ParentNotAdjacent(NodeId),
+    /// Following parents from `v` never reaches a source (cycle or dangling
+    /// root; properties 1 and 3).
+    NoRoot(NodeId),
+    /// A leaf of a tree is neither a source nor a destination (property 2).
+    LeafNotTerminal(NodeId),
+    /// A destination is not part of any tree (property 4).
+    DestinationMissing(NodeId),
+    /// The tree path to `v` has length `depth`, but `dist(S, v) = shortest`
+    /// (property 5).
+    NotShortest {
+        /// The offending node.
+        node: NodeId,
+        /// Length of the unique tree path from the root to `node`.
+        depth: u32,
+        /// Ground-truth `dist(S, node)`.
+        shortest: u32,
+    },
+}
+
+impl fmt::Display for ForestViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForestViolation::SourceHasParent(v) => write!(f, "source {v} has a parent"),
+            ForestViolation::ParentNotAdjacent(v) => {
+                write!(f, "parent of {v} is not adjacent to it")
+            }
+            ForestViolation::NoRoot(v) => {
+                write!(f, "parent chain from {v} does not reach a source")
+            }
+            ForestViolation::LeafNotTerminal(v) => {
+                write!(f, "leaf {v} is neither a source nor a destination")
+            }
+            ForestViolation::DestinationMissing(v) => {
+                write!(f, "destination {v} is not covered by any tree")
+            }
+            ForestViolation::NotShortest {
+                node,
+                depth,
+                shortest,
+            } => write!(
+                f,
+                "tree path to {node} has length {depth} but dist(S, {node}) = {shortest}"
+            ),
+        }
+    }
+}
+
+/// Validates a claimed `(S, D)`-shortest path forest.
+///
+/// `parents[v]` must be `Some(p)` for every non-source forest member and
+/// `None` for sources and non-members. Returns all violations found (empty
+/// means the forest is valid).
+///
+/// # Panics
+///
+/// Panics if `sources` is empty or any id is out of range.
+pub fn validate_forest(
+    structure: &AmoebotStructure,
+    sources: &[NodeId],
+    destinations: &[NodeId],
+    parents: &[Option<NodeId>],
+) -> Vec<ForestViolation> {
+    assert!(!sources.is_empty(), "S must be non-empty");
+    assert_eq!(parents.len(), structure.len());
+    let n = structure.len();
+    let mut violations = Vec::new();
+    let mut is_source = vec![false; n];
+    for &s in sources {
+        is_source[s.index()] = true;
+        if parents[s.index()].is_some() {
+            violations.push(ForestViolation::SourceHasParent(s));
+        }
+    }
+
+    // Adjacency of parent edges.
+    for v in structure.nodes() {
+        if let Some(p) = parents[v.index()] {
+            if !structure
+                .neighbors_of(v)
+                .any(|(_, w)| w == p)
+            {
+                violations.push(ForestViolation::ParentNotAdjacent(v));
+            }
+        }
+    }
+    if !violations.is_empty() {
+        return violations; // depth computation below assumes sane edges
+    }
+
+    // Member = source or has a parent. Compute depth and root by walking up
+    // with memoization; detect cycles with a visit stamp.
+    let member: Vec<bool> = (0..n)
+        .map(|i| is_source[i] || parents[i].is_some())
+        .collect();
+    let mut depth: Vec<Option<u32>> = vec![None; n];
+    let mut root: Vec<Option<NodeId>> = vec![None; n];
+    for v in structure.nodes() {
+        if !member[v.index()] || depth[v.index()].is_some() {
+            continue;
+        }
+        // Walk up collecting the path.
+        let mut path = Vec::new();
+        let mut cur = v;
+        let (base_depth, base_root) = loop {
+            if let Some(d) = depth[cur.index()] {
+                break (d, root[cur.index()].expect("resolved node has root"));
+            }
+            if is_source[cur.index()] {
+                break (0, cur);
+            }
+            if path.contains(&cur) || path.len() > n {
+                // Cycle.
+                for &u in &path {
+                    violations.push(ForestViolation::NoRoot(u));
+                }
+                path.clear();
+                break (u32::MAX, cur);
+            }
+            path.push(cur);
+            match parents[cur.index()] {
+                Some(p) if member[p.index()] => cur = p,
+                _ => {
+                    // Parent chain leaves the forest.
+                    violations.push(ForestViolation::NoRoot(v));
+                    path.clear();
+                    break (u32::MAX, cur);
+                }
+            }
+        };
+        if base_depth == u32::MAX {
+            continue;
+        }
+        depth[cur.index()].get_or_insert(base_depth);
+        root[cur.index()].get_or_insert(base_root);
+        for (i, &u) in path.iter().rev().enumerate() {
+            depth[u.index()] = Some(base_depth + 1 + i as u32);
+            root[u.index()] = Some(base_root);
+        }
+    }
+    if !violations.is_empty() {
+        return violations;
+    }
+
+    // Property 4: every destination is covered.
+    for &d in destinations {
+        if !member[d.index()] {
+            violations.push(ForestViolation::DestinationMissing(d));
+        }
+    }
+
+    // Property 5: tree depth equals multi-source BFS distance. This also
+    // implies the root is the closest source and the path is shortest.
+    let (dist, _) = multi_source_bfs(structure, sources);
+    for v in structure.nodes() {
+        if member[v.index()] {
+            let dep = depth[v.index()].expect("member has depth");
+            let sh = dist[v.index()].expect("connected structure");
+            if dep != sh {
+                violations.push(ForestViolation::NotShortest {
+                    node: v,
+                    depth: dep,
+                    shortest: sh,
+                });
+            }
+        }
+    }
+
+    // Property 2: leaves are terminals. A leaf is a member with no member
+    // child pointing at it.
+    let mut has_child = vec![false; n];
+    for v in structure.nodes() {
+        if member[v.index()] {
+            if let Some(p) = parents[v.index()] {
+                has_child[p.index()] = true;
+            }
+        }
+    }
+    let mut is_dest = vec![false; n];
+    for &d in destinations {
+        is_dest[d.index()] = true;
+    }
+    for v in structure.nodes() {
+        if member[v.index()]
+            && !has_child[v.index()]
+            && !is_dest[v.index()]
+            && !is_source[v.index()]
+        {
+            violations.push(ForestViolation::LeafNotTerminal(v));
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_parents;
+    use crate::shapes;
+    use crate::Coord;
+
+    #[test]
+    fn bfs_tree_is_valid_sssp_forest() {
+        let s = AmoebotStructure::new(shapes::hexagon(3)).unwrap();
+        let src = NodeId(0);
+        let parents = bfs_parents(&s, src);
+        let all: Vec<NodeId> = s.nodes().collect();
+        let violations = validate_forest(&s, &[src], &all, &parents);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn detects_non_shortest_path() {
+        let s = AmoebotStructure::new(shapes::line(4)).unwrap();
+        let ids: Vec<NodeId> = s.nodes().collect();
+        // Chain 0 <- 1 <- 2 <- 3 but declare source 0 AND 2's parent as 3:
+        // makes the path 0..3..2 longer than optimal.
+        let n0 = s.node_at(Coord::new(0, 0)).unwrap();
+        let n1 = s.node_at(Coord::new(1, 0)).unwrap();
+        let n2 = s.node_at(Coord::new(2, 0)).unwrap();
+        let n3 = s.node_at(Coord::new(3, 0)).unwrap();
+        let mut parents = vec![None; 4];
+        parents[n1.index()] = Some(n0);
+        parents[n2.index()] = Some(n1);
+        parents[n3.index()] = Some(n2);
+        assert!(validate_forest(&s, &[n0], &ids, &parents).is_empty());
+        // Break it: point 2 away from the source through 3.
+        parents[n2.index()] = Some(n3);
+        parents[n3.index()] = Some(n2);
+        let v = validate_forest(&s, &[n0], &ids, &parents);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn detects_missing_destination() {
+        let s = AmoebotStructure::new(shapes::line(3)).unwrap();
+        let n0 = NodeId(0);
+        let n2 = NodeId(2);
+        let parents = vec![None; 3];
+        let v = validate_forest(&s, &[n0], &[n2], &parents);
+        assert!(v.contains(&ForestViolation::DestinationMissing(n2)));
+    }
+
+    #[test]
+    fn detects_leaf_not_terminal() {
+        let s = AmoebotStructure::new(shapes::line(3)).unwrap();
+        let n0 = NodeId(0);
+        let n1 = NodeId(1);
+        let n2 = NodeId(2);
+        let mut parents = vec![None; 3];
+        parents[n1.index()] = Some(n0);
+        parents[n2.index()] = Some(n1);
+        // Destination is n1, but n2 dangles as a non-terminal leaf.
+        let v = validate_forest(&s, &[n0], &[n1], &parents);
+        assert!(v.contains(&ForestViolation::LeafNotTerminal(n2)));
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let s = AmoebotStructure::new(shapes::line(4)).unwrap();
+        let mut parents: Vec<Option<NodeId>> = vec![None; 4];
+        parents[1] = Some(NodeId(2));
+        parents[2] = Some(NodeId(1));
+        let v = validate_forest(&s, &[NodeId(0)], &[], &parents);
+        assert!(v.iter().any(|x| matches!(x, ForestViolation::NoRoot(_))));
+    }
+
+    #[test]
+    fn detects_source_with_parent() {
+        let s = AmoebotStructure::new(shapes::line(2)).unwrap();
+        let mut parents: Vec<Option<NodeId>> = vec![None; 2];
+        parents[0] = Some(NodeId(1));
+        let v = validate_forest(&s, &[NodeId(0), NodeId(1)], &[], &parents);
+        assert!(v.contains(&ForestViolation::SourceHasParent(NodeId(0))));
+    }
+}

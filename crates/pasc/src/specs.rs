@@ -1,0 +1,263 @@
+//! Instance-spec builders for the common PASC shapes.
+
+use amoebot_circuits::Topology;
+
+use crate::run::{EdgeRef, InstanceSpec};
+
+/// Builds the instance specs for PASC along a chain of nodes (Lemma 3 /
+/// Corollary 6 of the paper).
+///
+/// `nodes[0]` is the start (the "virtual amoebot s" of Corollary 6 is folded
+/// into it, so its own weight participates in the prefix sums). `weights`
+/// gives each node's weight; `None` means unit weights on all non-start
+/// nodes, which yields plain distances to `nodes[0]`.
+///
+/// # Panics
+///
+/// Panics if consecutive nodes are not adjacent in `topo`, or if the weight
+/// slice length mismatches.
+pub fn chain_specs(
+    topo: &Topology,
+    nodes: &[usize],
+    primary_link: usize,
+    secondary_link: usize,
+    weights: Option<&[bool]>,
+) -> Vec<InstanceSpec> {
+    if let Some(w) = weights {
+        assert_eq!(w.len(), nodes.len(), "one weight per chain node");
+    }
+    let weight_of = |i: usize| match weights {
+        Some(w) => w[i],
+        None => i > 0,
+    };
+    nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let pred = (i > 0).then(|| {
+                let port = topo
+                    .port_to(v, nodes[i - 1])
+                    .expect("consecutive chain nodes must be adjacent");
+                EdgeRef::new(port, primary_link, secondary_link)
+            });
+            let succs = if i + 1 < nodes.len() {
+                let port = topo
+                    .port_to(v, nodes[i + 1])
+                    .expect("consecutive chain nodes must be adjacent");
+                vec![EdgeRef::new(port, primary_link, secondary_link)]
+            } else {
+                Vec::new()
+            };
+            InstanceSpec {
+                node: v,
+                pred,
+                succs,
+                weight: weight_of(i),
+            }
+        })
+        .collect()
+}
+
+/// Builds the instance specs for PASC on a rooted tree (Corollary 5): every
+/// node computes its distance to the root, with one instance per node and
+/// two links per tree edge.
+///
+/// `parent[v] = None` exactly for the root(s) — a forest is allowed, in which
+/// case each tree runs its own PASC in parallel (used by the merging
+/// algorithm of §5.2). Nodes with `parent[v] = Some(v)` are treated as *not
+/// participating* and get no instance; the returned vector is accompanied by
+/// an index map.
+///
+/// Returns `(specs, instance_of_node)` where `instance_of_node[v]` is the
+/// index of `v`'s instance in `specs` (or `usize::MAX` for non-participants).
+pub fn tree_specs(
+    topo: &Topology,
+    parent: &[Option<usize>],
+    participates: &[bool],
+    primary_link: usize,
+    secondary_link: usize,
+) -> (Vec<InstanceSpec>, Vec<usize>) {
+    let n = topo.len();
+    assert_eq!(parent.len(), n);
+    assert_eq!(participates.len(), n);
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for v in 0..n {
+        if participates[v] {
+            if let Some(p) = parent[v] {
+                assert!(participates[p], "parent of participant must participate");
+                children[p].push(v);
+            }
+        }
+    }
+    let mut specs = Vec::new();
+    let mut instance_of_node = vec![usize::MAX; n];
+    for v in 0..n {
+        if !participates[v] {
+            continue;
+        }
+        let pred = parent[v].map(|p| {
+            let port = topo.port_to(v, p).expect("tree edges must exist in topology");
+            EdgeRef::new(port, primary_link, secondary_link)
+        });
+        let succs = children[v]
+            .iter()
+            .map(|&ch| {
+                let port = topo.port_to(v, ch).expect("tree edges must exist in topology");
+                EdgeRef::new(port, primary_link, secondary_link)
+            })
+            .collect();
+        instance_of_node[v] = specs.len();
+        specs.push(InstanceSpec {
+            node: v,
+            pred,
+            succs,
+            weight: parent[v].is_some(),
+        });
+    }
+    (specs, instance_of_node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::PascRun;
+    use amoebot_circuits::World;
+
+    fn path_topology(n: usize) -> Topology {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Topology::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn chain_distances_and_round_count() {
+        for n in [2usize, 3, 5, 8, 16, 33] {
+            let topo = path_topology(n);
+            let mut world = World::new(topo, 3);
+            let nodes: Vec<usize> = (0..n).collect();
+            let specs = chain_specs(world.topology(), &nodes, 0, 1, None);
+            let mut run = PascRun::new(&mut world, specs, 2);
+            let values = run.run_to_completion(&mut world);
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(v, i as u64, "distance of node {i} in chain of {n}");
+            }
+            // Lemma 4: 2 rounds per iteration, ⌈log2 m⌉-ish iterations.
+            let expected_iters = 64 - (n as u64 - 1).leading_zeros() as u64; // ⌈log2 n⌉
+            assert_eq!(run.iterations() as u64, expected_iters.max(1));
+            assert_eq!(world.rounds(), 2 * run.iterations() as u64);
+        }
+    }
+
+    #[test]
+    fn chain_respects_reversed_order() {
+        // Start from the east end: distances count down from the west.
+        let n = 7;
+        let topo = path_topology(n);
+        let mut world = World::new(topo, 3);
+        let nodes: Vec<usize> = (0..n).rev().collect();
+        let specs = chain_specs(world.topology(), &nodes, 0, 1, None);
+        let mut run = PascRun::new(&mut world, specs, 2);
+        let values = run.run_to_completion(&mut world);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn weighted_prefix_sums() {
+        // Corollary 6: only weight-1 nodes advance the count; weight-0 nodes
+        // read the prefix sum of the last weighted node before them.
+        let n = 9;
+        let topo = path_topology(n);
+        let mut world = World::new(topo, 3);
+        let nodes: Vec<usize> = (0..n).collect();
+        let weights = [false, true, false, false, true, true, false, true, false];
+        let specs = chain_specs(world.topology(), &nodes, 0, 1, Some(&weights));
+        let mut run = PascRun::new(&mut world, specs, 2);
+        let values = run.run_to_completion(&mut world);
+        let mut expect = 0u64;
+        for i in 0..n {
+            if weights[i] {
+                expect += 1;
+            }
+            assert_eq!(values[i], expect, "prefix sum at {i}");
+        }
+        // O(log W) iterations: W = 4 here -> 3 iterations.
+        assert_eq!(run.iterations(), 3);
+    }
+
+    #[test]
+    fn zero_weight_chain_terminates_immediately() {
+        let n = 5;
+        let topo = path_topology(n);
+        let mut world = World::new(topo, 3);
+        let nodes: Vec<usize> = (0..n).collect();
+        let weights = vec![false; n];
+        let specs = chain_specs(world.topology(), &nodes, 0, 1, Some(&weights));
+        let mut run = PascRun::new(&mut world, specs, 2);
+        let values = run.run_to_completion(&mut world);
+        assert!(values.iter().all(|&v| v == 0));
+        assert_eq!(run.iterations(), 1);
+        assert_eq!(world.rounds(), 2);
+    }
+
+    #[test]
+    fn tree_depths() {
+        // A small tree:        0
+        //                    /   \
+        //                   1     2
+        //                  / \     \
+        //                 3   4     5
+        //                            \
+        //                             6
+        let edges = [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (5, 6)];
+        let topo = Topology::from_edges(7, &edges);
+        let mut world = World::new(topo, 3);
+        let parent = [None, Some(0), Some(0), Some(1), Some(1), Some(2), Some(5)];
+        let participates = [true; 7];
+        let (specs, idx) = tree_specs(world.topology(), &parent, &participates, 0, 1);
+        let mut run = PascRun::new(&mut world, specs, 2);
+        let values = run.run_to_completion(&mut world);
+        let depth = [0u64, 1, 1, 2, 2, 2, 3];
+        for v in 0..7 {
+            assert_eq!(values[idx[v]], depth[v], "depth of node {v}");
+        }
+        // Height 3 -> ⌈log2 (3+1)⌉ = 2 iterations, 4 rounds (O(log h)).
+        assert_eq!(run.iterations(), 2);
+    }
+
+    #[test]
+    fn forest_runs_in_parallel() {
+        // Two disjoint chains in one world: 0-1-2 and 3-4-5-6, rooted at 0
+        // and 3. Both PASCs run in the same iterations.
+        let edges = [(0, 1), (1, 2), (3, 4), (4, 5), (5, 6)];
+        let topo = Topology::from_edges(7, &edges);
+        let mut world = World::new(topo, 3);
+        let parent = [None, Some(0), Some(1), None, Some(3), Some(4), Some(5)];
+        let participates = [true; 7];
+        let (specs, idx) = tree_specs(world.topology(), &parent, &participates, 0, 1);
+        let mut run = PascRun::new(&mut world, specs, 2);
+        let values = run.run_to_completion(&mut world);
+        let depth = [0u64, 1, 2, 0, 1, 2, 3];
+        for v in 0..7 {
+            assert_eq!(values[idx[v]], depth[v]);
+        }
+        // Rounds = the max over the parallel trees, not the sum.
+        assert_eq!(run.iterations(), 2);
+        assert_eq!(world.rounds(), 4);
+    }
+
+    #[test]
+    fn non_participants_are_skipped() {
+        let topo = path_topology(4);
+        let mut world = World::new(topo, 3);
+        let parent = [None, Some(0), None, None];
+        let participates = [true, true, false, false];
+        let (specs, idx) = tree_specs(world.topology(), &parent, &participates, 0, 1);
+        assert_eq!(specs.len(), 2);
+        assert_eq!(idx[2], usize::MAX);
+        let mut run = PascRun::new(&mut world, specs, 2);
+        let values = run.run_to_completion(&mut world);
+        assert_eq!(values[idx[0]], 0);
+        assert_eq!(values[idx[1]], 1);
+    }
+}

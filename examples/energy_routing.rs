@@ -1,0 +1,61 @@
+//! Energy distribution (one of the paper's §1 motivations): amoebots at
+//! external energy sources feed the rest of the structure; routing energy
+//! along shortest paths minimizes loss. This example places chargers on the
+//! western boundary, computes the (S, D)-forest to all amoebots that need
+//! energy, and reports the per-tree load.
+//!
+//! Run with: `cargo run --example energy_routing`
+
+use spf::core::forest::shortest_path_forest;
+use spf::grid::{shapes, AmoebotStructure, NodeId};
+
+fn main() {
+    let structure = AmoebotStructure::new(shapes::hexagon(6)).unwrap();
+    let n = structure.len();
+
+    // Chargers: the westernmost amoebot of every other row.
+    let (min_q, _, min_r, max_r) = structure.bounding_box();
+    let mut sources = Vec::new();
+    for r in (min_r..=max_r).step_by(2) {
+        let mut q = min_q;
+        loop {
+            if let Some(v) = structure.node_at(spf::grid::Coord::new(q, r)) {
+                sources.push(v);
+                break;
+            }
+            q += 1;
+        }
+    }
+    // Consumers: every amoebot (SSSP-forest flavour of the problem).
+    let dests: Vec<NodeId> = structure.nodes().collect();
+
+    let outcome = shortest_path_forest(&structure, &sources, &dests);
+    println!(
+        "energy forest over n = {n} amoebots from k = {} chargers: {} rounds",
+        sources.len(),
+        outcome.rounds
+    );
+
+    // Load per charger = size of its tree (energy units routed through it).
+    let mut load = std::collections::HashMap::new();
+    for v in structure.nodes() {
+        let mut cur = v;
+        let mut hops = 0;
+        while let Some(p) = outcome.parents[cur.index()] {
+            cur = p;
+            hops += 1;
+            assert!(hops <= n, "forest must be acyclic");
+        }
+        if sources.contains(&cur) {
+            *load.entry(cur).or_insert(0usize) += 1;
+        }
+    }
+    let mut loads: Vec<(NodeId, usize)> = load.into_iter().collect();
+    loads.sort();
+    for (s, l) in &loads {
+        println!("charger {s}: supplies {l} amoebots");
+    }
+    let total: usize = loads.iter().map(|&(_, l)| l).sum();
+    assert_eq!(total, n, "every amoebot is supplied");
+    println!("all {n} amoebots supplied on shortest paths ✓");
+}

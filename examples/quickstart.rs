@@ -1,0 +1,37 @@
+//! Quickstart: build a structure, compute a shortest path tree, render it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use spf::core::spt::shortest_path_tree;
+use spf::grid::{render, shapes, AmoebotStructure, NodeId};
+
+fn main() {
+    // A 12 x 6 parallelogram of amoebots.
+    let structure = AmoebotStructure::new(shapes::parallelogram(12, 6)).unwrap();
+    println!(
+        "structure: n = {}, diameter = {}",
+        structure.len(),
+        structure.diameter()
+    );
+
+    // One source, three destinations.
+    let source = NodeId(30);
+    let dests = vec![NodeId(0), NodeId(11), NodeId(71)];
+    let outcome = shortest_path_tree(&structure, source, &dests);
+
+    println!(
+        "computed ({{s}}, D)-shortest path forest in {} synchronous rounds",
+        outcome.rounds
+    );
+    println!("{}", outcome.report);
+    println!("S = source, D = destination, arrows point at parents:");
+    println!(
+        "{}",
+        render::render_forest(&structure, &[source], &dests, &outcome.parents)
+    );
+
+    // Validate against centralized BFS ground truth.
+    let violations = spf::grid::validate_forest(&structure, &[source], &dests, &outcome.parents);
+    assert!(violations.is_empty());
+    println!("validated against BFS ground truth ✓");
+}

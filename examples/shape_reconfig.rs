@@ -1,0 +1,52 @@
+//! Shape reconfiguration (Kostitsyna et al., DISC 2023 — the paper's other
+//! §1 motivation): move amoebots to target positions along shortest paths.
+//! We mark a set of "movers" (destinations) and a set of docking positions
+//! (sources); the (S, D)-shortest path forest provides collision-free
+//! routes whose total length is minimal per mover.
+//!
+//! Run with: `cargo run --example shape_reconfig`
+
+use spf::core::forest::shortest_path_forest;
+use spf::grid::{render, shapes, AmoebotStructure, NodeId};
+
+fn main() {
+    let structure = AmoebotStructure::new(shapes::l_shape(14, 4)).unwrap();
+    let n = structure.len();
+
+    // Docking positions: the far end of the vertical arm.
+    let sources: Vec<NodeId> = structure
+        .nodes()
+        .filter(|&v| structure.coord(v).r >= 12)
+        .collect();
+    // Movers: amoebots at the far end of the horizontal arm.
+    let dests: Vec<NodeId> = structure
+        .nodes()
+        .filter(|&v| structure.coord(v).q >= 12)
+        .collect();
+    assert!(!sources.is_empty() && !dests.is_empty());
+
+    let outcome = shortest_path_forest(&structure, &sources, &dests);
+    println!(
+        "reconfiguration routes over n = {n} amoebots: {} rounds",
+        outcome.rounds
+    );
+    println!(
+        "{}",
+        render::render_forest(&structure, &sources, &dests, &outcome.parents)
+    );
+
+    // Report each mover's route length; by the forest property it equals
+    // the true distance to the closest docking position.
+    let dist = spf::grid::multi_source_bfs(&structure, &sources).0;
+    for &d in &dests {
+        let mut cur = d;
+        let mut hops = 0u32;
+        while let Some(p) = outcome.parents[cur.index()] {
+            cur = p;
+            hops += 1;
+        }
+        assert_eq!(Some(hops), dist[d.index()], "route must be shortest");
+        println!("mover {d}: {hops} steps to dock {cur}");
+    }
+    println!("all routes are shortest paths ✓");
+}

@@ -1,0 +1,12 @@
+//! Facade crate re-exporting the whole SPF reproduction workspace.
+//!
+//! See `README.md` for the project overview and `DESIGN.md` for the system
+//! inventory. Most users want [`amoebot_spf`] (the paper's algorithms),
+//! [`amoebot_grid`] (structures and workloads) and [`amoebot_circuits`]
+//! (the simulator substrate).
+
+pub use amoebot_baselines as baselines;
+pub use amoebot_circuits as circuits;
+pub use amoebot_grid as grid;
+pub use amoebot_pasc as pasc;
+pub use amoebot_spf as core;

@@ -1,0 +1,62 @@
+//! Round-complexity scaling assertions: empirical checks that the measured
+//! round counts follow the paper's bounds (the benchmark harness prints the
+//! full series; these tests pin the shape).
+
+use spf::core::spt::{spsp, sssp};
+use spf::grid::{shapes, AmoebotStructure, NodeId};
+
+fn structure(w: usize, h: usize) -> AmoebotStructure {
+    AmoebotStructure::new(shapes::parallelogram(w, h)).unwrap()
+}
+
+#[test]
+fn spsp_rounds_independent_of_n() {
+    let mut rounds = Vec::new();
+    for w in [6usize, 12, 24, 48] {
+        let s = structure(w, 4);
+        let out = spsp(&s, NodeId(0), NodeId((s.len() - 1) as u32));
+        rounds.push(out.rounds);
+    }
+    assert!(
+        rounds.windows(2).all(|w| w[0] == w[1]),
+        "SPSP must be O(1): {rounds:?}"
+    );
+}
+
+#[test]
+fn sssp_rounds_grow_logarithmically() {
+    let mut prev = None;
+    for w in [8usize, 16, 32, 64] {
+        let s = structure(w, w / 2);
+        let out = sssp(&s, NodeId(0));
+        if let Some(p) = prev {
+            // Quadrupling n must add only a constant number of rounds
+            // (a few PASC iterations), not multiply them.
+            assert!(
+                out.rounds <= p + 14,
+                "SSSP rounds grew too fast: {p} -> {} at w = {w}",
+                out.rounds
+            );
+            assert!(out.rounds >= p, "rounds should be monotone-ish");
+        }
+        prev = Some(out.rounds);
+    }
+}
+
+#[test]
+fn forest_rounds_polylog_in_k() {
+    // Doubling k from 4 to 8 must grow rounds by far less than 2x
+    // (O(log² k) against the sequential baseline's O(k)).
+    let s = structure(20, 10);
+    let n = s.len();
+    let pick = |k: usize| -> Vec<NodeId> {
+        (0..k).map(|i| NodeId((i * (n - 1) / (k - 1)) as u32)).collect()
+    };
+    let dests: Vec<NodeId> = s.nodes().collect();
+    let r4 = spf::core::forest::shortest_path_forest(&s, &pick(4), &dests).rounds;
+    let r8 = spf::core::forest::shortest_path_forest(&s, &pick(8), &dests).rounds;
+    assert!(
+        (r8 as f64) < 1.9 * r4 as f64,
+        "forest rounds must grow sublinearly in k: {r4} -> {r8}"
+    );
+}
