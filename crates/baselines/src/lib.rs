@@ -28,6 +28,9 @@ pub struct BaselineOutcome {
     pub parents: Vec<Option<NodeId>>,
     /// Rounds consumed under the baseline's model.
     pub rounds: u64,
+    /// Distinct beeps sent, where the baseline runs on the circuit model
+    /// (0 for the circuit-less wavefront baseline).
+    pub beeps: u64,
 }
 
 /// Multi-source BFS wavefront in the plain (circuit-less) amoebot model.
@@ -63,7 +66,11 @@ pub fn bfs_wavefront(structure: &AmoebotStructure, sources: &[NodeId]) -> Baseli
         rounds += 1;
         frontier = next;
     }
-    BaselineOutcome { parents, rounds: rounds as u64 }
+    BaselineOutcome {
+        parents,
+        rounds: rounds as u64,
+        beeps: 0,
+    }
 }
 
 /// The naive sequential multi-source algorithm of §5: one shortest path
@@ -78,7 +85,14 @@ pub fn sequential_forest(structure: &AmoebotStructure, sources: &[NodeId]) -> Ba
     let mut acc: Option<Forest> = None;
     for &s in sources {
         let mut report = RoundReport::new();
-        let parents = spt_in_world(&mut world, structure, &mask, s.index(), &all_mask, &mut report);
+        let parents = spt_in_world(
+            &mut world,
+            structure,
+            &mask,
+            s.index(),
+            &all_mask,
+            &mut report,
+        );
         let mut f = Forest::from_parents(parents, vec![s.index()]);
         f.member = vec![true; n];
         acc = Some(match acc {
@@ -94,6 +108,7 @@ pub fn sequential_forest(structure: &AmoebotStructure, sources: &[NodeId]) -> Ba
             .map(|p| p.map(|v| NodeId(v as u32)))
             .collect(),
         rounds: world.rounds(),
+        beeps: world.beeps_sent(),
     }
 }
 
@@ -135,7 +150,9 @@ mod tests {
     fn sequential_rounds_grow_linearly_in_k() {
         let s = AmoebotStructure::new(shapes::parallelogram(10, 5)).unwrap();
         let pick = |k: usize| -> Vec<NodeId> {
-            (0..k).map(|i| NodeId((i * (s.len() - 1) / k) as u32)).collect()
+            (0..k)
+                .map(|i| NodeId((i * (s.len() - 1) / k) as u32))
+                .collect()
         };
         let r2 = sequential_forest(&s, &pick(2)).rounds;
         let r8 = sequential_forest(&s, &pick(8)).rounds;

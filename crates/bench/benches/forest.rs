@@ -2,7 +2,7 @@
 //! baselines, plus leader election.
 
 use amoebot_bench::{
-    forest_rounds, leader_rounds, sequential_rounds, standard_structure, wavefront_rounds,
+    forest_rounds, leader_rounds, raw, sequential_rounds, standard_structure, wavefront_rounds,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -10,16 +10,19 @@ fn bench_forest(c: &mut Criterion) {
     let s = standard_structure(512);
     let mut g = c.benchmark_group("forest_by_k");
     for k in [2usize, 4, 8] {
+        // Validate once outside the timed loop; iterate the raw simulator.
+        forest_rounds(&s, k);
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| forest_rounds(&s, k))
+            b.iter(|| raw::forest_rounds(&s, k))
         });
     }
     g.finish();
 
     let mut g = c.benchmark_group("baseline_sequential_by_k");
     for k in [2usize, 8] {
+        sequential_rounds(&s, k);
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| sequential_rounds(&s, k))
+            b.iter(|| raw::sequential_rounds(&s, k))
         });
     }
     g.finish();
@@ -27,8 +30,9 @@ fn bench_forest(c: &mut Criterion) {
     let mut g = c.benchmark_group("baseline_wavefront_by_n");
     for nt in [512usize, 4096] {
         let s = standard_structure(nt);
+        wavefront_rounds(&s, 4);
         g.bench_with_input(BenchmarkId::from_parameter(s.len()), &s, |b, s| {
-            b.iter(|| wavefront_rounds(s, 4))
+            b.iter(|| raw::wavefront_rounds(s, 4))
         });
     }
     g.finish();

@@ -1,9 +1,7 @@
 //! Criterion benches for E4–E9: ETT, root-and-prune, election, centroids,
 //! centroid decomposition.
 
-use amoebot_bench::{
-    centroid_rounds, decomposition_stats, election_rounds, root_prune_rounds,
-};
+use amoebot_bench::{centroid_rounds, decomposition_stats, election_rounds, root_prune_rounds};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_primitives(c: &mut Criterion) {

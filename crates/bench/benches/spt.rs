@@ -1,15 +1,17 @@
 //! Criterion benches for E11–E14: shortest path trees (SPT / SPSP / SSSP)
 //! and the line algorithm.
 
-use amoebot_bench::{line_rounds, spsp_rounds, spt_rounds, sssp_rounds, standard_structure};
+use amoebot_bench::{line_rounds, raw, spsp_rounds, spt_rounds, sssp_rounds, standard_structure};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_spt(c: &mut Criterion) {
     let s = standard_structure(512);
     let mut g = c.benchmark_group("spt_by_l");
     for l in [1usize, 16, 256] {
+        // Validate once outside the timed loop; iterate the raw simulator.
+        spt_rounds(&s, l);
         g.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
-            b.iter(|| spt_rounds(&s, l))
+            b.iter(|| raw::spt_rounds(&s, l))
         });
     }
     g.finish();
@@ -17,8 +19,9 @@ fn bench_spt(c: &mut Criterion) {
     let mut g = c.benchmark_group("spsp_by_n");
     for nt in [128usize, 512, 2048] {
         let s = standard_structure(nt);
+        spsp_rounds(&s);
         g.bench_with_input(BenchmarkId::from_parameter(s.len()), &s, |b, s| {
-            b.iter(|| spsp_rounds(s))
+            b.iter(|| raw::spsp_rounds(s))
         });
     }
     g.finish();
@@ -26,8 +29,9 @@ fn bench_spt(c: &mut Criterion) {
     let mut g = c.benchmark_group("sssp_by_n");
     for nt in [128usize, 512, 2048] {
         let s = standard_structure(nt);
+        sssp_rounds(&s);
         g.bench_with_input(BenchmarkId::from_parameter(s.len()), &s, |b, s| {
-            b.iter(|| sssp_rounds(s))
+            b.iter(|| raw::sssp_rounds(s))
         });
     }
     g.finish();

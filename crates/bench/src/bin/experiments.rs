@@ -14,31 +14,73 @@ fn header(id: &str, claim: &str) {
 fn main() {
     let figures = std::env::args().any(|a| a == "--figures");
 
-    header("E1 (Lemma 4)", "PASC on chains: 2 rounds/iteration, O(log m)");
-    println!("{:>8} {:>8} {:>14} {:>8}", "m", "rounds", "2*ceil(log2 m)", "ratio");
+    header(
+        "E1 (Lemma 4)",
+        "PASC on chains: 2 rounds/iteration, O(log m)",
+    );
+    println!(
+        "{:>8} {:>8} {:>14} {:>8}",
+        "m", "rounds", "2*ceil(log2 m)", "ratio"
+    );
     for m in [16usize, 64, 256, 1024, 4096] {
         let r = pasc_chain_rounds(m);
         let pred = 2 * log2_ceil(m as u64);
-        println!("{:>8} {:>8} {:>14} {:>8.2}", m, r, pred, r as f64 / pred as f64);
+        println!(
+            "{:>8} {:>8} {:>14} {:>8.2}",
+            m,
+            r,
+            pred,
+            r as f64 / pred as f64
+        );
     }
 
     header("E2 (Corollary 5)", "PASC on trees: O(log h) rounds");
     println!("{:>8} {:>8} {:>8}", "height", "rounds", "log2 h");
     for levels in [3usize, 5, 7, 9, 11] {
         let r = pasc_tree_rounds(levels);
-        println!("{:>8} {:>8} {:>8}", levels - 1, r, log2_ceil((levels - 1) as u64));
+        println!(
+            "{:>8} {:>8} {:>8}",
+            levels - 1,
+            r,
+            log2_ceil((levels - 1) as u64)
+        );
     }
 
     header("E3 (Corollary 6)", "weighted prefix sums: O(log W) rounds");
-    println!("{:>8} {:>8} {:>8} {:>14}", "m", "W", "rounds", "2*(log2 W + 1)");
-    for &(m, w) in &[(1024usize, 1usize), (1024, 4), (1024, 32), (1024, 256), (1024, 1024)] {
+    println!(
+        "{:>8} {:>8} {:>8} {:>14}",
+        "m", "W", "rounds", "2*(log2 W + 1)"
+    );
+    for &(m, w) in &[
+        (1024usize, 1usize),
+        (1024, 4),
+        (1024, 32),
+        (1024, 256),
+        (1024, 1024),
+    ] {
         let r = pasc_prefix_rounds(m, w);
-        println!("{:>8} {:>8} {:>8} {:>14}", m, w, r, 2 * (log2_ceil(w as u64 + 1) + 1));
+        println!(
+            "{:>8} {:>8} {:>8} {:>14}",
+            m,
+            w,
+            r,
+            2 * (log2_ceil(w as u64 + 1) + 1)
+        );
     }
 
-    header("E4/E5 (Lemmas 14, 20)", "ETT root-and-prune: O(log |Q|) rounds");
+    header(
+        "E4/E5 (Lemmas 14, 20)",
+        "ETT root-and-prune: O(log |Q|) rounds",
+    );
     println!("{:>8} {:>8} {:>8}", "n", "|Q|", "rounds");
-    for &(n, q) in &[(512usize, 1usize), (512, 8), (512, 64), (512, 512), (4096, 8), (4096, 4096)] {
+    for &(n, q) in &[
+        (512usize, 1usize),
+        (512, 8),
+        (512, 64),
+        (512, 512),
+        (4096, 8),
+        (4096, 4096),
+    ] {
         println!("{:>8} {:>8} {:>8}", n, q, root_prune_rounds(n, q));
     }
 
@@ -60,8 +102,14 @@ fn main() {
         println!("{:>8} {:>8} {:>12.3}", n, q, augmentation_ratio(n, q));
     }
 
-    header("E9 (Lemmas 30/31)", "decomposition: O(log^2 |Q|) rounds, O(log |Q|) depth");
-    println!("{:>8} {:>8} {:>8} {:>8} {:>12}", "n", "|Q|", "rounds", "levels", "log2^2 |Q|");
+    header(
+        "E9 (Lemmas 30/31)",
+        "decomposition: O(log^2 |Q|) rounds, O(log |Q|) depth",
+    );
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>12}",
+        "n", "|Q|", "rounds", "levels", "log2^2 |Q|"
+    );
     for &(n, q) in &[(128usize, 8usize), (256, 32), (512, 128), (1024, 512)] {
         let (r, lv) = decomposition_stats(n, q);
         let lg = log2_ceil(q as u64).max(1);
@@ -73,7 +121,12 @@ fn main() {
     println!("structure: n = {}", s.len());
     println!("{:>8} {:>8} {:>12}", "l", "rounds", "log2 l + 1");
     for l in [1usize, 2, 8, 32, 128, 512, s.len()] {
-        println!("{:>8} {:>8} {:>12}", l, spt_rounds(&s, l), log2_ceil(l as u64) + 1);
+        println!(
+            "{:>8} {:>8} {:>12}",
+            l,
+            spt_rounds(&s, l),
+            log2_ceil(l as u64) + 1
+        );
     }
 
     header("E12 (Theorem 39)", "SPSP: O(1) rounds vs n");
@@ -87,7 +140,12 @@ fn main() {
     println!("{:>8} {:>8} {:>10}", "n", "rounds", "log2 n");
     for nt in [128usize, 512, 2048, 8192] {
         let s = standard_structure(nt);
-        println!("{:>8} {:>8} {:>10}", s.len(), sssp_rounds(&s), log2_ceil(s.len() as u64));
+        println!(
+            "{:>8} {:>8} {:>10}",
+            s.len(),
+            sssp_rounds(&s),
+            log2_ceil(s.len() as u64)
+        );
     }
 
     header("E14 (Lemma 40)", "line algorithm: O(log n) rounds");
@@ -97,7 +155,10 @@ fn main() {
     }
 
     header("E17 (Theorem 56)", "forest: O(log n log^2 k) rounds");
-    println!("{:>8} {:>8} {:>8} {:>16}", "n", "k", "rounds", "logn*log2k^2");
+    println!(
+        "{:>8} {:>8} {:>8} {:>16}",
+        "n", "k", "rounds", "logn*log2k^2"
+    );
     for nt in [256usize, 1024, 4096] {
         let s = standard_structure(nt);
         for k in [2usize, 4, 8, 16] {
@@ -108,7 +169,10 @@ fn main() {
     }
 
     header("E18 (baselines)", "polylog vs O(diam) and O(k log n)");
-    println!("{:>8} {:>8} {:>10} {:>10} {:>10} {:>10}", "n", "k", "forest", "seq", "wavefront", "diam");
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "n", "k", "forest", "seq", "wavefront", "diam"
+    );
     for nt in [256usize, 1024, 4096] {
         let s = standard_structure(nt);
         for k in [2usize, 8, 16] {
@@ -124,7 +188,10 @@ fn main() {
         }
     }
 
-    header("E20 (Theorem 2 substitute)", "leader election: O(log n) rounds w.h.p.");
+    header(
+        "E20 (Theorem 2 substitute)",
+        "leader election: O(log n) rounds w.h.p.",
+    );
     println!("{:>8} {:>8} {:>10}", "n", "rounds", "success%");
     for n in [16usize, 64, 256, 1024] {
         let mut ok = 0;
@@ -137,7 +204,12 @@ fn main() {
                 ok += 1;
             }
         }
-        println!("{:>8} {:>8} {:>9.0}%", n, rounds, 100.0 * ok as f64 / trials as f64);
+        println!(
+            "{:>8} {:>8} {:>9.0}%",
+            n,
+            rounds,
+            100.0 * ok as f64 / trials as f64
+        );
     }
 
     if figures {
@@ -148,7 +220,10 @@ fn main() {
         let dests = vec![NodeId(0), NodeId(8), NodeId(44)];
         let out = shortest_path_tree(&s, src, &dests);
         println!("\nFigure 5 analog — SPT parents (S = source, arrows = parent):");
-        println!("{}", render::render_forest(&s, &[src], &dests, &out.parents));
+        println!(
+            "{}",
+            render::render_forest(&s, &[src], &dests, &out.parents)
+        );
         // Figure 2-style: portals of a blob.
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);

@@ -116,7 +116,9 @@ impl Topology {
 
     /// The port of `v` that leads to `w`, if the two are adjacent.
     pub fn port_to(&self, v: usize, w: usize) -> Option<PortId> {
-        self.neighbors(v).find(|&(_, x, _)| x == w).map(|(p, _, _)| p)
+        self.neighbors(v)
+            .find(|&(_, x, _)| x == w)
+            .map(|(p, _, _)| p)
     }
 
     /// The grid direction of port `p` for structure-derived topologies.
@@ -161,7 +163,10 @@ mod tests {
         let v = s.node_at(Coord::new(1, 0)).unwrap();
         let e = s.node_at(Coord::new(2, 0)).unwrap();
         let p = Direction::E.index();
-        assert_eq!(t.peer(v.index(), p), Some((e.index(), Direction::W.index())));
+        assert_eq!(
+            t.peer(v.index(), p),
+            Some((e.index(), Direction::W.index()))
+        );
         // Mutuality across the whole structure.
         for v in 0..t.len() {
             for (p, w, q) in t.neighbors(v) {

@@ -328,7 +328,11 @@ impl World {
     ///
     /// Panics if rebating more rounds than have elapsed.
     pub fn rebate_rounds(&mut self, k: u64, reason: &str) {
-        assert!(k <= self.rounds, "cannot rebate {k} of {} rounds", self.rounds);
+        assert!(
+            k <= self.rounds,
+            "cannot rebate {k} of {} rounds",
+            self.rounds
+        );
         self.rounds -= k;
         self.charge_log.push((format!("rebate: {reason}"), k));
     }
@@ -407,7 +411,7 @@ mod tests {
     fn singleton_config_reaches_only_neighbors() {
         let mut w = path_world(4, 1);
         // Default singleton config. Node 1 beeps towards node 2 (its port 1).
-        let pset = 1 * 1 + 0; // port 1, link 0 under singleton numbering
+        let pset = 1; // port 1, link 0 under singleton numbering
         w.beep(1, pset as u16);
         w.tick();
         // Node 2 hears it on its port-0 pin (towards node 1)...
@@ -421,7 +425,7 @@ mod tests {
     fn links_are_independent() {
         let mut w = path_world(2, 2);
         // Beep only on link 1 of the single edge.
-        let pset_link1 = 0 * 2 + 1;
+        let pset_link1 = 1;
         w.beep(0, pset_link1 as u16);
         w.tick();
         assert!(w.received(1, 1)); // link 1 pin
@@ -507,8 +511,10 @@ mod safety_tests {
         w.reset_pins_keeping_links(1, &[2]);
         w.beep(0, 0);
         w.tick();
-        assert!(!w.received_any(2) || w.received(2, World::global_link_pset(2)) == false,
-            "stale bridge must not leak");
+        assert!(
+            !w.received_any(2) || !w.received(2, World::global_link_pset(2)),
+            "stale bridge must not leak"
+        );
         // The reserved global link still works.
         w.beep(0, World::global_link_pset(2));
         w.tick();

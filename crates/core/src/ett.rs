@@ -65,7 +65,10 @@ pub fn build_tours(topo: &Topology, trees: &[Tree], q: &[bool]) -> TourSet {
 
     for (t, tree) in trees.iter().enumerate() {
         for &v in &tree.members {
-            assert!(tree_of[v].is_none(), "trees must be node-disjoint (node {v})");
+            assert!(
+                tree_of[v].is_none(),
+                "trees must be node-disjoint (node {v})"
+            );
             tree_of[v] = Some(t);
             out_inst[v] = vec![usize::MAX; tree.adj[v].len()];
             in_inst[v] = vec![usize::MAX; tree.adj[v].len()];
@@ -85,7 +88,7 @@ pub fn build_tours(topo: &Topology, trees: &[Tree], q: &[bool]) -> TourSet {
         }
 
         let m = 2 * (tree.len() - 1); // number of directed tour edges
-        // Enumerate the tour edges.
+                                      // Enumerate the tour edges.
         let mut edges: Vec<(usize, usize)> = Vec::with_capacity(m);
         let mut cur = (tree.root, tree.adj[tree.root][0]);
         for _ in 0..m {
@@ -119,13 +122,17 @@ pub fn build_tours(topo: &Topology, trees: &[Tree], q: &[bool]) -> TourSet {
         for i in 0..=m {
             let pred = (i > 0).then(|| {
                 let (u, v) = edges[i - 1];
-                let port = topo.port_to(v, u).expect("tree edge must exist in topology");
+                let port = topo
+                    .port_to(v, u)
+                    .expect("tree edge must exist in topology");
                 let (p, s) = traversal_links(u, v);
                 EdgeRef::new(port, p, s)
             });
             let succs = if i < m {
                 let (u, v) = edges[i];
-                let port = topo.port_to(u, v).expect("tree edge must exist in topology");
+                let port = topo
+                    .port_to(u, v)
+                    .expect("tree edge must exist in topology");
                 let (p, s) = traversal_links(u, v);
                 vec![EdgeRef::new(port, p, s)]
             } else {
@@ -184,7 +191,7 @@ mod tests {
     fn tour_shape() {
         let (topo, tree) = star_plus_path();
         let q = vec![true; 5];
-        let ts = build_tours(&topo, &[tree.clone()], &q);
+        let ts = build_tours(&topo, std::slice::from_ref(&tree), &q);
         // 2(n-1)+1 instances.
         assert_eq!(ts.specs.len(), 2 * 4 + 1);
         // Exactly one start (no pred) and one end (no succ).
@@ -210,7 +217,7 @@ mod tests {
         // |Q ∩ subtree(u)|; verify by running the actual circuits.
         let (topo, tree) = star_plus_path();
         let q = vec![false, true, false, true, true]; // Q = {1, 3, 4}
-        let ts = build_tours(&topo, &[tree.clone()], &q);
+        let ts = build_tours(&topo, std::slice::from_ref(&tree), &q);
         let mut world = World::new(topo, LINKS);
         let mut run = PascRun::new(&mut world, ts.specs.clone(), SYNC);
         let values = run.run_to_completion(&mut world);
@@ -222,7 +229,7 @@ mod tests {
             // centralized: count Q in subtree of v
             let mut cnt = 0;
             let mut stack = vec![v];
-            let mut seen = vec![false; 5];
+            let mut seen = [false; 5];
             seen[v] = true;
             while let Some(x) = stack.pop() {
                 if q[x] {

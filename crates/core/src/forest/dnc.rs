@@ -47,6 +47,9 @@ pub struct ForestOutcome {
     pub parents: Vec<Option<NodeId>>,
     /// Total simulator rounds.
     pub rounds: u64,
+    /// Total distinct beeps sent (diagnostic instrumentation of
+    /// [`World::beeps_sent`]; the model itself never counts beeps).
+    pub beeps: u64,
     /// Per-phase breakdown.
     pub report: RoundReport,
 }
@@ -75,6 +78,7 @@ pub fn shortest_path_forest(
         return ForestOutcome {
             parents: out.parents,
             rounds: out.rounds,
+            beeps: out.beeps,
             report: out.report,
         };
     }
@@ -133,6 +137,7 @@ pub fn shortest_path_forest(
     ForestOutcome {
         parents,
         rounds: world.rounds(),
+        beeps: world.beeps_sent(),
         report,
     }
 }
@@ -224,7 +229,10 @@ fn sources_forest(
     // Portal tree rooted at R' (depths for LCA identification, Lemma 53).
     let pdepth = portal_depths(&ap, r_prime);
     world.charge_rounds(1, "identify P_DSC via region circuit (Lemma 53)");
-    report.record("elect and root at R' (Lemmas 35, 53)", world.rounds() - start);
+    report.record(
+        "elect and root at R' (Lemmas 35, 53)",
+        world.rounds() - start,
+    );
 
     // §5.4.2 base case: per-region forests, in parallel (rebated).
     let start = world.rounds();
@@ -237,7 +245,11 @@ fn sources_forest(
         ));
         spans.push(world.rounds() - s0);
     }
-    rebate_to_max(world, &spans, "base-case regions run in parallel (Lemma 54)");
+    rebate_to_max(
+        world,
+        &spans,
+        "base-case regions run in parallel (Lemma 54)",
+    );
     report.record("base case per region (Lemma 54)", world.rounds() - start);
 
     // §5.4.4: schedule merges by a Q'-centroid decomposition tree of the
@@ -498,7 +510,11 @@ fn build_regions(
                     let members = &ap.portals[p as usize];
                     let s = &splits[&p][side];
                     let lo = if j == 0 { 0 } else { s[j - 1] };
-                    let hi = if j == s.len() { members.len() - 1 } else { s[j] };
+                    let hi = if j == s.len() {
+                        members.len() - 1
+                    } else {
+                        s[j]
+                    };
                     for &v in &members[lo..=hi] {
                         mask[v] = true;
                     }
@@ -562,7 +578,7 @@ fn merge_around_portal(
     ap: &AxisPortals,
     p: u32,
     splits: Option<&[Vec<usize>; 2]>,
-    live: &mut Vec<Option<(Region, Forest)>>,
+    live: &mut [Option<(Region, Forest)>],
 ) {
     let n = structure.len();
     let portal_members = &ap.portals[p as usize];
@@ -692,26 +708,25 @@ fn merge_pair(
     for v in 0..n {
         union_mask[v] |= re.mask[v];
     }
-    let mut extend =
-        |f: &Forest, own: &Region, other: &Region, world: &mut World| -> Option<Forest> {
-            if f.sources.is_empty() {
-                return None;
+    let extend = |f: &Forest, own: &Region, other: &Region, world: &mut World| -> Option<Forest> {
+        if f.sources.is_empty() {
+            return None;
+        }
+        let mut report = RoundReport::new();
+        let sub = spt_in_world(world, structure, &other.mask, m, &other.mask, &mut report);
+        let mut parents = f.parents.clone();
+        for v in 0..n {
+            if other.mask[v] && v != m && !own.mask[v] {
+                parents[v] = sub[v];
+                debug_assert!(parents[v].is_some(), "SPT must cover the paired region");
             }
-            let mut report = RoundReport::new();
-            let sub = spt_in_world(world, structure, &other.mask, m, &other.mask, &mut report);
-            let mut parents = f.parents.clone();
-            for v in 0..n {
-                if other.mask[v] && v != m && !own.mask[v] {
-                    parents[v] = sub[v];
-                    debug_assert!(parents[v].is_some(), "SPT must cover the paired region");
-                }
-            }
-            let mut out = Forest::from_parents(parents, f.sources.clone());
-            for v in 0..n {
-                out.member[v] = own.mask[v] || other.mask[v];
-            }
-            Some(out)
-        };
+        }
+        let mut out = Forest::from_parents(parents, f.sources.clone());
+        for v in 0..n {
+            out.member[v] = own.mask[v] || other.mask[v];
+        }
+        Some(out)
+    };
     let fw_ext = extend(&fw, &rw, &re, world);
     let fe_ext = extend(&fe, &re, &rw, world);
     let forest = match (fw_ext, fe_ext) {
@@ -748,13 +763,18 @@ fn join_sides(
     fsouth: Forest,
 ) -> Forest {
     let n = structure.len();
-    let mut complete = |f: &Forest, world: &mut World| -> Option<Forest> {
+    let complete = |f: &Forest, world: &mut World| -> Option<Forest> {
         if f.sources.is_empty() {
             return None;
         }
         debug_assert!(chain.iter().all(|&v| f.member[v]));
         Some(propagate_forest(
-            world, structure, union_mask, chain, Axis::X, f,
+            world,
+            structure,
+            union_mask,
+            chain,
+            Axis::X,
+            f,
         ))
     };
     let a = complete(&fnorth, world);

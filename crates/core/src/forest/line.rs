@@ -46,7 +46,7 @@ pub fn line_forest(world: &mut World, chain: &[usize], is_source: &[bool]) -> Fo
         // Eastward: from s up to (not including) the next source.
         let end = src_pos.get(si + 1).copied().unwrap_or(chain.len());
         let nodes: Vec<usize> = (s..end).map(|i| chain[i]).collect();
-        if nodes.len() >= 1 {
+        if !nodes.is_empty() {
             let base = specs.len();
             for (o, i) in (s..end).enumerate() {
                 east_run[i] = base + o;
@@ -56,7 +56,7 @@ pub fn line_forest(world: &mut World, chain: &[usize], is_source: &[bool]) -> Fo
         // Westward: from s down to (not including) the previous source.
         let begin = if si == 0 { 0 } else { src_pos[si - 1] + 1 };
         let nodes: Vec<usize> = (begin..=s).rev().map(|i| chain[i]).collect();
-        if nodes.len() >= 1 {
+        if !nodes.is_empty() {
             let base = specs.len();
             for (o, i) in (begin..=s).rev().enumerate() {
                 west_run[i] = base + o;

@@ -25,8 +25,7 @@ pub fn merge_forests(world: &mut World, f1: &Forest, f2: &Forest) -> Forest {
     }
     let topo = world.topology().clone();
     let (mut specs, idx1) = tree_specs(&topo, &f1.parents, &f1.member, FWD_PRIMARY, FWD_SECONDARY);
-    let (specs2, idx2_raw) =
-        tree_specs(&topo, &f2.parents, &f2.member, BWD_PRIMARY, BWD_SECONDARY);
+    let (specs2, idx2_raw) = tree_specs(&topo, &f2.parents, &f2.member, BWD_PRIMARY, BWD_SECONDARY);
     let offset = specs.len();
     specs.extend(specs2);
     let idx2: Vec<usize> = idx2_raw
@@ -102,12 +101,8 @@ mod tests {
             .iter()
             .map(|p| p.map(|v| NodeId(v as u32)))
             .collect();
-        let violations = validate_forest(
-            s,
-            &[NodeId(s1 as u32), NodeId(s2 as u32)],
-            &all,
-            &parents,
-        );
+        let violations =
+            validate_forest(s, &[NodeId(s1 as u32), NodeId(s2 as u32)], &all, &parents);
         assert!(violations.is_empty(), "{violations:?}");
         rounds
     }

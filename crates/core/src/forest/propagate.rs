@@ -16,8 +16,8 @@
 //! region-scoped shortest path tree from `s_Z` finishes the component.
 
 use amoebot_circuits::World;
-use amoebot_pasc::{tree_specs, PascRun, StreamingCompare};
 use amoebot_grid::{AmoebotStructure, Axis, Direction, NodeId, ALL_AXES, ALL_DIRECTIONS};
+use amoebot_pasc::{tree_specs, PascRun, StreamingCompare};
 
 use crate::forest::Forest;
 use crate::links::{BROADCAST, BWD_PRIMARY, FWD_PRIMARY, FWD_SECONDARY, SYNC};
@@ -148,8 +148,10 @@ pub fn propagate_forest(
         world.tick();
         for v in 0..n {
             if b_mask[v] && visible[v][0] && visible[v][1] {
-                let b0 = u8::from(portal_pset[v][0] != u16::MAX && world.received(v, portal_pset[v][0]));
-                let b1 = u8::from(portal_pset[v][1] != u16::MAX && world.received(v, portal_pset[v][1]));
+                let b0 =
+                    u8::from(portal_pset[v][0] != u16::MAX && world.received(v, portal_pset[v][0]));
+                let b1 =
+                    u8::from(portal_pset[v][1] != u16::MAX && world.received(v, portal_pset[v][1]));
                 cmps[v].feed(b0, b1);
             }
         }

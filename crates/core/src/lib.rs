@@ -32,6 +32,10 @@
 //! ).is_empty());
 //! ```
 
+// The algorithms below mirror the paper's per-amoebot index arithmetic;
+// range loops over node ids are the clearest rendering of that style.
+#![allow(clippy::needless_range_loop)]
+
 pub mod ett;
 pub mod forest;
 pub mod links;

@@ -366,9 +366,7 @@ pub fn portal_root_and_prune(
             continue;
         }
         for (s, &(cb, cf)) in sides.iter().enumerate() {
-            let has = |d: Direction| {
-                matches!(structure.neighbor(NodeId(v as u32), d), Some(w) if mask[w.index()])
-            };
+            let has = |d: Direction| matches!(structure.neighbor(NodeId(v as u32), d), Some(w) if mask[w.index()]);
             if !has(cb) && !has(cf) {
                 continue; // not adjacent to a portal on this side
             }

@@ -50,9 +50,7 @@ pub fn centroid_decomposition(world: &mut World, tree: &Tree, q_prime: &[bool]) 
         tree.members.iter().any(|&v| q_prime[v]),
         "Q' must be non-empty"
     );
-    let mut remaining: Vec<bool> = (0..n)
-        .map(|v| tree.contains(v) && q_prime[v])
-        .collect();
+    let mut remaining: Vec<bool> = (0..n).map(|v| tree.contains(v) && q_prime[v]).collect();
     let mut level: Vec<Option<u32>> = vec![None; n];
     let mut dt_parent: Vec<Option<usize>> = vec![None; n];
 

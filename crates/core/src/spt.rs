@@ -30,6 +30,9 @@ pub struct SptOutcome {
     pub parents: Vec<Option<NodeId>>,
     /// Total simulator rounds consumed.
     pub rounds: u64,
+    /// Total distinct beeps sent (diagnostic instrumentation of
+    /// [`World::beeps_sent`]; the model itself never counts beeps).
+    pub beeps: u64,
     /// Per-phase round breakdown.
     pub report: RoundReport,
 }
@@ -62,8 +65,12 @@ pub fn shortest_path_tree(
         &mut report,
     );
     SptOutcome {
-        parents: parents.into_iter().map(|p| p.map(|v| NodeId(v as u32))).collect(),
+        parents: parents
+            .into_iter()
+            .map(|p| p.map(|v| NodeId(v as u32)))
+            .collect(),
         rounds: world.rounds(),
+        beeps: world.beeps_sent(),
         report,
     }
 }
@@ -122,7 +129,10 @@ pub fn spt_in_world(
                 feasible[v][d.index()] &= ok;
             }
         }
-        report.record(format!("portal root-and-prune ({axis}-axis)"), world.rounds() - start);
+        report.record(
+            format!("portal root-and-prune ({axis}-axis)"),
+            world.rounds() - start,
+        );
     }
 
     // Parent choice (Equation 1 / Lemma 38): local, no communication.
@@ -233,7 +243,11 @@ mod tests {
 
     #[test]
     fn concave_structures() {
-        for coords in [shapes::comb(9, 4), shapes::l_shape(8, 2), shapes::staircase(6, 3)] {
+        for coords in [
+            shapes::comb(9, 4),
+            shapes::l_shape(8, 2),
+            shapes::staircase(6, 3),
+        ] {
             let s = AmoebotStructure::new(coords).unwrap();
             let all: Vec<NodeId> = s.nodes().collect();
             check_spt(&s, NodeId((s.len() / 2) as u32), &all);

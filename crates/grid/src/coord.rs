@@ -358,10 +358,7 @@ mod tests {
                 Some(d)
             );
         }
-        assert_eq!(
-            Direction::between(Coord::origin(), Coord::new(2, 0)),
-            None
-        );
+        assert_eq!(Direction::between(Coord::origin(), Coord::new(2, 0)), None);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 pub mod bfs;
 pub mod coord;
+pub mod random;
 pub mod render;
 pub mod shapes;
 pub mod structure;
@@ -35,5 +36,6 @@ pub mod validate;
 
 pub use bfs::{bfs_distances, bfs_parents, multi_source_bfs};
 pub use coord::{Axis, Coord, Direction, ALL_AXES, ALL_DIRECTIONS};
+pub use random::{random_placement, random_shape_mix, random_snake, random_structure, Placement};
 pub use structure::{AmoebotStructure, NodeId, StructureError};
 pub use validate::{validate_forest, ForestViolation};

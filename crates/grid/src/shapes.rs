@@ -178,62 +178,6 @@ pub fn random_subset<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
     idx
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::AmoebotStructure;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    #[test]
-    fn shape_sizes() {
-        assert_eq!(line(5).len(), 5);
-        assert_eq!(parallelogram(4, 3).len(), 12);
-        assert_eq!(triangle(4).len(), 10);
-        assert_eq!(hexagon(0).len(), 1);
-        assert_eq!(hexagon(1).len(), 7);
-        assert_eq!(hexagon(2).len(), 19);
-        assert_eq!(staircase(3, 2).len(), 7);
-    }
-
-    #[test]
-    fn all_shapes_connected_and_hole_free() {
-        let shapes: Vec<Vec<Coord>> = vec![
-            line(12),
-            parallelogram(6, 4),
-            triangle(6),
-            hexagon(3),
-            comb(9, 4),
-            staircase(5, 3),
-            l_shape(8, 2),
-        ];
-        for coords in shapes {
-            let s = AmoebotStructure::new(coords).unwrap();
-            assert!(s.is_hole_free());
-        }
-    }
-
-    #[test]
-    fn random_blobs_connected_and_hole_free() {
-        let mut rng = StdRng::seed_from_u64(42);
-        for n in [1, 2, 5, 17, 60, 200] {
-            let coords = random_blob(n, &mut rng);
-            assert_eq!(coords.len(), n);
-            let s = AmoebotStructure::new(coords).unwrap();
-            assert!(s.is_hole_free(), "blob of size {n} has a hole");
-        }
-    }
-
-    #[test]
-    fn random_subset_properties() {
-        let mut rng = StdRng::seed_from_u64(7);
-        let sub = random_subset(100, 10, &mut rng);
-        assert_eq!(sub.len(), 10);
-        assert!(sub.windows(2).all(|w| w[0] < w[1]));
-        assert!(sub.iter().all(|&i| i < 100));
-    }
-}
-
 /// A zigzag corridor: alternating east and north-east runs, `segments`
 /// segments of length `len`. Thin, long diameter, many portals on every
 /// axis — the adversarial case for O(diam) baselines.
@@ -292,4 +236,60 @@ pub fn bitten_hexagon(radius: usize) -> Vec<Coord> {
         q += 2;
     }
     cells.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AmoebotStructure;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_sizes() {
+        assert_eq!(line(5).len(), 5);
+        assert_eq!(parallelogram(4, 3).len(), 12);
+        assert_eq!(triangle(4).len(), 10);
+        assert_eq!(hexagon(0).len(), 1);
+        assert_eq!(hexagon(1).len(), 7);
+        assert_eq!(hexagon(2).len(), 19);
+        assert_eq!(staircase(3, 2).len(), 7);
+    }
+
+    #[test]
+    fn all_shapes_connected_and_hole_free() {
+        let shapes: Vec<Vec<Coord>> = vec![
+            line(12),
+            parallelogram(6, 4),
+            triangle(6),
+            hexagon(3),
+            comb(9, 4),
+            staircase(5, 3),
+            l_shape(8, 2),
+        ];
+        for coords in shapes {
+            let s = AmoebotStructure::new(coords).unwrap();
+            assert!(s.is_hole_free());
+        }
+    }
+
+    #[test]
+    fn random_blobs_connected_and_hole_free() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [1, 2, 5, 17, 60, 200] {
+            let coords = random_blob(n, &mut rng);
+            assert_eq!(coords.len(), n);
+            let s = AmoebotStructure::new(coords).unwrap();
+            assert!(s.is_hole_free(), "blob of size {n} has a hole");
+        }
+    }
+
+    #[test]
+    fn random_subset_properties() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sub = random_subset(100, 10, &mut rng);
+        assert_eq!(sub.len(), 10);
+        assert!(sub.windows(2).all(|w| w[0] < w[1]));
+        assert!(sub.iter().all(|&i| i < 100));
+    }
 }

@@ -76,7 +76,9 @@ impl AmoebotStructure {
     /// Returns [`StructureError::Empty`] for an empty input,
     /// [`StructureError::Duplicate`] if a coordinate repeats, and
     /// [`StructureError::Disconnected`] if `G_X` is not connected.
-    pub fn new(coords: impl IntoIterator<Item = Coord>) -> Result<AmoebotStructure, StructureError> {
+    pub fn new(
+        coords: impl IntoIterator<Item = Coord>,
+    ) -> Result<AmoebotStructure, StructureError> {
         let coords: Vec<Coord> = coords.into_iter().collect();
         if coords.is_empty() {
             return Err(StructureError::Empty);
@@ -535,7 +537,9 @@ mod extra_shape_tests {
                 .flat_map(|c| c.neighbors())
                 .filter(|c| *c != center && c.grid_distance(center) == 2),
         );
-        let mut ring: Vec<Coord> = ring.into_iter().collect::<std::collections::HashSet<_>>()
+        let mut ring: Vec<Coord> = ring
+            .into_iter()
+            .collect::<std::collections::HashSet<_>>()
             .into_iter()
             .collect();
         ring.sort();

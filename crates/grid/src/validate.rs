@@ -92,10 +92,7 @@ pub fn validate_forest(
     // Adjacency of parent edges.
     for v in structure.nodes() {
         if let Some(p) = parents[v.index()] {
-            if !structure
-                .neighbors_of(v)
-                .any(|(_, w)| w == p)
-            {
+            if !structure.neighbors_of(v).any(|(_, w)| w == p) {
                 violations.push(ForestViolation::ParentNotAdjacent(v));
             }
         }

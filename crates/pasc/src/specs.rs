@@ -96,13 +96,17 @@ pub fn tree_specs(
             continue;
         }
         let pred = parent[v].map(|p| {
-            let port = topo.port_to(v, p).expect("tree edges must exist in topology");
+            let port = topo
+                .port_to(v, p)
+                .expect("tree edges must exist in topology");
             EdgeRef::new(port, primary_link, secondary_link)
         });
         let succs = children[v]
             .iter()
             .map(|&ch| {
-                let port = topo.port_to(v, ch).expect("tree edges must exist in topology");
+                let port = topo
+                    .port_to(v, ch)
+                    .expect("tree edges must exist in topology");
                 EdgeRef::new(port, primary_link, secondary_link)
             })
             .collect();

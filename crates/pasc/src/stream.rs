@@ -87,7 +87,11 @@ impl StreamingSub {
     pub fn feed(&mut self, a: u8, b: u8) -> u8 {
         debug_assert!(a <= 1 && b <= 1);
         let lhs = a as i8 - b as i8 - self.borrow as i8;
-        let (bit, borrow) = if lhs < 0 { (lhs + 2, true) } else { (lhs, false) };
+        let (bit, borrow) = if lhs < 0 {
+            (lhs + 2, true)
+        } else {
+            (lhs, false)
+        };
         self.borrow = borrow;
         if bit != 0 {
             self.any_nonzero = true;

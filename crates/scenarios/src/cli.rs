@@ -1,0 +1,178 @@
+//! `scenario-runner` — batch-run randomized scenarios and emit a JSON
+//! report.
+//!
+//! ```text
+//! scenario-runner --seed 42 --count 20 [--threads N] [--family NAME]...
+//!                 [--out PATH] [--no-timing] [--list] [--quiet]
+//! ```
+//!
+//! Every scenario is derived deterministically from `--seed`, executed in
+//! parallel across `--threads` workers (each scenario owns its simulator
+//! world), cross-validated against the centralized BFS baselines, and
+//! reported with round counts, beep counts and pass/fail. With
+//! `--no-timing` the report is canonical: byte-identical across runs and
+//! thread counts for the same seed. Exits non-zero if any scenario fails
+//! validation.
+
+use std::process::ExitCode;
+
+use crate::batch::{run_batch, Threads};
+use crate::registry::default_registry;
+use crate::report::BatchReport;
+
+struct Args {
+    seed: u64,
+    count: usize,
+    threads: Threads,
+    families: Vec<String>,
+    out: Option<String>,
+    timing: bool,
+    list: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenario-runner [--seed N] [--count N] [--threads N] \
+         [--family NAME]... [--out PATH] [--no-timing] [--list] [--quiet]\n\
+         \n\
+         --seed N       master seed for the randomized suite (default 42)\n\
+         --count N      number of scenarios to run (default 20)\n\
+         --threads N    worker threads (default: one per core)\n\
+         --family NAME  restrict to a registry family (repeatable; see --list)\n\
+         --out PATH     write the JSON report to PATH (default: stdout)\n\
+         --no-timing    canonical report: omit wall-clock fields\n\
+         --list         list registered scenario families and exit\n\
+         --quiet        suppress the per-scenario progress lines"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 42,
+        count: 20,
+        threads: Threads::Auto,
+        families: Vec::new(),
+        out: None,
+        timing: true,
+        list: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--seed" => {
+                args.seed = value("--seed").parse().unwrap_or_else(|_| usage());
+            }
+            "--count" => {
+                args.count = value("--count").parse().unwrap_or_else(|_| usage());
+            }
+            "--threads" => {
+                let n: usize = value("--threads").parse().unwrap_or_else(|_| usage());
+                args.threads = Threads::Count(n);
+            }
+            "--family" => args.families.push(value("--family")),
+            "--out" => args.out = Some(value("--out")),
+            "--no-timing" => args.timing = false,
+            "--list" => args.list = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+/// Entry point of the `scenario-runner` binary (parses `std::env::args`).
+pub fn main() -> ExitCode {
+    let args = parse_args();
+    let registry = default_registry();
+
+    if args.list {
+        println!("{:<24} {:<10} description", "family", "randomized");
+        for family in registry.families() {
+            println!(
+                "{:<24} {:<10} {}",
+                family.name,
+                if family.randomized { "yes" } else { "no" },
+                family.description
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    for name in &args.families {
+        if registry.get(name).is_none() {
+            eprintln!("unknown scenario family {name:?} (see --list)");
+            return ExitCode::from(2);
+        }
+    }
+
+    let scenarios = registry.random_suite(args.seed, args.count, &args.families);
+    let threads = args.threads.resolve();
+    if !args.quiet {
+        eprintln!(
+            "running {} scenarios (seed {}) on {} threads...",
+            scenarios.len(),
+            args.seed,
+            threads
+        );
+    }
+
+    let results = run_batch(&scenarios, Threads::Count(threads));
+    if !args.quiet {
+        for r in &results {
+            let status = if r.pass { "ok  " } else { "FAIL" };
+            eprintln!(
+                "  {status} {:<52} n={:<5} k={:<3} rounds={:<6} beeps={}",
+                r.name, r.n, r.k, r.rounds, r.beeps
+            );
+        }
+    }
+
+    let report = BatchReport {
+        master_seed: args.seed,
+        threads,
+        results,
+    };
+    let rendered = report.to_json(args.timing).render_pretty();
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            if !args.quiet {
+                eprintln!("report written to {path}");
+            }
+        }
+        None => print!("{rendered}"),
+    }
+
+    let failed = report.failed();
+    if failed > 0 {
+        eprintln!(
+            "{failed} of {} scenarios FAILED cross-validation",
+            report.results.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    if !args.quiet {
+        eprintln!(
+            "all {} scenarios passed cross-validation ({} rounds simulated)",
+            report.results.len(),
+            report.results.iter().map(|r| r.rounds).sum::<u64>()
+        );
+    }
+    ExitCode::SUCCESS
+}

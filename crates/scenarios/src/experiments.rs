@@ -1,0 +1,191 @@
+//! The paper's experiment index E1–E20 as scenario constructors.
+//!
+//! Before the scenario engine existed these were bespoke functions in
+//! `amoebot-bench`; they are now plain [`Scenario`] values so the same
+//! definitions serve the benchmark harness (via thin wrappers), the
+//! registry's batch runs, and the JSON reports. E10/E15/E16/E19 of the
+//! design document are figure/recording entries with no round count of
+//! their own, hence no scenario here.
+
+use crate::spec::{MicroWorkload, PlacementSpec, Scenario, StructureAlgorithm, StructureSpec};
+
+/// The standard 2D structure of the SPT/forest experiments: a `w × w/2`
+/// parallelogram with roughly `n_target` amoebots.
+pub fn standard_structure_spec(n_target: usize) -> StructureSpec {
+    let w = ((2 * n_target) as f64).sqrt().ceil() as usize;
+    StructureSpec::Parallelogram {
+        a: w,
+        b: (w / 2).max(1),
+    }
+}
+
+/// E1 (Lemma 4): PASC distances along a chain of `m` amoebots.
+pub fn e1_pasc_chain(m: usize) -> Scenario {
+    Scenario::micro("e1-pasc-chain", 0, MicroWorkload::PascChain { m })
+}
+
+/// E2 (Corollary 5): PASC depths on a balanced binary tree.
+pub fn e2_pasc_tree(levels: usize) -> Scenario {
+    Scenario::micro("e2-pasc-tree", 0, MicroWorkload::PascTree { levels })
+}
+
+/// E3 (Corollary 6): weighted prefix sums on a chain.
+pub fn e3_pasc_prefix(m: usize, weights: usize) -> Scenario {
+    Scenario::micro(
+        "e3-pasc-prefix",
+        0,
+        MicroWorkload::PascPrefix { m, weights },
+    )
+}
+
+/// E4/E5 (Lemmas 14, 20): root-and-prune on a random tree.
+pub fn e4_root_prune(n: usize, q: usize) -> Scenario {
+    Scenario::micro("e4-root-prune", 7, MicroWorkload::RootPrune { n, q })
+}
+
+/// E6 (Lemma 21): the election primitive.
+pub fn e6_election(n: usize, q: usize) -> Scenario {
+    Scenario::micro("e6-election", 11, MicroWorkload::Election { n, q })
+}
+
+/// E7 (Lemma 23): the Q-centroid primitive.
+pub fn e7_centroids(n: usize, q: usize) -> Scenario {
+    Scenario::micro("e7-centroids", 13, MicroWorkload::Centroids { n, q })
+}
+
+/// E8 (Corollary 29): augmentation-set size.
+pub fn e8_augmentation(n: usize, q: usize) -> Scenario {
+    Scenario::micro("e8-augmentation", 17, MicroWorkload::Augmentation { n, q })
+}
+
+/// E9 (Lemmas 30, 31): centroid decomposition.
+pub fn e9_decomposition(n: usize, q: usize) -> Scenario {
+    Scenario::micro(
+        "e9-decomposition",
+        19,
+        MicroWorkload::Decomposition { n, q },
+    )
+}
+
+/// E11 (Theorem 39): SPT with `l` spread destinations on the standard
+/// structure.
+pub fn e11_spt(n_target: usize, l: usize) -> Scenario {
+    Scenario::structure(
+        "e11-spt",
+        0,
+        standard_structure_spec(n_target),
+        PlacementSpec::First,
+        PlacementSpec::Spread { k: l },
+        StructureAlgorithm::Spt,
+    )
+}
+
+/// E12 (Theorem 39): SPSP — source and a single far destination
+/// (opposite corners, matching `spsp_rounds` in the benchmark harness).
+pub fn e12_spsp(n_target: usize) -> Scenario {
+    Scenario::structure(
+        "e12-spsp",
+        0,
+        standard_structure_spec(n_target),
+        PlacementSpec::First,
+        PlacementSpec::Last,
+        StructureAlgorithm::Spt,
+    )
+}
+
+/// E13 (Theorem 39): SSSP — all nodes are destinations.
+pub fn e13_sssp(n_target: usize) -> Scenario {
+    Scenario::structure(
+        "e13-sssp",
+        0,
+        standard_structure_spec(n_target),
+        PlacementSpec::First,
+        PlacementSpec::All,
+        StructureAlgorithm::Spt,
+    )
+}
+
+/// E14 (Lemma 40): the line algorithm with `k` spread sources.
+pub fn e14_line(n: usize, k: usize) -> Scenario {
+    Scenario::structure(
+        "e14-line",
+        0,
+        StructureSpec::Line { n },
+        PlacementSpec::Spread { k },
+        PlacementSpec::All,
+        StructureAlgorithm::LineForest,
+    )
+}
+
+/// E17 (Theorem 56): the divide & conquer forest with `k` spread sources.
+pub fn e17_forest(n_target: usize, k: usize) -> Scenario {
+    Scenario::structure(
+        "e17-forest",
+        0,
+        standard_structure_spec(n_target),
+        PlacementSpec::Spread { k: k.max(2) },
+        PlacementSpec::All,
+        StructureAlgorithm::Forest,
+    )
+}
+
+/// E18a: the BFS wavefront baseline.
+pub fn e18a_wavefront(n_target: usize, k: usize) -> Scenario {
+    Scenario::structure(
+        "e18a-wavefront",
+        0,
+        standard_structure_spec(n_target),
+        PlacementSpec::Spread { k },
+        PlacementSpec::All,
+        StructureAlgorithm::Wavefront,
+    )
+}
+
+/// E18b: the sequential merging baseline.
+pub fn e18b_sequential(n_target: usize, k: usize) -> Scenario {
+    Scenario::structure(
+        "e18b-sequential",
+        0,
+        standard_structure_spec(n_target),
+        PlacementSpec::Spread { k },
+        PlacementSpec::All,
+        StructureAlgorithm::SequentialForest,
+    )
+}
+
+/// E20 (Theorem 2 substitute): randomized leader election on a path.
+pub fn e20_leader(n: usize, seed: u64) -> Scenario {
+    Scenario::micro("e20-leader", seed, MicroWorkload::Leader { n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::run_scenario;
+
+    #[test]
+    fn standard_structure_spec_hits_the_target() {
+        let spec = standard_structure_spec(2048);
+        if let StructureSpec::Parallelogram { a, b } = spec {
+            let n = a * b;
+            assert!((1800..=2600).contains(&n), "n = {n}");
+        } else {
+            panic!("expected a parallelogram");
+        }
+    }
+
+    #[test]
+    fn experiment_scenarios_pass_their_checks() {
+        for sc in [
+            e1_pasc_chain(64),
+            e3_pasc_prefix(128, 16),
+            e11_spt(128, 8),
+            e13_sssp(128),
+            e17_forest(128, 4),
+            e18a_wavefront(128, 4),
+        ] {
+            let r = run_scenario(&sc);
+            assert!(r.pass, "{} failed: {:?}", sc.name, r.checks);
+        }
+    }
+}

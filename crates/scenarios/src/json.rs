@@ -1,0 +1,228 @@
+//! Minimal JSON document model with deterministic rendering.
+//!
+//! The build environment has no serde, and the scenario engine needs a
+//! stronger property than serde gives by default anyway: **byte-identical
+//! output for identical inputs**. This module therefore models JSON with
+//! order-preserving objects and integer-only numbers, and renders with a
+//! fixed layout — no floats, no hash-map iteration order, no locale.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Numbers are restricted to `u64`/`i64`: everything the
+/// report format needs is a count, and integers render identically on
+/// every platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object with **insertion-ordered** keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Appends a field to an object (panics on non-objects).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Object(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("field() requires an object"),
+        }
+        self
+    }
+
+    /// Renders with 2-space indentation and a trailing newline — the
+    /// canonical report format (stable across runs and platforms).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out.push('\n');
+        out
+    }
+
+    /// Renders compactly (no whitespace).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        push_indent(out, indent + 1);
+                    }
+                    item.write(out, indent + 1, pretty);
+                }
+                if pretty {
+                    out.push('\n');
+                    push_indent(out, indent);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        push_indent(out, indent + 1);
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    value.write(out, indent + 1, pretty);
+                }
+                if pretty {
+                    out.push('\n');
+                    push_indent(out, indent);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::U64(v as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::I64(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Array(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_deterministically() {
+        let doc = Json::object()
+            .field("name", "scenario \"x\"\n")
+            .field("rounds", 42u64)
+            .field("delta", -3i64)
+            .field("pass", true)
+            .field("tags", Json::Array(vec![Json::from("a"), Json::from("b")]))
+            .field("empty", Json::object());
+        let a = doc.render_pretty();
+        let b = doc.render_pretty();
+        assert_eq!(a, b);
+        assert!(a.contains("\"scenario \\\"x\\\"\\n\""));
+        assert!(a.ends_with('\n'));
+        let compact = doc.render_compact();
+        assert!(compact.contains("\"rounds\":42"));
+        assert!(compact.contains("\"delta\":-3"));
+        assert!(compact.contains("\"empty\":{}"));
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let s = Json::Str("\u{1}".to_string()).render_compact();
+        assert_eq!(s, "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,137 @@
+//! Machine-readable batch reports.
+//!
+//! [`BatchReport`] aggregates a batch's [`ScenarioResult`]s and renders
+//! the canonical JSON document. Two renderings exist:
+//!
+//! * the **canonical** report (`include_timing = false`) is byte-identical
+//!   for identical `(master_seed, scenarios)` inputs — wall-clock fields
+//!   are omitted entirely, everything else is integers and strings with
+//!   fixed ordering;
+//! * the **timed** report (`include_timing = true`) adds per-scenario and
+//!   total `wall_micros` for performance tracking.
+
+use crate::json::Json;
+use crate::run::ScenarioResult;
+
+/// Schema identifier embedded in every report.
+pub const SCHEMA: &str = "spf-scenario-report/v1";
+
+/// An aggregated batch outcome.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// The master seed the batch was derived from.
+    pub master_seed: u64,
+    /// Worker threads used (recorded for provenance; never affects
+    /// content).
+    pub threads: usize,
+    /// Per-scenario results, in scenario order.
+    pub results: Vec<ScenarioResult>,
+}
+
+impl BatchReport {
+    /// Number of passing scenarios.
+    pub fn passed(&self) -> usize {
+        self.results.iter().filter(|r| r.pass).count()
+    }
+
+    /// Number of failing scenarios.
+    pub fn failed(&self) -> usize {
+        self.results.len() - self.passed()
+    }
+
+    /// Renders the report as a JSON document. With `include_timing`
+    /// disabled the output is the canonical byte-stable form.
+    pub fn to_json(&self, include_timing: bool) -> Json {
+        let scenarios: Vec<Json> = self
+            .results
+            .iter()
+            .enumerate()
+            .map(|(id, r)| {
+                let checks: Vec<Json> = r
+                    .checks
+                    .iter()
+                    .map(|c| {
+                        let mut doc = Json::object()
+                            .field("name", c.name.as_str())
+                            .field("pass", c.pass);
+                        if !c.pass {
+                            doc = doc.field("detail", c.detail.as_str());
+                        }
+                        doc
+                    })
+                    .collect();
+                let mut doc = Json::object()
+                    .field("id", id)
+                    .field("family", r.family.as_str())
+                    .field("name", r.name.as_str())
+                    .field("seed", r.seed)
+                    .field("n", r.n)
+                    .field("k", r.k)
+                    .field("l", r.l)
+                    .field("rounds", r.rounds)
+                    .field("beeps", r.beeps);
+                if include_timing {
+                    doc = doc.field("wall_micros", r.wall_micros);
+                }
+                doc.field("pass", r.pass)
+                    .field("checks", Json::Array(checks))
+            })
+            .collect();
+
+        let total_rounds: u64 = self.results.iter().map(|r| r.rounds).sum();
+        let total_beeps: u64 = self.results.iter().map(|r| r.beeps).sum();
+        let mut summary = Json::object()
+            .field("passed", self.passed())
+            .field("failed", self.failed())
+            .field("total_rounds", total_rounds)
+            .field("total_beeps", total_beeps);
+        if include_timing {
+            let total_wall: u64 = self.results.iter().map(|r| r.wall_micros).sum();
+            summary = summary.field("total_wall_micros", total_wall);
+        }
+
+        let mut doc = Json::object()
+            .field("schema", SCHEMA)
+            .field("master_seed", self.master_seed)
+            .field("count", self.results.len());
+        if include_timing {
+            // Worker count is execution provenance, like wall-clock: it
+            // never affects content, and the canonical report must be
+            // byte-identical across thread counts.
+            doc = doc.field("threads", self.threads);
+        }
+        doc.field("scenarios", Json::Array(scenarios))
+            .field("summary", summary)
+    }
+
+    /// The canonical pretty-printed JSON string (no timing; byte-stable).
+    pub fn canonical_json(&self) -> String {
+        self.to_json(false).render_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{run_batch, Threads};
+    use crate::registry::default_registry;
+
+    #[test]
+    fn report_counts_and_schema() {
+        let registry = default_registry();
+        let scenarios = registry.random_suite(11, 6, &[]);
+        let results = run_batch(&scenarios, Threads::Count(2));
+        let report = BatchReport {
+            master_seed: 11,
+            threads: 2,
+            results,
+        };
+        assert_eq!(report.passed() + report.failed(), 6);
+        let text = report.canonical_json();
+        assert!(text.contains(SCHEMA));
+        assert!(text.contains("\"rounds\""));
+        assert!(!text.contains("wall_micros"));
+        let timed = report.to_json(true).render_pretty();
+        assert!(timed.contains("wall_micros"));
+    }
+}

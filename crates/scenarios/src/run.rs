@@ -1,0 +1,643 @@
+//! Scenario execution and cross-validation.
+//!
+//! [`run_scenario`] materializes a [`Scenario`], runs its algorithm in a
+//! private [`World`] and — crucially — **cross-validates every distributed
+//! result against a centralized baseline**: forests are checked with
+//! [`amoebot_grid::validate_forest`] (which compares tree depths against
+//! multi-source BFS distances), PASC values against centrally computed
+//! prefix sums, primitives against the paper's counting invariants. A
+//! scenario passes only if every check passes.
+
+use std::time::Instant;
+
+use amoebot_circuits::{leader, Topology, World};
+use amoebot_grid::{multi_source_bfs, shapes, validate_forest, AmoebotStructure, NodeId};
+use amoebot_pasc::{chain_specs, tree_specs, PascRun};
+use amoebot_spf::forest::{line_forest, shortest_path_forest};
+use amoebot_spf::links::{FWD_PRIMARY, FWD_SECONDARY, LINKS, SYNC};
+use amoebot_spf::primitives::{centroid_decomposition, elect, q_centroids, root_and_prune};
+use amoebot_spf::spt::shortest_path_tree;
+use amoebot_spf::Tree;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::spec::{derive_rng, MicroWorkload, Scenario, StructureAlgorithm, Workload};
+
+/// One validation check's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckResult {
+    /// Check name, e.g. `"forest-valid"`.
+    pub name: String,
+    /// Whether the check passed.
+    pub pass: bool,
+    /// Failure detail (empty when passing).
+    pub detail: String,
+}
+
+impl CheckResult {
+    fn pass(name: &str) -> CheckResult {
+        CheckResult {
+            name: name.to_string(),
+            pass: true,
+            detail: String::new(),
+        }
+    }
+
+    fn fail(name: &str, detail: String) -> CheckResult {
+        CheckResult {
+            name: name.to_string(),
+            pass: false,
+            detail,
+        }
+    }
+
+    fn from_bool(name: &str, ok: bool, detail: impl FnOnce() -> String) -> CheckResult {
+        if ok {
+            CheckResult::pass(name)
+        } else {
+            CheckResult::fail(name, detail())
+        }
+    }
+}
+
+/// The measured outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Registry family.
+    pub family: String,
+    /// Scenario name.
+    pub name: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Problem size (`n`: amoebots / world nodes).
+    pub n: usize,
+    /// Number of sources / `|Q|` (1 where not applicable).
+    pub k: usize,
+    /// Number of destinations (0 where not applicable).
+    pub l: usize,
+    /// Simulator rounds consumed.
+    pub rounds: u64,
+    /// Distinct beeps sent (0 for circuit-less baselines).
+    pub beeps: u64,
+    /// Wall-clock time of the run, in microseconds. Excluded from
+    /// canonical reports (timing is inherently non-deterministic).
+    pub wall_micros: u64,
+    /// Every validation check executed for this scenario.
+    pub checks: Vec<CheckResult>,
+    /// Whether all checks passed.
+    pub pass: bool,
+}
+
+/// Runs one scenario start to finish: materialize, execute, cross-validate.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
+    let start = Instant::now();
+    let mut outcome = match &scenario.workload {
+        Workload::Structure {
+            structure,
+            sources,
+            dests,
+            algorithm,
+        } => {
+            let s = structure.materialize(&mut derive_rng(scenario.seed, 0));
+            let src = sources.materialize(&s, &mut derive_rng(scenario.seed, 1));
+            let dst = dests.materialize(&s, &mut derive_rng(scenario.seed, 2));
+            run_structure_workload(&s, &src, &dst, *algorithm)
+        }
+        Workload::Micro(micro) => run_micro(*micro, scenario.seed),
+    };
+    outcome.wall_micros = start.elapsed().as_micros() as u64;
+    outcome.family = scenario.family.clone();
+    outcome.name = scenario.name.clone();
+    outcome.seed = scenario.seed;
+    outcome
+}
+
+fn blank_result() -> ScenarioResult {
+    ScenarioResult {
+        family: String::new(),
+        name: String::new(),
+        seed: 0,
+        n: 0,
+        k: 1,
+        l: 0,
+        rounds: 0,
+        beeps: 0,
+        wall_micros: 0,
+        checks: Vec::new(),
+        pass: false,
+    }
+}
+
+/// Cross-validates a parent forest against the centralized BFS ground
+/// truth. `validate_forest` checks all five §1.3 properties, including that
+/// every member's tree depth equals its multi-source BFS distance — this is
+/// the "distributed result vs centralized baseline" check.
+fn check_forest(
+    structure: &AmoebotStructure,
+    sources: &[NodeId],
+    dests: &[NodeId],
+    parents: &[Option<NodeId>],
+) -> Vec<CheckResult> {
+    let violations = validate_forest(structure, sources, dests, parents);
+    let forest_ok = CheckResult::from_bool("forest-valid", violations.is_empty(), || {
+        let mut msgs: Vec<String> = violations.iter().take(3).map(|v| v.to_string()).collect();
+        if violations.len() > 3 {
+            msgs.push(format!("... and {} more", violations.len() - 3));
+        }
+        msgs.join("; ")
+    });
+    // Make the BFS agreement explicit: every source-reachable node that the
+    // forest covers sits at its exact BFS distance (already implied by
+    // property 5, but reported separately so JSON consumers see the
+    // centralized cross-check by name).
+    let (dist, _) = multi_source_bfs(structure, sources);
+    let mut bad = 0usize;
+    for v in structure.nodes() {
+        let mut depth = 0u32;
+        let mut cur = v;
+        let covered = sources.contains(&v) || parents[v.index()].is_some();
+        if !covered {
+            continue;
+        }
+        let mut steps = 0usize;
+        while let Some(p) = parents[cur.index()] {
+            depth += 1;
+            cur = p;
+            steps += 1;
+            if steps > structure.len() {
+                bad += 1; // cycle; already reported by validate_forest
+                break;
+            }
+        }
+        if Some(depth) != dist[v.index()] {
+            bad += 1;
+        }
+    }
+    let bfs_ok = CheckResult::from_bool("bfs-distances-agree", bad == 0, || {
+        format!("{bad} nodes disagree with multi-source BFS distances")
+    });
+    vec![forest_ok, bfs_ok]
+}
+
+/// Runs a structure algorithm on an already-materialized structure with
+/// explicit terminal sets, returning the measured, cross-validated result.
+/// This is the execution path behind [`run_scenario`]'s structure
+/// workloads; the benchmark harness calls it directly so Criterion benches
+/// and scenario batches exercise exactly the same code.
+pub fn run_structure_workload(
+    structure: &AmoebotStructure,
+    sources: &[NodeId],
+    dests: &[NodeId],
+    algorithm: StructureAlgorithm,
+) -> ScenarioResult {
+    let (mut r, parents, val_sources, val_dests) =
+        execute_structure(structure, sources, dests, algorithm);
+    r.checks = check_forest(structure, &val_sources, &val_dests, &parents);
+    r.pass = r.checks.iter().all(|c| c.pass);
+    r
+}
+
+/// Runs a structure algorithm **without** the centralized
+/// cross-validation, returning only the round count. For wall-clock
+/// benchmarks: validation is O(n)-ish centralized work that would
+/// otherwise be timed inside the benchmark loop and skew comparisons
+/// against cheap baselines. Correctness still gets checked — benches
+/// call the validating sibling once outside the timed loop.
+pub fn measure_structure_rounds(
+    structure: &AmoebotStructure,
+    sources: &[NodeId],
+    dests: &[NodeId],
+    algorithm: StructureAlgorithm,
+) -> u64 {
+    execute_structure(structure, sources, dests, algorithm)
+        .0
+        .rounds
+}
+
+/// Executes the algorithm and returns the measurements plus everything
+/// validation needs (parents and the effective terminal sets).
+fn execute_structure(
+    structure: &AmoebotStructure,
+    sources: &[NodeId],
+    dests: &[NodeId],
+    algorithm: StructureAlgorithm,
+) -> (
+    ScenarioResult,
+    Vec<Option<NodeId>>,
+    Vec<NodeId>,
+    Vec<NodeId>,
+) {
+    let mut r = blank_result();
+    r.n = structure.len();
+    r.k = sources.len();
+    r.l = dests.len();
+    let all = || -> Vec<NodeId> { structure.nodes().collect() };
+    let (parents, val_sources, val_dests) = match algorithm {
+        StructureAlgorithm::Forest => {
+            let out = shortest_path_forest(structure, sources, dests);
+            r.rounds = out.rounds;
+            r.beeps = out.beeps;
+            (out.parents, sources.to_vec(), dests.to_vec())
+        }
+        StructureAlgorithm::Spt => {
+            let source = sources[0];
+            let out = shortest_path_tree(structure, source, dests);
+            r.k = 1;
+            r.rounds = out.rounds;
+            r.beeps = out.beeps;
+            (out.parents, vec![source], dests.to_vec())
+        }
+        StructureAlgorithm::LineForest => {
+            // The chain follows node-id order; Line structures are generated
+            // in +x order, so consecutive ids are adjacent.
+            let n = structure.len();
+            let mut world = World::new(Topology::from_structure(structure), LINKS);
+            let chain: Vec<usize> = (0..n).collect();
+            let mut is_source = vec![false; n];
+            for s in sources {
+                is_source[s.index()] = true;
+            }
+            let forest = line_forest(&mut world, &chain, &is_source);
+            r.rounds = world.rounds();
+            r.beeps = world.beeps_sent();
+            let parents: Vec<Option<NodeId>> = forest
+                .parents
+                .iter()
+                .map(|p| p.map(|v| NodeId(v as u32)))
+                .collect();
+            r.l = n;
+            (parents, sources.to_vec(), all())
+        }
+        StructureAlgorithm::Wavefront => {
+            let out = amoebot_baselines::bfs_wavefront(structure, sources);
+            r.rounds = out.rounds;
+            r.beeps = out.beeps;
+            r.l = structure.len();
+            (out.parents, sources.to_vec(), all())
+        }
+        StructureAlgorithm::SequentialForest => {
+            let out = amoebot_baselines::sequential_forest(structure, sources);
+            r.rounds = out.rounds;
+            r.beeps = out.beeps;
+            r.l = structure.len();
+            (out.parents, sources.to_vec(), all())
+        }
+    };
+    (r, parents, val_sources, val_dests)
+}
+
+/// A path world with `n` nodes and the standard link count.
+pub fn path_world(n: usize) -> World {
+    let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    World::new(Topology::from_edges(n, &edges), LINKS)
+}
+
+/// A deterministic random tree over `n` nodes (each node attaches to a
+/// random earlier node) plus a `Q` of the given size.
+pub fn random_tree_and_q(n: usize, q_size: usize, rng: &mut StdRng) -> (World, Tree, Vec<bool>) {
+    let edges: Vec<(usize, usize)> = (1..n).map(|v| (rng.gen_range(0..v), v)).collect();
+    let world = World::new(Topology::from_edges(n, &edges), LINKS);
+    let tree = Tree::from_edges(n, 0, &edges);
+    let mut q = vec![false; n];
+    for i in shapes::random_subset(n, q_size.min(n), rng) {
+        q[i] = true;
+    }
+    (world, tree, q)
+}
+
+fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
+    let mut r = blank_result();
+    match micro {
+        MicroWorkload::PascChain { m } => {
+            let mut world = path_world(m);
+            let nodes: Vec<usize> = (0..m).collect();
+            let specs = chain_specs(world.topology(), &nodes, FWD_PRIMARY, FWD_SECONDARY, None);
+            let mut run = PascRun::new(&mut world, specs, SYNC);
+            let values = run.run_to_completion(&mut world);
+            r.n = m;
+            r.rounds = world.rounds();
+            r.beeps = world.beeps_sent();
+            let ok = values.iter().enumerate().all(|(i, &v)| v == i as u64);
+            r.checks = vec![CheckResult::from_bool(
+                "pasc-values-are-distances",
+                ok,
+                || "chain PASC values disagree with positions".to_string(),
+            )];
+        }
+        MicroWorkload::PascTree { levels } => {
+            let n = (1usize << levels) - 1;
+            let edges: Vec<(usize, usize)> = (1..n).map(|v| ((v - 1) / 2, v)).collect();
+            let mut world = World::new(Topology::from_edges(n, &edges), LINKS);
+            let parent: Vec<Option<usize>> = (0..n).map(|v| (v > 0).then(|| (v - 1) / 2)).collect();
+            let participates = vec![true; n];
+            let (specs, instance_of) = tree_specs(
+                world.topology(),
+                &parent,
+                &participates,
+                FWD_PRIMARY,
+                FWD_SECONDARY,
+            );
+            let mut run = PascRun::new(&mut world, specs, SYNC);
+            let values = run.run_to_completion(&mut world);
+            r.n = n;
+            r.rounds = world.rounds();
+            r.beeps = world.beeps_sent();
+            // Centralized ground truth: depth in the balanced binary tree.
+            let mut bad = 0usize;
+            for v in 0..n {
+                let mut depth = 0u64;
+                let mut cur = v;
+                while let Some(p) = parent[cur] {
+                    depth += 1;
+                    cur = p;
+                }
+                if values[instance_of[v]] != depth {
+                    bad += 1;
+                }
+            }
+            r.checks = vec![CheckResult::from_bool(
+                "pasc-values-are-depths",
+                bad == 0,
+                || format!("{bad} nodes disagree with central depths"),
+            )];
+        }
+        MicroWorkload::PascPrefix { m, weights } => {
+            let mut world = path_world(m);
+            let nodes: Vec<usize> = (0..m).collect();
+            let w: Vec<bool> = (0..m)
+                .map(|i| weights > 0 && i % m.div_ceil(weights).max(1) == 0)
+                .collect();
+            let specs = chain_specs(
+                world.topology(),
+                &nodes,
+                FWD_PRIMARY,
+                FWD_SECONDARY,
+                Some(&w),
+            );
+            let mut run = PascRun::new(&mut world, specs, SYNC);
+            let values = run.run_to_completion(&mut world);
+            r.n = m;
+            r.k = w.iter().filter(|&&b| b).count().max(1);
+            r.rounds = world.rounds();
+            r.beeps = world.beeps_sent();
+            // Centralized ground truth: inclusive weighted prefix sums.
+            let mut acc = 0u64;
+            let mut bad = 0usize;
+            for i in 0..m {
+                if w[i] {
+                    acc += 1;
+                }
+                if values[i] != acc {
+                    bad += 1;
+                }
+            }
+            r.checks = vec![CheckResult::from_bool(
+                "pasc-values-are-prefix-sums",
+                bad == 0,
+                || format!("{bad} positions disagree with central prefix sums"),
+            )];
+        }
+        MicroWorkload::RootPrune { n, q } | MicroWorkload::Augmentation { n, q } => {
+            let mut rng = derive_rng(seed, 0);
+            let (mut world, tree, qs) = random_tree_and_q(n, q.max(1), &mut rng);
+            let rp = root_and_prune(&mut world, std::slice::from_ref(&tree), &qs);
+            r.n = n;
+            r.k = qs.iter().filter(|&&b| b).count();
+            r.rounds = world.rounds();
+            r.beeps = world.beeps_sent();
+            // Corollary 29: |A_Q| <= |Q| - 1.
+            let a = rp.augmentation_set().len();
+            r.checks = vec![
+                CheckResult::from_bool("augmentation-bound", a < r.k.max(1), || {
+                    format!("|A_Q| = {a} exceeds |Q| - 1 = {}", r.k.saturating_sub(1))
+                }),
+                // Corollary 15: the root counts |Q| exactly.
+                CheckResult::from_bool(
+                    "root-counts-q",
+                    rp.q_count.first().copied() == Some(r.k as u64),
+                    || format!("root counted {:?}, |Q| = {}", rp.q_count.first(), r.k),
+                ),
+            ];
+        }
+        MicroWorkload::Election { n, q } => {
+            let mut rng = derive_rng(seed, 0);
+            let (mut world, tree, qs) = random_tree_and_q(n, q.max(1), &mut rng);
+            let before = world.rounds();
+            let winners = elect(&mut world, std::slice::from_ref(&tree), &qs);
+            r.n = n;
+            r.k = qs.iter().filter(|&&b| b).count();
+            r.rounds = world.rounds() - before;
+            r.beeps = world.beeps_sent();
+            // The winner exists and is a member of Q.
+            let ok = matches!(winners.first(), Some(Some(w)) if qs[*w]);
+            r.checks = vec![CheckResult::from_bool("winner-in-q", ok, || {
+                format!("election winner {:?} not in Q", winners.first())
+            })];
+        }
+        MicroWorkload::Centroids { n, q } => {
+            let mut rng = derive_rng(seed, 0);
+            let (mut world, tree, qs) = random_tree_and_q(n, q.max(1), &mut rng);
+            let out = q_centroids(&mut world, std::slice::from_ref(&tree), &qs);
+            r.n = n;
+            r.k = qs.iter().filter(|&&b| b).count();
+            r.rounds = world.rounds();
+            r.beeps = world.beeps_sent();
+            // Cross-validate against the centralized definition: a Q node is
+            // a Q-centroid iff every component of T - u holds at most |Q|/2
+            // of Q.
+            let total = r.k;
+            let mut bad = 0usize;
+            for u in 0..n {
+                let expect = qs[u] && {
+                    tree.adj[u].iter().all(|&start| {
+                        let mut seen = vec![false; n];
+                        seen[u] = true;
+                        seen[start] = true;
+                        let mut stack = vec![start];
+                        let mut cnt = usize::from(qs[start]);
+                        while let Some(v) = stack.pop() {
+                            for &w in &tree.adj[v] {
+                                if !seen[w] {
+                                    seen[w] = true;
+                                    cnt += usize::from(qs[w]);
+                                    stack.push(w);
+                                }
+                            }
+                        }
+                        2 * cnt <= total
+                    })
+                };
+                if out.is_centroid[u] != expect {
+                    bad += 1;
+                }
+            }
+            r.checks = vec![CheckResult::from_bool(
+                "centroids-match-reference",
+                bad == 0,
+                || format!("{bad} nodes disagree with the centralized Q-centroid definition"),
+            )];
+        }
+        MicroWorkload::Decomposition { n, q } => {
+            let mut rng = derive_rng(seed, 0);
+            let (mut world, tree, qs) = random_tree_and_q(n, q.max(1), &mut rng);
+            let rp = root_and_prune(&mut world, std::slice::from_ref(&tree), &qs);
+            let mut qp = qs.clone();
+            for v in rp.augmentation_set() {
+                qp[v] = true;
+            }
+            let before = world.rounds();
+            let d = centroid_decomposition(&mut world, &tree, &qp);
+            r.n = n;
+            r.k = qs.iter().filter(|&&b| b).count();
+            r.rounds = world.rounds() - before;
+            r.beeps = world.beeps_sent();
+            // Lemma 31: the decomposition depth is O(log |Q'|); with the
+            // exact halving argument it is at most log2(|Q'|) + 1.
+            let qp_size = qp.iter().filter(|&&b| b).count();
+            let bound = 64 - (qp_size as u64).leading_zeros() + 2;
+            r.checks = vec![CheckResult::from_bool(
+                "decomposition-depth",
+                d.levels <= bound,
+                || format!("{} levels exceeds bound {bound}", d.levels),
+            )];
+        }
+        MicroWorkload::Leader { n } => {
+            let mut rng = derive_rng(seed, 0);
+            let mut world = path_world(n);
+            let result = leader::elect_leader(&mut world, &mut rng);
+            r.n = n;
+            r.rounds = result.rounds;
+            r.beeps = world.beeps_sent();
+            r.checks = vec![
+                CheckResult::from_bool(
+                    "candidates-nonempty",
+                    !result.candidates.is_empty(),
+                    || "candidate set became empty".to_string(),
+                ),
+                CheckResult::from_bool("leader-unique", result.leader().is_some(), || {
+                    format!(
+                        "{} candidates left after the budget",
+                        result.candidates.len()
+                    )
+                }),
+            ];
+        }
+    }
+    r.pass = r.checks.iter().all(|c| c.pass);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PlacementSpec, StructureSpec};
+    use amoebot_grid::Placement;
+
+    fn run_ok(sc: &Scenario) -> ScenarioResult {
+        let r = run_scenario(sc);
+        assert!(
+            r.pass,
+            "{} failed: {:?}",
+            sc.name,
+            r.checks.iter().filter(|c| !c.pass).collect::<Vec<_>>()
+        );
+        r
+    }
+
+    #[test]
+    fn forest_scenario_cross_validates() {
+        let sc = Scenario::structure(
+            "t",
+            7,
+            StructureSpec::RandomBlob { n: 40 },
+            PlacementSpec::Random {
+                k: 3,
+                strategy: Placement::Uniform,
+            },
+            PlacementSpec::All,
+            StructureAlgorithm::Forest,
+        );
+        let r = run_ok(&sc);
+        assert!(r.rounds > 0);
+        assert!(r.beeps > 0);
+        assert_eq!(r.n, 40);
+        assert_eq!(r.k, 3);
+    }
+
+    #[test]
+    fn all_structure_algorithms_pass_on_a_parallelogram() {
+        for alg in [
+            StructureAlgorithm::Forest,
+            StructureAlgorithm::Spt,
+            StructureAlgorithm::Wavefront,
+            StructureAlgorithm::SequentialForest,
+        ] {
+            let sc = Scenario::structure(
+                "t",
+                3,
+                StructureSpec::Parallelogram { a: 8, b: 4 },
+                PlacementSpec::Spread { k: 3 },
+                PlacementSpec::All,
+                alg,
+            );
+            run_ok(&sc);
+        }
+    }
+
+    #[test]
+    fn line_forest_scenario() {
+        let sc = Scenario::structure(
+            "t",
+            5,
+            StructureSpec::Line { n: 32 },
+            PlacementSpec::Random {
+                k: 4,
+                strategy: Placement::Uniform,
+            },
+            PlacementSpec::All,
+            StructureAlgorithm::LineForest,
+        );
+        run_ok(&sc);
+    }
+
+    #[test]
+    fn micro_scenarios_pass() {
+        for micro in [
+            MicroWorkload::PascChain { m: 64 },
+            MicroWorkload::PascTree { levels: 5 },
+            MicroWorkload::PascPrefix { m: 64, weights: 8 },
+            MicroWorkload::RootPrune { n: 128, q: 16 },
+            MicroWorkload::Election { n: 64, q: 8 },
+            MicroWorkload::Centroids { n: 64, q: 8 },
+            MicroWorkload::Augmentation { n: 128, q: 16 },
+            MicroWorkload::Decomposition { n: 64, q: 16 },
+            MicroWorkload::Leader { n: 64 },
+        ] {
+            run_ok(&Scenario::micro("t", 11, micro));
+        }
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let sc = Scenario::structure(
+            "t",
+            99,
+            StructureSpec::RandomMix {
+                pieces: 3,
+                scale: 4,
+            },
+            PlacementSpec::Random {
+                k: 2,
+                strategy: Placement::Boundary,
+            },
+            PlacementSpec::All,
+            StructureAlgorithm::Forest,
+        );
+        let a = run_scenario(&sc);
+        let b = run_scenario(&sc);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.beeps, b.beeps);
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.pass, b.pass);
+    }
+}

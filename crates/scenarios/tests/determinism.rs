@@ -1,0 +1,55 @@
+//! Determinism guarantees (ISSUE 1 satellite): the same master seed
+//! produces **byte-identical** canonical JSON reports across independent
+//! runs, regardless of worker thread count. The whole pipeline is driven
+//! by seeded `StdRng` streams — no ambient randomness, no wall-clock in
+//! the canonical report.
+
+use amoebot_scenarios::batch::{run_batch, Threads};
+use amoebot_scenarios::registry::default_registry;
+use amoebot_scenarios::report::BatchReport;
+
+fn canonical_report(master_seed: u64, count: usize, threads: usize) -> String {
+    let registry = default_registry();
+    let scenarios = registry.random_suite(master_seed, count, &[]);
+    let results = run_batch(&scenarios, Threads::Count(threads));
+    BatchReport {
+        master_seed,
+        threads,
+        results,
+    }
+    .canonical_json()
+}
+
+#[test]
+fn same_seed_same_bytes_across_runs() {
+    let a = canonical_report(42, 12, 4);
+    let b = canonical_report(42, 12, 4);
+    assert_eq!(a, b, "two runs with the same seed must render identically");
+}
+
+#[test]
+fn thread_count_does_not_change_canonical_bytes() {
+    // Worker count is execution provenance (only rendered in timed
+    // reports); the canonical bytes must not depend on it at all.
+    let serial = canonical_report(7, 10, 1);
+    let parallel = canonical_report(7, 10, 8);
+    assert_eq!(
+        serial, parallel,
+        "canonical reports must not depend on the worker count"
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = canonical_report(1, 6, 2);
+    let b = canonical_report(2, 6, 2);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn canonical_report_has_no_timing_fields() {
+    let report = canonical_report(42, 4, 2);
+    assert!(!report.contains("wall_micros"));
+    assert!(report.contains("\"rounds\""));
+    assert!(report.contains("\"pass\""));
+}

@@ -1,0 +1,8 @@
+//! Workspace-level `scenario-runner` binary; all logic lives in
+//! [`amoebot_scenarios::cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    amoebot_scenarios::cli::main()
+}

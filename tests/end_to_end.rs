@@ -108,9 +108,7 @@ fn sssp_rounds_beat_diameter_on_elongated_structures() {
 fn forest_beats_sequential_for_many_sources() {
     let structure = AmoebotStructure::new(shapes::parallelogram(24, 12)).unwrap();
     let n = structure.len();
-    let sources: Vec<NodeId> = (0..16)
-        .map(|i| NodeId((i * (n - 1) / 15) as u32))
-        .collect();
+    let sources: Vec<NodeId> = (0..16).map(|i| NodeId((i * (n - 1) / 15) as u32)).collect();
     let dests: Vec<NodeId> = structure.nodes().collect();
     let dnc = shortest_path_forest(&structure, &sources, &dests);
     let seq = sequential_forest(&structure, &sources);

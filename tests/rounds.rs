@@ -50,7 +50,9 @@ fn forest_rounds_polylog_in_k() {
     let s = structure(20, 10);
     let n = s.len();
     let pick = |k: usize| -> Vec<NodeId> {
-        (0..k).map(|i| NodeId((i * (n - 1) / (k - 1)) as u32)).collect()
+        (0..k)
+            .map(|i| NodeId((i * (n - 1) / (k - 1)) as u32))
+            .collect()
     };
     let dests: Vec<NodeId> = s.nodes().collect();
     let r4 = spf::core::forest::shortest_path_forest(&s, &pick(4), &dests).rounds;
