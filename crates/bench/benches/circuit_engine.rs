@@ -1,0 +1,104 @@
+//! Criterion benches for the incremental circuit engine: `World::tick`
+//! against the pre-refactor full-recompute `World::tick_reference`.
+//!
+//! Two workload shapes on a ≥1k-node structure:
+//!
+//! * **broadcast-heavy**: a fixed global configuration, several
+//!   consecutive no-reconfiguration ticks per iteration — the steady
+//!   state where the incremental engine reuses its cached labeling.
+//! * **reconfiguration-heavy**: every round a slice of nodes regroups
+//!   its pins, so both engines relabel every tick; measures the
+//!   precomputed link table against per-node neighbor collection.
+
+use amoebot_bench::standard_structure;
+use amoebot_circuits::{Topology, World};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const STEADY_TICKS: usize = 8;
+
+fn big_world(n_target: usize, c: usize) -> World {
+    let s = standard_structure(n_target);
+    assert!(s.len() >= 1000, "bench structure must have >= 1k nodes");
+    let mut w = World::new(Topology::from_structure(&s), c);
+    for v in 0..w.topology().len() {
+        w.global_pin_config(v);
+    }
+    w
+}
+
+fn bench_circuit_engine(c: &mut Criterion) {
+    let world = big_world(1024, 2);
+    let n = world.topology().len();
+
+    // Broadcast-heavy: STEADY_TICKS consecutive ticks on an unchanged
+    // configuration, one beep per round.
+    let mut g = c.benchmark_group("steady_broadcast_ticks");
+    g.bench_with_input(BenchmarkId::new("incremental", n), &world, |b, world| {
+        let mut w = world.clone();
+        w.tick(); // prime the cached labeling outside the timed region
+        b.iter(|| {
+            for round in 0..STEADY_TICKS {
+                w.beep(round % n, 0);
+                w.tick();
+            }
+            w.rounds()
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("reference", n), &world, |b, world| {
+        let mut w = world.clone();
+        b.iter(|| {
+            for round in 0..STEADY_TICKS {
+                w.beep(round % n, 0);
+                w.tick_reference();
+            }
+            w.rounds()
+        })
+    });
+    g.finish();
+
+    // Reconfiguration-heavy: every round, 1/8 of the nodes flip between
+    // the split (singleton) and global configurations, forcing a relabel.
+    let mut g = c.benchmark_group("reconfig_ticks");
+    g.bench_with_input(BenchmarkId::new("incremental", n), &world, |b, world| {
+        let mut w = world.clone();
+        b.iter(|| {
+            for round in 0..STEADY_TICKS {
+                for v in (round % 8..n).step_by(8) {
+                    if round % 2 == 0 {
+                        w.singleton_pin_config(v);
+                    } else {
+                        w.global_pin_config(v);
+                    }
+                }
+                w.beep(round % n, 0);
+                w.tick();
+            }
+            w.rounds()
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("reference", n), &world, |b, world| {
+        let mut w = world.clone();
+        b.iter(|| {
+            for round in 0..STEADY_TICKS {
+                for v in (round % 8..n).step_by(8) {
+                    if round % 2 == 0 {
+                        w.singleton_pin_config(v);
+                    } else {
+                        w.global_pin_config(v);
+                    }
+                }
+                w.beep(round % n, 0);
+                w.tick_reference();
+            }
+            w.rounds()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_circuit_engine
+}
+criterion_main!(benches);

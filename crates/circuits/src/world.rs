@@ -1,4 +1,29 @@
 //! The synchronous round simulator.
+//!
+//! # Engine design
+//!
+//! The pin *topology* of a world is immutable: which pin faces which peer
+//! pin across an external link is fixed at construction. What changes
+//! between rounds is only the *pin configuration* (which local partition
+//! set each pin belongs to). [`World::new`] therefore precomputes a flat
+//! link table of global-pin-index pairs once, and [`World::tick`] maintains
+//! a cached circuit labeling guarded by a configuration-dirty flag:
+//!
+//! * any mutation ([`World::set_pin`] and everything built on it) that
+//!   actually changes a pin's partition set marks the labeling dirty;
+//! * a dirty tick relabels once — union-find over the link table, then a
+//!   CSR (compressed sparse row) index of circuit membership — in
+//!   O(total pins · α) using preallocated scratch;
+//! * a clean tick (no amoebot reconfigured since the last relabel) reuses
+//!   the cached labeling and costs O(beeps sent + members of beeping
+//!   circuits + deliveries cleared), independent of the structure size.
+//!
+//! No code path in the steady state allocates: beeps, deliveries and root
+//! dedup all go through reusable buffers sized at construction.
+//!
+//! [`World::tick_reference`] keeps the original full-recompute engine
+//! alive verbatim; differential tests and the `circuit_engine` benches pin
+//! the incremental engine against it.
 
 use crate::topology::{PortId, Topology};
 
@@ -20,16 +45,44 @@ pub struct World {
     base: Vec<u32>,
     /// Global pin index -> local partition set id of the owning node.
     pin_pset: Vec<u16>,
+    /// Immutable link table, one entry per *edge* (the topology never
+    /// changes): `(a0, base_a, b0, base_b)` where `a0`/`b0` are the global
+    /// pin indices of the edge's link-0 pins (links `0..c` are the `c`
+    /// consecutive pins from there) and `base_a`/`base_b` the owning
+    /// nodes' base offsets, so relabeling needs no per-pin node lookup.
+    links: Vec<(u32, u32, u32, u32)>,
     /// Partition sets (by global id) that beep this round.
     send: Vec<bool>,
+    /// Dense list of the gids set in `send` (clears in O(beeps)).
+    sent: Vec<u32>,
     /// Partition sets (by global id) that received a beep last round.
     recv: Vec<bool>,
+    /// Dense list of the gids set in `recv` (clears in O(deliveries)).
+    recv_set: Vec<u32>,
     /// Union-find scratch (parents over global partition-set ids).
     uf: Vec<u32>,
+    /// Cached circuit labeling: partition-set gid -> root gid of its
+    /// circuit. Valid iff `!dirty`.
+    labels: Vec<u32>,
+    /// CSR membership index over `labels`: after `relabel`'s in-place
+    /// cursor fill, bucket `r` of `members` ends at `member_start[r]` and
+    /// starts at `member_start[r - 1]` (0 for `r == 0`).
+    member_start: Vec<u32>,
+    members: Vec<u32>,
+    /// Root dedup scratch; always all-false between uses.
+    root_mark: Vec<bool>,
+    /// Dense list of roots currently marked in `root_mark`.
+    marked_roots: Vec<u32>,
+    /// Whether a pin changed partition set since the last relabel.
+    dirty: bool,
+    /// Number of distinct circuits under the cached labeling.
+    cached_circuits: usize,
     rounds: u64,
+    /// Rounds executed by `tick`/`tick_reference` (excludes charges).
+    simulated: u64,
     /// Audited rounds charged without simulation (see [`World::charge_rounds`]).
     charged: u64,
-    charge_log: Vec<(String, u64)>,
+    charge_log: Vec<(String, i64)>,
     /// Total beeps sent (diagnostic; the model itself never counts beeps).
     beeps_sent: u64,
 }
@@ -53,15 +106,38 @@ impl World {
         }
         base.push(acc);
         let total = acc as usize;
+        let mut links = Vec::with_capacity(topo.edge_count());
+        for v in 0..n {
+            for (p, w, q) in topo.neighbors(v) {
+                if v < w {
+                    let a0 = base[v] + (p * c) as u32;
+                    let b0 = base[w] + (q * c) as u32;
+                    links.push((a0, base[v], b0, base[w]));
+                }
+            }
+        }
         let mut w = World {
             topo,
             c,
             base,
             pin_pset: vec![0; total],
+            links,
             send: vec![false; total],
+            // Worst-case capacity up front (cheap: pages fault on first
+            // write, not at malloc), so ticks never reallocate.
+            sent: Vec::with_capacity(total),
             recv: vec![false; total],
+            recv_set: Vec::with_capacity(total),
             uf: vec![0; total],
+            labels: vec![0; total],
+            member_start: vec![0; total + 1],
+            members: vec![0; total],
+            root_mark: vec![false; total],
+            marked_roots: Vec::with_capacity(total),
+            dirty: true,
+            cached_circuits: 0,
             rounds: 0,
+            simulated: 0,
             charged: 0,
             charge_log: Vec::new(),
             beeps_sent: 0,
@@ -90,16 +166,30 @@ impl World {
         self.rounds
     }
 
-    /// Rounds accounted via [`World::charge_rounds`] (a subset of
-    /// [`World::rounds`]); kept separate so the audit trail distinguishes
-    /// simulated from charged rounds.
+    /// Rounds actually executed by [`World::tick`] (and
+    /// [`World::tick_reference`]). The audit invariant is
+    /// `rounds() == simulated_rounds() + Σ charge_log()` — every
+    /// non-simulated adjustment of the round counter appears in the log,
+    /// charges positive and rebates negative.
+    #[inline]
+    pub fn simulated_rounds(&self) -> u64 {
+        self.simulated
+    }
+
+    /// Rounds accounted via [`World::charge_rounds`] (gross, before any
+    /// rebates); kept separate so the audit trail distinguishes simulated
+    /// from charged rounds.
     #[inline]
     pub fn charged_rounds(&self) -> u64 {
         self.charged
     }
 
-    /// The audit log of charged rounds as `(reason, rounds)` entries.
-    pub fn charge_log(&self) -> &[(String, u64)] {
+    /// The audit log of non-simulated round adjustments as
+    /// `(reason, rounds)` entries: positive for charges
+    /// ([`World::charge_rounds`]), negative for rebates
+    /// ([`World::rebate_rounds`]). Summing the entries reconciles the
+    /// counter: `simulated_rounds() + Σ == rounds()`.
+    pub fn charge_log(&self) -> &[(String, i64)] {
         &self.charge_log
     }
 
@@ -117,14 +207,27 @@ impl World {
         self.base[v] as usize + port * self.c + link
     }
 
+    /// Outlined panic for [`World::pset_gid`]: keeps the formatting
+    /// machinery out of the hot callers (`beep`/`received`/`set_pin` run
+    /// per node per round) while the range check itself stays on.
+    #[cold]
+    #[inline(never)]
+    fn pset_out_of_range(v: usize, pset: u16, cap: usize) -> ! {
+        panic!("partition set {pset} out of range for node {v} (capacity {cap})");
+    }
+
+    /// Resolves `v`'s local partition set `pset` to its global id.
+    ///
+    /// This is a real (release-mode) bounds check: an out-of-range `pset`
+    /// would index into a *neighbor node's* slot of the global send/recv
+    /// arrays and silently corrupt its state, so it must never pass.
     #[inline]
     fn pset_gid(&self, v: usize, pset: u16) -> usize {
-        let gid = self.base[v] as usize + pset as usize;
-        debug_assert!(
-            gid < self.base[v + 1] as usize,
-            "partition set {pset} out of range for node {v}"
-        );
-        gid
+        let cap = self.pset_capacity(v);
+        if (pset as usize) >= cap {
+            Self::pset_out_of_range(v, pset, cap);
+        }
+        self.base[v] as usize + pset as usize
     }
 
     /// Maximum number of partition sets node `v` may use (= its pin count).
@@ -136,35 +239,59 @@ impl World {
     ///
     /// # Panics
     ///
-    /// Panics (in debug builds) if the pin or partition set is out of range.
+    /// Panics if the partition set is out of range (real check: a stray
+    /// `pset` would corrupt the cached circuit labeling), or — in debug
+    /// builds — if the pin itself is out of range.
     #[inline]
     pub fn set_pin(&mut self, v: usize, port: PortId, link: usize, pset: u16) {
         let gid = self.pin_gid(v, (port, link));
-        debug_assert!((pset as usize) < self.pset_capacity(v));
-        self.pin_pset[gid] = pset;
+        let cap = self.pset_capacity(v);
+        if (pset as usize) >= cap {
+            Self::pset_out_of_range(v, pset, cap);
+        }
+        if self.pin_pset[gid] != pset {
+            self.pin_pset[gid] = pset;
+            self.dirty = true;
+        }
+    }
+
+    /// Bulk-assigns all pins of `v`: the pin with local index `i` (that
+    /// is, `port * c + link`) goes to partition set `pset_of(i)`. The
+    /// psets produced by the bulk config methods are local pin indices,
+    /// in range by construction, so this skips `set_pin`'s per-pin
+    /// capacity check — these methods run over every node between phases
+    /// and are the simulator's hottest mutation path.
+    #[inline]
+    fn fill_pin_config(&mut self, v: usize, pset_of: impl Fn(usize) -> u16) {
+        let base = self.base[v] as usize;
+        let count = self.pset_capacity(v);
+        // Branchless change detection (XOR-accumulate, unconditional
+        // store): vectorizes, and only flips `dirty` on a real change so
+        // redundant reconfigurations keep the cached labeling.
+        let mut diff = 0u16;
+        for i in 0..count {
+            let pset = pset_of(i);
+            debug_assert!((pset as usize) < count);
+            diff |= self.pin_pset[base + i] ^ pset;
+            self.pin_pset[base + i] = pset;
+        }
+        if diff != 0 {
+            self.dirty = true;
+        }
     }
 
     /// Resets `v` to the singleton configuration: pin `(port, link)` goes to
     /// partition set `port * c + link`, so no two pins share a set and every
     /// circuit through `v` connects exactly two neighbors.
     pub fn singleton_pin_config(&mut self, v: usize) {
-        for port in 0..self.topo.ports_len(v) {
-            for link in 0..self.c {
-                let pset = (port * self.c + link) as u16;
-                self.set_pin(v, port, link, pset);
-            }
-        }
+        self.fill_pin_config(v, |i| i as u16);
     }
 
     /// Puts all pins of `v` into partition set `0` (the *global circuit*
     /// configuration: if every amoebot does this, the whole structure forms
     /// one circuit).
     pub fn global_pin_config(&mut self, v: usize) {
-        for port in 0..self.topo.ports_len(v) {
-            for link in 0..self.c {
-                self.set_pin(v, port, link, 0);
-            }
-        }
+        self.fill_pin_config(v, |_| 0);
     }
 
     /// Groups the given pins of `v` into one partition set and returns its
@@ -195,9 +322,22 @@ impl World {
     /// ("anyone still active?") and leader broadcasts without disturbing the
     /// pin configurations of concurrently running primitives.
     pub fn global_link_config(&mut self, v: usize, link: usize) {
+        assert!(link < self.c, "link {link} out of range (c = {})", self.c);
         let id = Self::global_link_pset(link);
-        for port in 0..self.topo.ports_len(v) {
-            self.set_pin(v, port, link, id);
+        let base = self.base[v] as usize;
+        let count = self.pset_capacity(v);
+        let mut changed = false;
+        // Only the pins on `link` move; other links keep their sets.
+        let mut i = link;
+        while i < count {
+            if self.pin_pset[base + i] != id {
+                self.pin_pset[base + i] = id;
+                changed = true;
+            }
+            i += self.c;
+        }
+        if changed {
+            self.dirty = true;
         }
     }
 
@@ -212,27 +352,49 @@ impl World {
     /// taking over a node so stale partition sets from earlier phases cannot
     /// leak circuits into the new configuration.
     pub fn reset_pins_keeping_links(&mut self, v: usize, keep: &[usize]) {
-        for port in 0..self.topo.ports_len(v) {
-            for link in 0..self.c {
+        let base = self.base[v] as usize;
+        let count = self.pset_capacity(v);
+        let c = self.c;
+        let mut diff = 0u16;
+        // Pin with local index `port * c + link` sits on link `link`; walk
+        // port-major so the link test stays out of the modulo operator.
+        let mut i = 0;
+        while i < count {
+            for link in 0..c {
                 if !keep.contains(&link) {
-                    self.set_pin(v, port, link, (port * self.c + link) as u16);
+                    let pset = (i + link) as u16;
+                    diff |= self.pin_pset[base + i + link] ^ pset;
+                    self.pin_pset[base + i + link] = pset;
                 }
             }
+            i += c;
+        }
+        if diff != 0 {
+            self.dirty = true;
         }
     }
 
     /// Makes `v` beep on its local partition set `pset` this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pset` is out of range for `v` (also in release builds).
     #[inline]
     pub fn beep(&mut self, v: usize, pset: u16) {
         let gid = self.pset_gid(v, pset);
         if !self.send[gid] {
+            self.send[gid] = true;
+            self.sent.push(gid as u32);
             self.beeps_sent += 1;
         }
-        self.send[gid] = true;
     }
 
     /// Whether `v`'s partition set `pset` received a beep delivered at the
     /// beginning of the current round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pset` is out of range for `v` (also in release builds).
     #[inline]
     pub fn received(&self, v: usize, pset: u16) -> bool {
         self.recv[self.pset_gid(v, pset)]
@@ -265,10 +427,123 @@ impl World {
         }
     }
 
+    /// Recomputes the circuit labeling, the CSR membership index and the
+    /// circuit count from the current pin configuration. O(total pins · α)
+    /// with zero allocations; called only when the configuration is dirty.
+    fn relabel(&mut self) {
+        let total = self.labels.len();
+        for i in 0..total {
+            self.uf[i] = i as u32;
+        }
+        // Union partition sets along every external link (precomputed
+        // per-edge table: no per-node neighbor iteration, no
+        // edge-direction test).
+        for i in 0..self.links.len() {
+            let (a0, base_a, b0, base_b) = self.links[i];
+            for link in 0..self.c as u32 {
+                let pa = base_a + self.pin_pset[(a0 + link) as usize] as u32;
+                let pb = base_b + self.pin_pset[(b0 + link) as usize] as u32;
+                self.union(pa, pb);
+            }
+        }
+        for gid in 0..total as u32 {
+            let root = self.find(gid);
+            self.labels[gid as usize] = root;
+        }
+        // CSR membership by counting sort over the labels. The prefix
+        // array doubles as the fill cursor: after the fill, entry `r`
+        // holds the *end* of bucket `r` (and `r - 1` its start), so no
+        // separate cursor array is needed.
+        self.member_start.fill(0);
+        for gid in 0..total {
+            self.member_start[self.labels[gid] as usize + 1] += 1;
+        }
+        for i in 0..total {
+            self.member_start[i + 1] += self.member_start[i];
+        }
+        for gid in 0..total as u32 {
+            let root = self.labels[gid as usize] as usize;
+            let at = self.member_start[root] as usize;
+            self.members[at] = gid;
+            self.member_start[root] += 1;
+        }
+        // Circuit count: distinct roots among partition sets that some pin
+        // actually references (empty sets are not circuits).
+        let mut count = 0usize;
+        for v in 0..self.topo.len() {
+            let node_base = self.base[v];
+            for p in node_base..self.base[v + 1] {
+                let pset_gid = node_base + self.pin_pset[p as usize] as u32;
+                let root = self.labels[pset_gid as usize] as usize;
+                if !self.root_mark[root] {
+                    self.root_mark[root] = true;
+                    self.marked_roots.push(root as u32);
+                    count += 1;
+                }
+            }
+        }
+        for &root in &self.marked_roots {
+            self.root_mark[root as usize] = false;
+        }
+        self.marked_roots.clear();
+        self.cached_circuits = count;
+        self.dirty = false;
+    }
+
     /// Executes one synchronous round: circuits are computed from the current
-    /// pin configurations, beeps sent via [`World::beep`] are delivered to
-    /// every partition set of their circuit, and the round counter advances.
+    /// pin configurations (reusing the cached labeling if no pin changed),
+    /// beeps sent via [`World::beep`] are delivered to every partition set of
+    /// their circuit, and the round counter advances.
     pub fn tick(&mut self) {
+        if self.dirty {
+            self.relabel();
+        }
+        // Clear last round's deliveries (O(previous deliveries)).
+        for &gid in &self.recv_set {
+            self.recv[gid as usize] = false;
+        }
+        self.recv_set.clear();
+        // Dedup the beeping circuits (O(beeps sent)).
+        for &gid in &self.sent {
+            self.send[gid as usize] = false;
+            let root = self.labels[gid as usize] as usize;
+            if !self.root_mark[root] {
+                self.root_mark[root] = true;
+                self.marked_roots.push(root as u32);
+            }
+        }
+        self.sent.clear();
+        // Deliver to every member of each beeping circuit. After relabel's
+        // in-place cursor fill, `member_start[r]` is the end of bucket `r`
+        // and `member_start[r - 1]` its start.
+        for i in 0..self.marked_roots.len() {
+            let root = self.marked_roots[i] as usize;
+            let start = if root == 0 {
+                0
+            } else {
+                self.member_start[root - 1] as usize
+            };
+            let end = self.member_start[root] as usize;
+            for j in start..end {
+                let gid = self.members[j];
+                self.recv[gid as usize] = true;
+                self.recv_set.push(gid);
+            }
+        }
+        for &root in &self.marked_roots {
+            self.root_mark[root as usize] = false;
+        }
+        self.marked_roots.clear();
+        self.rounds += 1;
+        self.simulated += 1;
+    }
+
+    /// The pre-refactor engine: one synchronous round via a full union-find
+    /// rebuild over every pin in the structure, exactly as `tick` worked
+    /// before the incremental engine. Kept as the reference semantics for
+    /// differential tests and as the baseline of the `circuit_engine`
+    /// benches. Interchangeable with [`World::tick`] round for round.
+    pub fn tick_reference(&mut self) {
         let total = self.pin_pset.len();
         for i in 0..total {
             self.uf[i] = i as u32;
@@ -297,12 +572,23 @@ impl World {
                 fresh[root as usize] = true;
             }
         }
+        self.recv_set.clear();
         for gid in 0..total as u32 {
             let root = self.find(gid);
-            self.recv[gid as usize] = fresh[root as usize];
+            let delivered = fresh[root as usize];
+            self.recv[gid as usize] = delivered;
+            if delivered {
+                // Keep the incremental engine's delivery bookkeeping in
+                // sync so the two tick flavors can be interleaved.
+                self.recv_set.push(gid);
+            }
         }
         self.send.iter_mut().for_each(|b| *b = false);
+        self.sent.clear();
+        // This path clobbers `uf` without refreshing `labels`.
+        self.dirty = true;
         self.rounds += 1;
+        self.simulated += 1;
     }
 
     /// Accounts `k` rounds for a step performed abstractly by the harness
@@ -312,7 +598,7 @@ impl World {
     pub fn charge_rounds(&mut self, k: u64, reason: &str) {
         self.rounds += k;
         self.charged += k;
-        self.charge_log.push((reason.to_string(), k));
+        self.charge_log.push((reason.to_string(), k as i64));
     }
 
     /// Rebates `k` rounds from the counter with an audit-log entry.
@@ -322,7 +608,8 @@ impl World {
     /// the same rounds, but the simulator executes them sequentially. The
     /// caller measures each region's span and rebates `sum - max` so the
     /// counter reflects the parallel execution. Every rebate is recorded in
-    /// the charge log (as a negative entry) for auditability.
+    /// the charge log as a **negative** entry, so the log always reconciles:
+    /// `simulated_rounds() + Σ charge_log() == rounds()`.
     ///
     /// # Panics
     ///
@@ -334,48 +621,18 @@ impl World {
             self.rounds
         );
         self.rounds -= k;
-        self.charge_log.push((format!("rebate: {reason}"), k));
+        self.charge_log
+            .push((format!("rebate: {reason}"), -(k as i64)));
     }
 
     /// Number of distinct circuits under the current pin configuration
-    /// (diagnostic; does not advance the round counter).
+    /// (diagnostic; does not advance the round counter). Served from the
+    /// cached labeling; relabels only if the configuration changed.
     pub fn circuit_count(&mut self) -> usize {
-        let total = self.pin_pset.len();
-        for i in 0..total {
-            self.uf[i] = i as u32;
+        if self.dirty {
+            self.relabel();
         }
-        for v in 0..self.topo.len() {
-            let ports: Vec<(PortId, usize, PortId)> = self.topo.neighbors(v).collect();
-            for (p, w, q) in ports {
-                if v < w {
-                    for link in 0..self.c {
-                        let a = self.base[v] as usize + p * self.c + link;
-                        let b = self.base[w] as usize + q * self.c + link;
-                        let pa = self.base[v] + self.pin_pset[a] as u32;
-                        let pb = self.base[w] + self.pin_pset[b] as u32;
-                        self.union(pa, pb);
-                    }
-                }
-            }
-        }
-        // Count roots that are actually referenced by some pin.
-        let mut is_used = vec![false; total];
-        for v in 0..self.topo.len() {
-            for port in 0..self.topo.ports_len(v) {
-                for link in 0..self.c {
-                    let gid = self.base[v] + self.pin_pset[self.pin_gid(v, (port, link))] as u32;
-                    is_used[gid as usize] = true;
-                }
-            }
-        }
-        let mut roots = std::collections::HashSet::new();
-        for gid in 0..total as u32 {
-            if is_used[gid as usize] {
-                let r = self.find(gid);
-                roots.insert(r);
-            }
-        }
-        roots.len()
+        self.cached_circuits
     }
 }
 
@@ -482,6 +739,115 @@ mod tests {
         assert_eq!(w.rounds(), 4);
         assert_eq!(w.charged_rounds(), 3);
         assert_eq!(w.charge_log().len(), 1);
+    }
+
+    /// The audit invariant: the round counter is exactly the simulated
+    /// rounds plus the signed sum of the charge log, so charges and rebates
+    /// always reconcile.
+    #[test]
+    fn charge_log_reconciles_with_round_counter() {
+        let mut w = path_world(4, 1);
+        w.tick();
+        w.tick();
+        w.charge_rounds(5, "glue");
+        w.tick();
+        w.rebate_rounds(3, "parallel composition");
+        w.charge_rounds(2, "more glue");
+        w.rebate_rounds(1, "overlap");
+        assert_eq!(w.simulated_rounds(), 3);
+        assert_eq!(w.charged_rounds(), 7); // gross charges, rebates excluded
+        let log_sum: i64 = w.charge_log().iter().map(|&(_, k)| k).sum();
+        assert_eq!(
+            w.simulated_rounds() as i64 + log_sum,
+            w.rounds() as i64,
+            "simulated + Σlog must equal rounds()"
+        );
+        // Rebate entries are negative and labelled.
+        assert!(w
+            .charge_log()
+            .iter()
+            .any(|(reason, k)| reason.starts_with("rebate:") && *k < 0));
+    }
+
+    /// Reconfiguring *after* a tick must invalidate the cached labeling:
+    /// the next tick has to see the new circuits, not the cached ones.
+    #[test]
+    fn dirty_tracking_catches_reconfiguration_after_tick() {
+        let mut w = path_world(3, 1);
+        // Round 1 on the split (singleton) configuration.
+        w.beep(0, 0);
+        w.tick();
+        assert!(!w.received_any(2), "split config blocks the beep");
+        // Reconfigure after the tick: node 1 bridges its pins.
+        w.set_pin(1, 0, 0, 0);
+        w.set_pin(1, 1, 0, 0);
+        w.beep(0, 0);
+        w.tick();
+        assert!(
+            w.received(2, 0),
+            "reconfiguration after a tick must not reuse stale circuits"
+        );
+        // And back: splitting again must also be picked up.
+        w.singleton_pin_config(1);
+        w.beep(0, 0);
+        w.tick();
+        assert!(!w.received_any(2), "re-split must invalidate the cache too");
+    }
+
+    /// Many consecutive ticks without reconfiguration reuse the cached
+    /// labeling; results must stay identical to the reference engine.
+    #[test]
+    fn steady_state_ticks_match_reference() {
+        let mut inc = path_world(6, 2);
+        for v in 0..6 {
+            inc.global_pin_config(v);
+        }
+        let mut reference = inc.clone();
+        for round in 0..5 {
+            let beeper = round % 6;
+            inc.beep(beeper, 0);
+            reference.beep(beeper, 0);
+            inc.tick();
+            reference.tick_reference();
+            for v in 0..6 {
+                for pset in 0..inc.pset_capacity(v) as u16 {
+                    assert_eq!(
+                        inc.received(v, pset),
+                        reference.received(v, pset),
+                        "round {round}, node {v}, pset {pset}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Out-of-range partition sets on `beep` must panic — in release builds
+    /// too (a `debug_assert` would silently index into a neighbor's state).
+    /// Run under `cargo test --release` to exercise the release profile.
+    #[test]
+    #[should_panic(expected = "partition set 7 out of range for node 0")]
+    fn beep_bounds_check_holds_in_release() {
+        let mut w = path_world(2, 1);
+        // Node 0 has 1 pin => capacity 1; pset 7 would land in node 1's
+        // send slots if unchecked.
+        w.beep(0, 7);
+    }
+
+    /// Same release-mode bounds check on the receive side.
+    #[test]
+    #[should_panic(expected = "partition set 9 out of range for node 1")]
+    fn received_bounds_check_holds_in_release() {
+        let w = path_world(3, 1);
+        let _ = w.received(1, 9);
+    }
+
+    /// `set_pin` rejects out-of-range partition sets in release builds: a
+    /// stray pset would poison the cached circuit labeling.
+    #[test]
+    #[should_panic(expected = "partition set 12 out of range for node 0")]
+    fn set_pin_bounds_check_holds_in_release() {
+        let mut w = path_world(2, 1);
+        w.set_pin(0, 0, 0, 12);
     }
 }
 

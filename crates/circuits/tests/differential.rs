@@ -1,0 +1,261 @@
+//! Differential tests: the incremental circuit engine ([`World::tick`])
+//! against the pre-refactor full-recompute engine
+//! ([`World::tick_reference`]) and against a naive circuit-count oracle.
+//!
+//! Both worlds receive byte-identical operation streams — random
+//! topologies, random pin regroupings *between* ticks (so the
+//! dirty-tracking path is exercised), random beeps — and must agree on
+//! every delivered beep and every circuit count, every round.
+
+use amoebot_circuits::{Topology, World};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random connected topology: a random tree over `n` nodes plus up to
+/// `extra` additional random edges (duplicates skipped).
+fn random_topology(rng: &mut StdRng, n: usize, extra: usize) -> Topology {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for v in 1..n {
+        edges.push((rng.gen_range(0..v), v));
+    }
+    for _ in 0..extra {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        let e = (u.min(v), u.max(v));
+        if u != v && !edges.contains(&e) {
+            edges.push(e);
+        }
+    }
+    Topology::from_edges(n, &edges)
+}
+
+/// Test-local shadow of the pin configuration, used to compute the
+/// expected circuit count independently of either engine.
+struct Shadow {
+    c: usize,
+    /// `pset[v][port * c + link]` = local partition set of that pin.
+    pset: Vec<Vec<u16>>,
+}
+
+impl Shadow {
+    fn new(world: &World) -> Shadow {
+        let c = world.links_per_edge();
+        let pset = (0..world.topology().len())
+            .map(|v| {
+                (0..world.topology().ports_len(v) * c)
+                    .map(|i| i as u16)
+                    .collect()
+            })
+            .collect();
+        Shadow { c, pset }
+    }
+
+    /// Naive circuit count: union-find over `(node, pset)` pairs along
+    /// every external link, then count the distinct roots of referenced
+    /// partition sets. Independent of both engines under test.
+    #[allow(clippy::needless_range_loop)] // `v` also indexes `base[w]`
+    fn circuit_count(&self, topo: &Topology) -> usize {
+        let mut base = vec![0usize];
+        let mut acc = 0usize;
+        for v in 0..topo.len() {
+            acc += topo.ports_len(v) * self.c;
+            base.push(acc);
+        }
+        let total = acc;
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for v in 0..topo.len() {
+            for (p, w, q) in topo.neighbors(v) {
+                if v < w {
+                    for link in 0..self.c {
+                        let a = base[v] + self.pset[v][p * self.c + link] as usize;
+                        let b = base[w] + self.pset[w][q * self.c + link] as usize;
+                        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                        if ra != rb {
+                            parent[ra.max(rb)] = ra.min(rb);
+                        }
+                    }
+                }
+            }
+        }
+        let mut roots = std::collections::HashSet::new();
+        for v in 0..topo.len() {
+            for pin in 0..topo.ports_len(v) * self.c {
+                roots.insert(find(&mut parent, base[v] + self.pset[v][pin] as usize));
+            }
+        }
+        roots.len()
+    }
+}
+
+/// Applies one identical operation stream to both worlds and the shadow,
+/// then checks that the incremental and reference engines agree on every
+/// receive bit and on the circuit count, for `rounds` rounds.
+fn run_differential(seed: u64, n: usize, c: usize, extra: usize, rounds: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = random_topology(&mut rng, n, extra);
+    let mut inc = World::new(topo, c);
+    let mut reference = inc.clone();
+    let mut shadow = Shadow::new(&inc);
+
+    for round in 0..rounds {
+        // Random regroupings between ticks (sometimes none, so consecutive
+        // clean rounds exercise the cached-labeling path).
+        if rng.gen_bool(0.6) {
+            let nodes = rng.gen_range(1..=n);
+            for _ in 0..nodes {
+                let v = rng.gen_range(0..n);
+                let cap = inc.pset_capacity(v);
+                if cap == 0 {
+                    continue;
+                }
+                match rng.gen_range(0..4u32) {
+                    0 => {
+                        inc.global_pin_config(v);
+                        reference.global_pin_config(v);
+                        shadow.pset[v].iter_mut().for_each(|p| *p = 0);
+                    }
+                    1 => {
+                        inc.singleton_pin_config(v);
+                        reference.singleton_pin_config(v);
+                        for (i, p) in shadow.pset[v].iter_mut().enumerate() {
+                            *p = i as u16;
+                        }
+                    }
+                    _ => {
+                        // Arbitrary per-pin assignment.
+                        for port in 0..inc.topology().ports_len(v) {
+                            for link in 0..c {
+                                let pset = rng.gen_range(0..cap) as u16;
+                                inc.set_pin(v, port, link, pset);
+                                reference.set_pin(v, port, link, pset);
+                                shadow.pset[v][port * c + link] = pset;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Random beeps (possibly none: silent rounds must also agree).
+        let beeps = rng.gen_range(0..=3usize);
+        for _ in 0..beeps {
+            let v = rng.gen_range(0..n);
+            let cap = inc.pset_capacity(v);
+            if cap == 0 {
+                continue;
+            }
+            let pset = rng.gen_range(0..cap) as u16;
+            inc.beep(v, pset);
+            reference.beep(v, pset);
+        }
+
+        let expected_circuits = shadow.circuit_count(inc.topology());
+        prop_assert_eq!(
+            inc.circuit_count(),
+            expected_circuits,
+            "circuit count diverged from the naive oracle in round {}",
+            round
+        );
+
+        inc.tick();
+        reference.tick_reference();
+
+        for v in 0..n {
+            prop_assert_eq!(
+                inc.received_any(v),
+                reference.received_any(v),
+                "received_any diverged at node {} in round {}",
+                v,
+                round
+            );
+            for pset in 0..inc.pset_capacity(v) as u16 {
+                prop_assert_eq!(
+                    inc.received(v, pset),
+                    reference.received(v, pset),
+                    "delivery diverged at node {} pset {} in round {}",
+                    v,
+                    pset,
+                    round
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random topologies, regroupings and beeps: the incremental engine
+    /// must be indistinguishable from the full-recompute reference.
+    #[test]
+    fn incremental_engine_matches_reference(
+        seed in 0u64..=u64::MAX,
+        n in 2usize..24,
+        c in 1usize..4,
+        extra in 0usize..8,
+    ) {
+        run_differential(seed, n, c, extra, 8);
+    }
+}
+
+/// A reconfiguration made *after* a tick (while the cached labeling is
+/// clean) must be visible to the very next tick — on both engines.
+#[test]
+fn reconfiguration_after_clean_ticks_is_not_missed() {
+    let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+    let mut inc = World::new(topo, 2);
+    let mut reference = inc.clone();
+    for v in 0..5 {
+        inc.global_pin_config(v);
+        reference.global_pin_config(v);
+    }
+    // Several clean rounds so the incremental engine settles on its cache.
+    for _ in 0..3 {
+        inc.beep(0, 0);
+        reference.beep(0, 0);
+        inc.tick();
+        reference.tick_reference();
+        assert!(inc.received(4, 0) && reference.received(4, 0));
+    }
+    // Now node 2 splits the circuit *after* those ticks.
+    inc.singleton_pin_config(2);
+    reference.singleton_pin_config(2);
+    inc.beep(0, 0);
+    reference.beep(0, 0);
+    inc.tick();
+    reference.tick_reference();
+    assert!(
+        !inc.received_any(4) && !reference.received_any(4),
+        "stale cached circuits leaked a beep across the split"
+    );
+    assert_eq!(inc.received_any(1), reference.received_any(1));
+}
+
+/// The two tick flavors can be interleaved on the same world: the
+/// reference path keeps the incremental bookkeeping coherent.
+#[test]
+fn interleaved_tick_flavors_stay_coherent() {
+    let topo = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+    let mut w = World::new(topo, 1);
+    for v in 0..4 {
+        w.global_pin_config(v);
+    }
+    w.beep(0, 0);
+    w.tick_reference();
+    assert!(w.received(3, 0));
+    // Incremental tick right after a reference tick: the stale deliveries
+    // must be cleared and new ones computed on the fresh labeling.
+    w.beep(3, 0);
+    w.tick();
+    assert!(w.received(0, 0));
+    w.tick();
+    assert!(!w.received_any(0) && !w.received_any(3), "silent round");
+}

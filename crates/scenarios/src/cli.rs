@@ -67,16 +67,26 @@ fn parse_args() -> Args {
                 usage()
             })
         };
+        // Numeric flags name the offending flag and value before the usage
+        // text, so a typo like `--seed abc` is diagnosable at a glance.
+        fn parse_num<T: std::str::FromStr>(name: &str, raw: &str) -> T {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for {name}: {raw:?}");
+                usage()
+            })
+        }
         match arg.as_str() {
             "--seed" => {
-                args.seed = value("--seed").parse().unwrap_or_else(|_| usage());
+                let raw = value("--seed");
+                args.seed = parse_num("--seed", &raw);
             }
             "--count" => {
-                args.count = value("--count").parse().unwrap_or_else(|_| usage());
+                let raw = value("--count");
+                args.count = parse_num("--count", &raw);
             }
             "--threads" => {
-                let n: usize = value("--threads").parse().unwrap_or_else(|_| usage());
-                args.threads = Threads::Count(n);
+                let raw = value("--threads");
+                args.threads = Threads::Count(parse_num("--threads", &raw));
             }
             "--family" => args.families.push(value("--family")),
             "--out" => args.out = Some(value("--out")),
@@ -167,7 +177,9 @@ pub fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    if !args.quiet {
+    if report.results.is_empty() {
+        eprintln!("warning: no scenarios were run (--count 0); nothing was validated");
+    } else if !args.quiet {
         eprintln!(
             "all {} scenarios passed cross-validation ({} rounds simulated)",
             report.results.len(),

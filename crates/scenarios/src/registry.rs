@@ -9,7 +9,7 @@
 //! executes.
 
 use amoebot_grid::random::ALL_PLACEMENTS;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use crate::experiments;
 use crate::spec::{derive_rng, PlacementSpec, Scenario, StructureAlgorithm, StructureSpec};
@@ -116,7 +116,9 @@ impl Registry {
         (0..count)
             .map(|i| {
                 let mut rng = derive_rng(master_seed, i as u64);
-                let scenario_seed: u64 = rng.gen_range(0..u64::MAX);
+                // Full-range draw: `gen_range(0..u64::MAX)` can never yield
+                // `u64::MAX` (half-open range), silently excluding one seed.
+                let scenario_seed: u64 = rng.next_u64();
                 pool[i % pool.len()].build(scenario_seed)
             })
             .collect()

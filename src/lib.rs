@@ -1,9 +1,11 @@
 //! Facade crate re-exporting the whole SPF reproduction workspace.
 //!
-//! See `README.md` for the project overview and `DESIGN.md` for the system
-//! inventory. Most users want [`amoebot_spf`] (the paper's algorithms),
-//! [`amoebot_grid`] (structures and workloads) and [`amoebot_circuits`]
-//! (the simulator substrate).
+//! See `README.md` for the project overview and `DESIGN.md` for the
+//! system inventory (S1–S20) and the substitution notes. Most users want
+//! [`amoebot_spf`] (the paper's algorithms), [`amoebot_grid`] (structures
+//! and workloads) and [`amoebot_circuits`] (the incremental circuit
+//! simulator). The `scenario-runner` binary batch-runs the randomized
+//! cross-validated workloads.
 
 pub use amoebot_baselines as baselines;
 pub use amoebot_circuits as circuits;

@@ -160,6 +160,39 @@ fn algorithms_on_adversarial_shapes() {
 }
 
 #[test]
+fn charge_log_reconciles_for_real_algorithm_runs() {
+    // The audit invariant holds across a full algorithm run, not just for
+    // hand-driven worlds: every non-simulated adjustment of the round
+    // counter is a signed log entry, so the books always balance.
+    use spf::circuits::RoundReport;
+    use spf::core::spt::spt_in_world;
+
+    let structure = AmoebotStructure::new(shapes::hexagon(5)).unwrap();
+    let n = structure.len();
+    let mut world = World::new(Topology::from_structure(&structure), 6);
+    let mask = vec![true; n];
+    let dest_mask = vec![true; n];
+    let mut report = RoundReport::new();
+    let parents = spt_in_world(&mut world, &structure, &mask, 0, &dest_mask, &mut report);
+    assert!(parents.iter().filter(|p| p.is_some()).count() > 0);
+
+    let log_sum: i64 = world.charge_log().iter().map(|&(_, k)| k).sum();
+    assert_eq!(
+        world.simulated_rounds() as i64 + log_sum,
+        world.rounds() as i64,
+        "simulated + Σ charge_log must equal rounds()"
+    );
+    // Gross charges in the log are exactly the charged_rounds() counter.
+    let charges: i64 = world
+        .charge_log()
+        .iter()
+        .map(|&(_, k)| k)
+        .filter(|&k| k > 0)
+        .sum();
+    assert_eq!(charges, world.charged_rounds() as i64);
+}
+
+#[test]
 fn charge_log_stays_small_relative_to_simulated_rounds() {
     // Auditing the fidelity claim: the charged (non-simulated) rounds are a
     // small part of the total for the SPT, whose steps are all simulated.
