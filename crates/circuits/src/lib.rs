@@ -34,11 +34,13 @@
 //! assert_eq!(world.rounds(), 1);
 //! ```
 
+pub mod bitset;
 pub mod leader;
 pub mod report;
 pub mod topology;
 pub mod world;
 
+pub use bitset::BitSet;
 pub use report::RoundReport;
 pub use topology::{PortId, Topology};
 pub use world::World;

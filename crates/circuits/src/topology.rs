@@ -14,12 +14,25 @@ use amoebot_grid::{AmoebotStructure, Direction, ALL_DIRECTIONS};
 /// [`Direction::from_index`]`(i)` (some ports may be vacant).
 pub type PortId = usize;
 
+/// Vacant-port sentinel in the flat slot arrays.
+const NONE: u32 = u32::MAX;
+
 /// An undirected, port-labelled multigraph-free topology.
+///
+/// Stored struct-of-arrays in CSR form: `offsets[v]..offsets[v + 1]`
+/// delimits node `v`'s port slots in the flat `peer_node`/`peer_port`
+/// arrays (vacant slots hold a sentinel). The old representation — a
+/// `Vec` of per-node `Vec<Option<(usize, usize)>>` — cost one heap
+/// allocation and ~170 bytes per node; a 10^6-node world now touches two
+/// contiguous `u32` arrays instead.
 #[derive(Debug, Clone)]
 pub struct Topology {
-    /// `ports[v][p] = Some((w, q))` iff the edge at port `p` of `v` leads to
-    /// node `w`, where it occupies port `q`.
-    ports: Vec<Vec<Option<(usize, PortId)>>>,
+    /// CSR row offsets: node `v` owns slots `offsets[v]..offsets[v + 1]`.
+    offsets: Vec<u32>,
+    /// Peer node id per slot ([`NONE`] = vacant).
+    peer_node: Vec<u32>,
+    /// Peer-side port per slot (undefined for vacant slots).
+    peer_port: Vec<u32>,
     edge_count: usize,
 }
 
@@ -31,23 +44,51 @@ impl Topology {
     ///
     /// Panics on out-of-range endpoints, self-loops, or duplicate edges.
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Topology {
-        let mut ports: Vec<Vec<Option<(usize, PortId)>>> = vec![Vec::new(); n];
+        // Two passes: count degrees for the CSR offsets, then fill slots
+        // in order of appearance (ports are assigned densely, no vacancy).
+        let mut degree = vec![0u32; n];
         for &(u, v) in edges {
             assert!(u < n && v < n, "edge endpoint out of range");
             assert_ne!(u, v, "self-loops are not allowed");
-            assert!(
-                !ports[u].iter().flatten().any(|&(w, _)| w == v),
-                "duplicate edge ({u}, {v})"
-            );
-            let pu = ports[u].len();
-            let pv = ports[v].len();
-            ports[u].push(Some((v, pv)));
-            ports[v].push(Some((u, pu)));
+            degree[u] += 1;
+            degree[v] += 1;
         }
-        Topology {
-            ports,
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        for &d in &degree {
+            offsets.push(acc);
+            acc += d;
+        }
+        offsets.push(acc);
+        let mut filled = vec![0u32; n];
+        let mut peer_node = vec![NONE; acc as usize];
+        let mut peer_port = vec![NONE; acc as usize];
+        for &(u, v) in edges {
+            let pu = filled[u];
+            let pv = filled[v];
+            filled[u] += 1;
+            filled[v] += 1;
+            let su = (offsets[u] + pu) as usize;
+            let sv = (offsets[v] + pv) as usize;
+            peer_node[su] = v as u32;
+            peer_port[su] = pv;
+            peer_node[sv] = u as u32;
+            peer_port[sv] = pu;
+        }
+        let t = Topology {
+            offsets,
+            peer_node,
+            peer_port,
             edge_count: edges.len(),
+        };
+        for v in 0..n {
+            let mut seen: Vec<usize> = t.neighbors(v).map(|(_, w, _)| w).collect();
+            seen.sort_unstable();
+            for w in seen.windows(2) {
+                assert!(w[0] != w[1], "duplicate edge ({v}, {})", w[0]);
+            }
         }
+        t
     }
 
     /// Builds the topology of `G_X` with ports indexed by [`Direction`]:
@@ -55,31 +96,40 @@ impl Topology {
     /// (vacant if unoccupied). Every node has exactly 6 port slots.
     pub fn from_structure(structure: &AmoebotStructure) -> Topology {
         let n = structure.len();
-        let mut ports: Vec<Vec<Option<(usize, PortId)>>> = vec![vec![None; 6]; n];
+        let offsets: Vec<u32> = (0..=n as u32).map(|v| v * 6).collect();
+        let mut peer_node = vec![NONE; n * 6];
+        let mut peer_port = vec![NONE; n * 6];
         let mut edge_count = 0;
         for v in structure.nodes() {
             for d in ALL_DIRECTIONS {
                 if let Some(w) = structure.neighbor(v, d) {
-                    ports[v.index()][d.index()] = Some((w.index(), d.opposite().index()));
+                    let slot = v.index() * 6 + d.index();
+                    peer_node[slot] = w.0;
+                    peer_port[slot] = d.opposite().index() as u32;
                     if v.index() < w.index() {
                         edge_count += 1;
                     }
                 }
             }
         }
-        Topology { ports, edge_count }
+        Topology {
+            offsets,
+            peer_node,
+            peer_port,
+            edge_count,
+        }
     }
 
     /// Number of nodes.
     #[inline]
     pub fn len(&self) -> usize {
-        self.ports.len()
+        self.offsets.len() - 1
     }
 
     /// Whether the topology has no nodes.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.ports.is_empty()
+        self.len() == 0
     }
 
     /// Number of undirected edges.
@@ -91,27 +141,56 @@ impl Topology {
     /// Number of port slots of `v` (vacant slots included).
     #[inline]
     pub fn ports_len(&self, v: usize) -> usize {
-        self.ports[v].len()
+        (self.offsets[v + 1] - self.offsets[v]) as usize
     }
 
     /// The neighbor behind port `p` of `v` and the port the edge occupies on
     /// the neighbor's side, or `None` for a vacant slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range for `v` — also in release builds: in
+    /// the flat CSR arrays an unchecked out-of-range port would silently
+    /// read a *different node's* slot (the pre-CSR nested-`Vec` layout
+    /// panicked here too, via its inner indexing).
     #[inline]
     pub fn peer(&self, v: usize, p: PortId) -> Option<(usize, PortId)> {
-        self.ports[v][p]
+        let count = self.ports_len(v);
+        if p >= count {
+            Self::port_out_of_range(v, p, count);
+        }
+        let slot = self.offsets[v] as usize + p;
+        let w = self.peer_node[slot];
+        (w != NONE).then(|| (w as usize, self.peer_port[slot] as usize))
+    }
+
+    /// Outlined panic for [`Topology::peer`]: keeps the formatting
+    /// machinery out of the inlined hot path while the range check itself
+    /// stays on.
+    #[cold]
+    #[inline(never)]
+    fn port_out_of_range(v: usize, p: PortId, count: usize) -> ! {
+        panic!("port {p} out of range for node {v} ({count} slots)");
     }
 
     /// Iterator over the occupied ports of `v` as `(port, neighbor, peer_port)`.
     pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (PortId, usize, PortId)> + '_ {
-        self.ports[v]
-            .iter()
-            .enumerate()
-            .filter_map(|(p, slot)| slot.map(|(w, q)| (p, w, q)))
+        let start = self.offsets[v] as usize;
+        let end = self.offsets[v + 1] as usize;
+        (start..end).filter_map(move |slot| {
+            let w = self.peer_node[slot];
+            (w != NONE).then(|| (slot - start, w as usize, self.peer_port[slot] as usize))
+        })
     }
 
     /// Degree of `v` (occupied ports).
     pub fn degree(&self, v: usize) -> usize {
-        self.ports[v].iter().flatten().count()
+        let start = self.offsets[v] as usize;
+        let end = self.offsets[v + 1] as usize;
+        self.peer_node[start..end]
+            .iter()
+            .filter(|&&w| w != NONE)
+            .count()
     }
 
     /// The port of `v` that leads to `w`, if the two are adjacent.
@@ -153,6 +232,15 @@ mod tests {
     #[should_panic(expected = "duplicate edge")]
     fn rejects_duplicate_edges() {
         Topology::from_edges(2, &[(0, 1), (1, 0)]);
+    }
+
+    /// Out-of-range ports must panic in release builds too: in the flat
+    /// CSR arrays an unchecked port would read a different node's slot.
+    #[test]
+    #[should_panic(expected = "port 1 out of range for node 0")]
+    fn peer_bounds_check_holds_in_release() {
+        let t = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let _ = t.peer(0, 1); // node 0 has exactly 1 port
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! alive verbatim; differential tests and the `circuit_engine` benches pin
 //! the incremental engine against it.
 
+use crate::bitset::BitSet;
 use crate::topology::{PortId, Topology};
 
 /// A pin reference local to a node: `(port, link)` with `link < c`.
@@ -51,12 +52,14 @@ pub struct World {
     /// consecutive pins from there) and `base_a`/`base_b` the owning
     /// nodes' base offsets, so relabeling needs no per-pin node lookup.
     links: Vec<(u32, u32, u32, u32)>,
-    /// Partition sets (by global id) that beep this round.
-    send: Vec<bool>,
+    /// Partition sets (by global id) that beep this round (bit-packed;
+    /// the set bits are always a subset of the dense `sent` list).
+    send: BitSet,
     /// Dense list of the gids set in `send` (clears in O(beeps)).
     sent: Vec<u32>,
-    /// Partition sets (by global id) that received a beep last round.
-    recv: Vec<bool>,
+    /// Partition sets (by global id) that received a beep last round
+    /// (bit-packed; set bits ⊆ `recv_set`).
+    recv: BitSet,
     /// Dense list of the gids set in `recv` (clears in O(deliveries)).
     recv_set: Vec<u32>,
     /// Union-find scratch (parents over global partition-set ids).
@@ -69,8 +72,8 @@ pub struct World {
     /// starts at `member_start[r - 1]` (0 for `r == 0`).
     member_start: Vec<u32>,
     members: Vec<u32>,
-    /// Root dedup scratch; always all-false between uses.
-    root_mark: Vec<bool>,
+    /// Root dedup scratch; always all-clear between uses (bit-packed).
+    root_mark: BitSet,
     /// Dense list of roots currently marked in `root_mark`.
     marked_roots: Vec<u32>,
     /// Whether a pin changed partition set since the last relabel.
@@ -122,17 +125,17 @@ impl World {
             base,
             pin_pset: vec![0; total],
             links,
-            send: vec![false; total],
+            send: BitSet::new(total),
             // Worst-case capacity up front (cheap: pages fault on first
             // write, not at malloc), so ticks never reallocate.
             sent: Vec::with_capacity(total),
-            recv: vec![false; total],
+            recv: BitSet::new(total),
             recv_set: Vec::with_capacity(total),
             uf: vec![0; total],
             labels: vec![0; total],
             member_start: vec![0; total + 1],
             members: vec![0; total],
-            root_mark: vec![false; total],
+            root_mark: BitSet::new(total),
             marked_roots: Vec::with_capacity(total),
             dirty: true,
             cached_circuits: 0,
@@ -382,8 +385,8 @@ impl World {
     #[inline]
     pub fn beep(&mut self, v: usize, pset: u16) {
         let gid = self.pset_gid(v, pset);
-        if !self.send[gid] {
-            self.send[gid] = true;
+        if !self.send.get(gid) {
+            self.send.set(gid);
             self.sent.push(gid as u32);
             self.beeps_sent += 1;
         }
@@ -397,12 +400,14 @@ impl World {
     /// Panics if `pset` is out of range for `v` (also in release builds).
     #[inline]
     pub fn received(&self, v: usize, pset: u16) -> bool {
-        self.recv[self.pset_gid(v, pset)]
+        self.recv.get(self.pset_gid(v, pset))
     }
 
-    /// Whether any partition set of `v` received a beep this round.
+    /// Whether any partition set of `v` received a beep this round
+    /// (word-at-a-time over the packed receive flags).
     pub fn received_any(&self, v: usize) -> bool {
-        (self.base[v]..self.base[v + 1]).any(|gid| self.recv[gid as usize])
+        self.recv
+            .any_in_range(self.base[v] as usize, self.base[v + 1] as usize)
     }
 
     fn find(&mut self, mut x: u32) -> u32 {
@@ -475,15 +480,15 @@ impl World {
             for p in node_base..self.base[v + 1] {
                 let pset_gid = node_base + self.pin_pset[p as usize] as u32;
                 let root = self.labels[pset_gid as usize] as usize;
-                if !self.root_mark[root] {
-                    self.root_mark[root] = true;
+                if !self.root_mark.get(root) {
+                    self.root_mark.set(root);
                     self.marked_roots.push(root as u32);
                     count += 1;
                 }
             }
         }
         for &root in &self.marked_roots {
-            self.root_mark[root as usize] = false;
+            self.root_mark.clear(root as usize);
         }
         self.marked_roots.clear();
         self.cached_circuits = count;
@@ -500,15 +505,15 @@ impl World {
         }
         // Clear last round's deliveries (O(previous deliveries)).
         for &gid in &self.recv_set {
-            self.recv[gid as usize] = false;
+            self.recv.clear(gid as usize);
         }
         self.recv_set.clear();
         // Dedup the beeping circuits (O(beeps sent)).
         for &gid in &self.sent {
-            self.send[gid as usize] = false;
+            self.send.clear(gid as usize);
             let root = self.labels[gid as usize] as usize;
-            if !self.root_mark[root] {
-                self.root_mark[root] = true;
+            if !self.root_mark.get(root) {
+                self.root_mark.set(root);
                 self.marked_roots.push(root as u32);
             }
         }
@@ -526,12 +531,12 @@ impl World {
             let end = self.member_start[root] as usize;
             for j in start..end {
                 let gid = self.members[j];
-                self.recv[gid as usize] = true;
+                self.recv.set(gid as usize);
                 self.recv_set.push(gid);
             }
         }
         for &root in &self.marked_roots {
-            self.root_mark[root as usize] = false;
+            self.root_mark.clear(root as usize);
         }
         self.marked_roots.clear();
         self.rounds += 1;
@@ -567,7 +572,7 @@ impl World {
         // Deliver beeps: a circuit beeps iff any of its partition sets sent.
         let mut fresh = vec![false; total];
         for gid in 0..total as u32 {
-            if self.send[gid as usize] {
+            if self.send.get(gid as usize) {
                 let root = self.find(gid);
                 fresh[root as usize] = true;
             }
@@ -576,14 +581,20 @@ impl World {
         for gid in 0..total as u32 {
             let root = self.find(gid);
             let delivered = fresh[root as usize];
-            self.recv[gid as usize] = delivered;
             if delivered {
+                self.recv.set(gid as usize);
                 // Keep the incremental engine's delivery bookkeeping in
                 // sync so the two tick flavors can be interleaved.
                 self.recv_set.push(gid);
+            } else {
+                self.recv.clear(gid as usize);
             }
         }
-        self.send.iter_mut().for_each(|b| *b = false);
+        // Set send bits are always a subset of the dense `sent` list, so
+        // clearing through the list clears them all.
+        for &gid in &self.sent {
+            self.send.clear(gid as usize);
+        }
         self.sent.clear();
         // This path clobbers `uf` without refreshing `labels`.
         self.dirty = true;

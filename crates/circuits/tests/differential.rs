@@ -8,6 +8,7 @@
 //! every delivered beep and every circuit count, every round.
 
 use amoebot_circuits::{Topology, World};
+use amoebot_grid::{AmoebotStructure, Coord, ALL_DIRECTIONS};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -101,6 +102,11 @@ impl Shadow {
 fn run_differential(seed: u64, n: usize, c: usize, extra: usize, rounds: usize) {
     let mut rng = StdRng::seed_from_u64(seed);
     let topo = random_topology(&mut rng, n, extra);
+    run_differential_on(&mut rng, topo, c, rounds)
+}
+
+fn run_differential_on(rng: &mut StdRng, topo: Topology, c: usize, rounds: usize) {
+    let n = topo.len();
     let mut inc = World::new(topo, c);
     let mut reference = inc.clone();
     let mut shadow = Shadow::new(&inc);
@@ -190,20 +196,101 @@ fn run_differential(seed: u64, n: usize, c: usize, extra: usize, rounds: usize) 
     }
 }
 
+/// A random connected coordinate set grown by a self-intersecting walk —
+/// unlike the blob generator it freely encloses **holes** — with a short
+/// eastward tail glued to the lexicographically largest cell so the
+/// structure always carries **pendant** (degree-1) nodes. This exercises
+/// the SoA storage path on exactly the irregular shapes the dense-grid
+/// benchmarks never produce: vacant port slots, degree-1 chains, cells
+/// around enclosed pockets.
+fn random_holey_structure(rng: &mut StdRng, steps: usize) -> AmoebotStructure {
+    let mut cells = vec![Coord::origin()];
+    let mut cur = Coord::origin();
+    for _ in 0..steps {
+        cur = cur.neighbor(ALL_DIRECTIONS[rng.gen_range(0..ALL_DIRECTIONS.len())]);
+        cells.push(cur);
+    }
+    cells.sort_unstable();
+    cells.dedup();
+    // Pendant tail east of the lexicographic maximum (every tail cell is
+    // lexicographically larger still, so the cells are fresh and the tail
+    // stays a chain).
+    let mut tip = *cells.last().expect("walk is non-empty");
+    for _ in 0..3 {
+        tip = Coord::new(tip.q + 1, tip.r);
+        cells.push(tip);
+    }
+    AmoebotStructure::new(cells).expect("walks and their tails are connected")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Random topologies, regroupings and beeps: the incremental engine
     /// must be indistinguishable from the full-recompute reference.
+    /// `n` starts at 1: a single-node world (no edges, no circuits
+    /// beyond its own pins) must survive the whole op stream too.
     #[test]
     fn incremental_engine_matches_reference(
         seed in 0u64..=u64::MAX,
-        n in 2usize..24,
+        n in 1usize..24,
         c in 1usize..4,
         extra in 0usize..8,
     ) {
         run_differential(seed, n, c, extra, 8);
     }
+
+    /// Structure-derived topologies at irregular shapes: holes, pendant
+    /// chains, vacant port slots. The grid worlds the sweeps run are
+    /// built exactly this way (`Topology::from_structure`), so the
+    /// engines must agree on them as well — including on the single-node
+    /// structure (steps = 0), which is all vacant ports.
+    #[test]
+    fn engines_agree_on_holey_and_pendant_structures(
+        seed in 0u64..=u64::MAX,
+        steps in 0usize..40,
+        c in 1usize..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = random_holey_structure(&mut rng, steps);
+        run_differential_on(&mut rng, Topology::from_structure(&s), c, 6);
+    }
+}
+
+/// A deterministic hole: the 6-cell ring around an empty center. Lemma 9
+/// fails on structures with holes (the algorithms reject them), but the
+/// *simulator* must still be exact on them.
+#[test]
+fn engines_agree_on_a_ring_with_a_hole() {
+    let ring: Vec<Coord> = Coord::origin().neighbors().to_vec();
+    let s = AmoebotStructure::new(ring).unwrap();
+    assert!(!s.is_hole_free());
+    let mut rng = StdRng::seed_from_u64(99);
+    run_differential_on(&mut rng, Topology::from_structure(&s), 2, 8);
+}
+
+/// The smallest world: one node, no edges. Beeps on its own partition
+/// sets must deliver to nothing, the circuit count must equal the number
+/// of referenced partition sets, and both engines must agree on all of it.
+#[test]
+fn single_node_world_ticks_on_both_engines() {
+    let s = AmoebotStructure::new([Coord::origin()]).unwrap();
+    let mut w = World::new(Topology::from_structure(&s), 2);
+    assert_eq!(w.pset_capacity(0), 12); // 6 vacant ports x 2 links
+    assert_eq!(w.circuit_count(), 12); // every pin its own singleton circuit
+    w.beep(0, 0);
+    w.tick();
+    // A beep on an isolated partition set is delivered to that set alone.
+    assert!(w.received(0, 0));
+    assert!(!w.received(0, 1));
+    w.tick_reference();
+    assert!(!w.received_any(0), "silent round after the beep");
+    w.global_pin_config(0);
+    assert_eq!(w.circuit_count(), 1);
+    w.beep(0, 0);
+    w.tick();
+    assert!(w.received(0, 0));
+    assert_eq!(w.rounds(), 3);
 }
 
 /// A reconfiguration made *after* a tick (while the cached labeling is

@@ -1,0 +1,252 @@
+//! Chunked occupancy bitmaps for million-cell coordinate sets.
+//!
+//! The random generators used to track occupancy in a `HashSet<Coord>`:
+//! 16 bytes per cell plus hashing on every membership test. At the sweep
+//! scales this repo now targets (10^6-node structures) that is both a
+//! memory blowup and a cache disaster. A [`ChunkGrid`] instead stores one
+//! bit per cell in 16×16-cell chunks (32 bytes of payload each), keyed by
+//! chunk coordinate — the same chunked-world idea game simulators use for
+//! sparse infinite grids. Membership is two shifts and a mask once the
+//! chunk is found, and the found chunk is cached so the hot pattern of the
+//! generators (probe a cell and its six neighbors) usually pays for one
+//! hash lookup, not seven.
+//!
+//! Iteration streams cells out chunk by chunk in a canonical order
+//! (chunks sorted by `(r, q)`, row-major within a chunk), so consumers
+//! get deterministic, mostly-sorted output without materializing any
+//! intermediate set.
+
+use std::collections::HashMap;
+
+use crate::coord::Coord;
+
+/// Cells per chunk side; a chunk covers `CHUNK × CHUNK` cells.
+const CHUNK: i32 = 16;
+/// One `u64` of bits per row of a chunk... not quite: 16×16 = 256 bits =
+/// four `u64` words, two rows per word.
+const WORDS: usize = (CHUNK * CHUNK) as usize / 64;
+
+/// A sparse, unbounded occupancy bitmap over the triangular grid's axial
+/// coordinates, chunked 16×16.
+#[derive(Debug, Clone, Default)]
+pub struct ChunkGrid {
+    chunks: HashMap<(i32, i32), [u64; WORDS]>,
+    /// Key of the most recently touched chunk (one-entry lookup cache).
+    cached_key: Option<(i32, i32)>,
+    cached: [u64; WORDS],
+    len: usize,
+}
+
+#[inline]
+fn split(c: Coord) -> ((i32, i32), usize) {
+    let cq = c.q.div_euclid(CHUNK);
+    let cr = c.r.div_euclid(CHUNK);
+    let lq = c.q.rem_euclid(CHUNK) as usize;
+    let lr = c.r.rem_euclid(CHUNK) as usize;
+    ((cq, cr), lr * CHUNK as usize + lq)
+}
+
+impl ChunkGrid {
+    /// An empty grid.
+    pub fn new() -> ChunkGrid {
+        ChunkGrid::default()
+    }
+
+    /// Number of occupied cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no cell is occupied.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes the cached chunk back to the map (if any), emptying the
+    /// cache slot.
+    fn flush(&mut self) {
+        if let Some(prev) = self.cached_key.take() {
+            self.chunks.insert(prev, self.cached);
+        }
+    }
+
+    /// Loads `key` into the cache (writing the previous chunk back),
+    /// creating the chunk when `create` is set. Returns `false` — and
+    /// crucially keeps the current chunk cached — if the chunk does not
+    /// exist and `create` is off: the generators' hot pattern probes a
+    /// cell's six neighbors, and a probe that misses into a never-touched
+    /// chunk must not evict the hot chunk the other five probes hit.
+    #[inline]
+    fn load(&mut self, key: (i32, i32), create: bool) -> bool {
+        if self.cached_key == Some(key) {
+            return true;
+        }
+        // Note: if the cached chunk exists in the map too, that map copy
+        // is stale — but `key != cached_key`, so this lookup never reads
+        // the stale entry.
+        match self.chunks.get(&key) {
+            Some(words) => {
+                let words = *words;
+                self.flush();
+                self.cached = words;
+                self.cached_key = Some(key);
+                true
+            }
+            None if create => {
+                self.flush();
+                self.cached = [0; WORDS];
+                self.cached_key = Some(key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `c`; returns `true` if it was vacant.
+    #[inline]
+    pub fn insert(&mut self, c: Coord) -> bool {
+        let (key, bit) = split(c);
+        self.load(key, true);
+        let (word, mask) = (bit / 64, 1u64 << (bit % 64));
+        if self.cached[word] & mask != 0 {
+            return false;
+        }
+        self.cached[word] |= mask;
+        self.len += 1;
+        true
+    }
+
+    /// Whether `c` is occupied.
+    #[inline]
+    pub fn contains(&mut self, c: Coord) -> bool {
+        let (key, bit) = split(c);
+        if !self.load(key, false) {
+            return false;
+        }
+        self.cached[bit / 64] & (1 << (bit % 64)) != 0
+    }
+
+    /// Streams every occupied cell, chunk by chunk: chunks in `(r, q)`
+    /// order, cells row-major within each chunk. Deterministic for a given
+    /// content regardless of insertion order.
+    pub fn iter(&mut self) -> impl Iterator<Item = Coord> + '_ {
+        self.flush();
+        let mut keys: Vec<(i32, i32)> = self.chunks.keys().copied().collect();
+        keys.sort_unstable_by_key(|&(cq, cr)| (cr, cq));
+        let chunks = &self.chunks;
+        keys.into_iter().flat_map(move |key| {
+            let words = chunks[&key];
+            (0..(CHUNK * CHUNK) as usize).filter_map(move |bit| {
+                if words[bit / 64] & (1 << (bit % 64)) == 0 {
+                    return None;
+                }
+                let (lq, lr) = (bit as i32 % CHUNK, bit as i32 / CHUNK);
+                Some(Coord::new(key.0 * CHUNK + lq, key.1 * CHUNK + lr))
+            })
+        })
+    }
+
+    /// Drains the grid into a sorted coordinate vector.
+    pub fn into_sorted_vec(mut self) -> Vec<Coord> {
+        let mut out: Vec<Coord> = self.iter().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+impl Extend<Coord> for ChunkGrid {
+    fn extend<T: IntoIterator<Item = Coord>>(&mut self, iter: T) {
+        for c in iter {
+            self.insert(c);
+        }
+    }
+}
+
+impl FromIterator<Coord> for ChunkGrid {
+    fn from_iter<T: IntoIterator<Item = Coord>>(iter: T) -> ChunkGrid {
+        let mut g = ChunkGrid::new();
+        g.extend(iter);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_len() {
+        let mut g = ChunkGrid::new();
+        assert!(g.is_empty());
+        assert!(g.insert(Coord::new(0, 0)));
+        assert!(!g.insert(Coord::new(0, 0)));
+        assert!(g.insert(Coord::new(-17, 33)));
+        assert_eq!(g.len(), 2);
+        assert!(g.contains(Coord::new(0, 0)));
+        assert!(g.contains(Coord::new(-17, 33)));
+        assert!(!g.contains(Coord::new(1, 0)));
+        assert!(!g.contains(Coord::new(1000, -1000)));
+    }
+
+    #[test]
+    fn negative_coordinates_round_trip() {
+        let mut g = ChunkGrid::new();
+        let cells = [
+            Coord::new(-1, -1),
+            Coord::new(-16, -16),
+            Coord::new(-17, -17),
+            Coord::new(15, -1),
+            Coord::new(-1, 15),
+        ];
+        for &c in &cells {
+            assert!(g.insert(c), "{c}");
+        }
+        for &c in &cells {
+            assert!(g.contains(c), "{c}");
+        }
+        let mut got: Vec<Coord> = g.iter().collect();
+        got.sort_unstable();
+        let mut want = cells.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn iteration_matches_content_not_insertion_order() {
+        let cells: Vec<Coord> = (0..40)
+            .map(|i| Coord::new(i * 7 % 50, i * 13 % 50))
+            .collect();
+        let mut fwd: ChunkGrid = cells.iter().copied().collect();
+        let mut rev: ChunkGrid = cells.iter().rev().copied().collect();
+        let a: Vec<Coord> = fwd.iter().collect();
+        let b: Vec<Coord> = rev.iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), fwd.len());
+    }
+
+    #[test]
+    fn into_sorted_vec_is_sorted_and_complete() {
+        let mut cells: Vec<Coord> = (0..200)
+            .map(|i| Coord::new(i % 23 - 11, i / 23 - 4))
+            .collect();
+        let g: ChunkGrid = cells.iter().copied().collect();
+        cells.sort_unstable();
+        cells.dedup();
+        assert_eq!(g.into_sorted_vec(), cells);
+    }
+
+    #[test]
+    fn large_dense_patch() {
+        let mut g = ChunkGrid::new();
+        for q in -100..100 {
+            for r in -100..100 {
+                assert!(g.insert(Coord::new(q, r)));
+            }
+        }
+        assert_eq!(g.len(), 200 * 200);
+        assert!(g.contains(Coord::new(-100, 99)));
+        assert!(!g.contains(Coord::new(-101, 0)));
+    }
+}

@@ -27,6 +27,7 @@
 //! ```
 
 pub mod bfs;
+pub mod chunkgrid;
 pub mod coord;
 pub mod random;
 pub mod render;
@@ -35,6 +36,7 @@ pub mod structure;
 pub mod validate;
 
 pub use bfs::{bfs_distances, bfs_parents, multi_source_bfs};
+pub use chunkgrid::ChunkGrid;
 pub use coord::{Axis, Coord, Direction, ALL_AXES, ALL_DIRECTIONS};
 pub use random::{random_placement, random_shape_mix, random_snake, random_structure, Placement};
 pub use structure::{AmoebotStructure, NodeId, StructureError};

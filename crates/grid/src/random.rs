@@ -15,6 +15,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::HashSet;
 
+use crate::chunkgrid::ChunkGrid;
 use crate::coord::{Coord, Direction, ALL_DIRECTIONS};
 use crate::shapes;
 use crate::structure::{AmoebotStructure, NodeId};
@@ -27,9 +28,19 @@ pub fn fill_holes(coords: Vec<Coord>) -> Vec<Coord> {
     if coords.is_empty() {
         return coords;
     }
-    let occupied: HashSet<Coord> = coords.iter().copied().collect();
+    fill_holes_grid(coords.into_iter().collect()).into_sorted_vec()
+}
+
+/// [`fill_holes`] over a chunked occupancy bitmap — the streaming form the
+/// large generators use directly so no intermediate `HashSet` or
+/// coordinate vector is materialized. The flood fill and the hole sweep
+/// both run on one-bit-per-cell chunks.
+pub fn fill_holes_grid(mut occupied: ChunkGrid) -> ChunkGrid {
+    if occupied.is_empty() {
+        return occupied;
+    }
     let (mut min_q, mut max_q, mut min_r, mut max_r) = (i32::MAX, i32::MIN, i32::MAX, i32::MIN);
-    for c in &coords {
+    for c in occupied.iter() {
         min_q = min_q.min(c.q);
         max_q = max_q.max(c.q);
         min_r = min_r.min(c.r);
@@ -40,7 +51,7 @@ pub fn fill_holes(coords: Vec<Coord>) -> Vec<Coord> {
 
     // Flood the complement from the boundary ring (all boundary cells are
     // unoccupied because the box was extended by one).
-    let mut outside: HashSet<Coord> = HashSet::new();
+    let mut outside = ChunkGrid::new();
     let mut stack: Vec<Coord> = Vec::new();
     for q in min_q..=max_q {
         for r in [min_r, max_r] {
@@ -60,23 +71,23 @@ pub fn fill_holes(coords: Vec<Coord>) -> Vec<Coord> {
     }
     while let Some(c) = stack.pop() {
         for nb in c.neighbors() {
-            if in_box(nb) && !occupied.contains(&nb) && outside.insert(nb) {
+            if in_box(nb) && !occupied.contains(nb) && outside.insert(nb) {
                 stack.push(nb);
             }
         }
     }
 
-    let mut out: Vec<Coord> = coords;
-    for q in min_q..=max_q {
-        for r in min_r..=max_r {
+    // Everything in the box that neither holds an amoebot nor was reached
+    // from outside is a hole: fill it. Row-major sweep, chunk-cached.
+    for r in min_r..=max_r {
+        for q in min_q..=max_q {
             let c = Coord::new(q, r);
-            if !occupied.contains(&c) && !outside.contains(&c) {
-                out.push(c);
+            if !outside.contains(c) {
+                occupied.insert(c);
             }
         }
     }
-    out.sort();
-    out
+    occupied
 }
 
 /// A random connected hole-free structure of exactly `n` amoebots, grown
@@ -99,7 +110,7 @@ pub fn random_structure<R: Rng>(n: usize, rng: &mut R) -> Vec<Coord> {
 pub fn random_shape_mix<R: Rng>(pieces: usize, scale: usize, rng: &mut R) -> Vec<Coord> {
     assert!(pieces >= 1, "need at least one piece");
     assert!(scale >= 2, "scale must be at least 2");
-    let mut occupied: HashSet<Coord> = HashSet::new();
+    let mut occupied = ChunkGrid::new();
     let mut cells: Vec<Coord> = Vec::new(); // insertion order, for anchor picks
     for _ in 0..pieces {
         let piece = random_piece(scale, rng);
@@ -118,7 +129,8 @@ pub fn random_shape_mix<R: Rng>(pieces: usize, scale: usize, rng: &mut R) -> Vec
             }
         }
     }
-    fill_holes(cells)
+    drop(cells);
+    fill_holes_grid(occupied).into_sorted_vec()
 }
 
 fn random_piece<R: Rng>(scale: usize, rng: &mut R) -> Vec<Coord> {
@@ -143,8 +155,7 @@ pub fn random_snake<R: Rng>(segments: usize, seg_len: usize, rng: &mut R) -> Vec
         segments >= 1 && seg_len >= 1,
         "snake must have positive extent"
     );
-    let mut cells: Vec<Coord> = vec![Coord::origin()];
-    let mut seen: HashSet<Coord> = cells.iter().copied().collect();
+    let mut seen: ChunkGrid = [Coord::origin()].into_iter().collect();
     let mut cur = Coord::origin();
     let mut prev_dir: Option<Direction> = None;
     for _ in 0..segments {
@@ -156,13 +167,11 @@ pub fn random_snake<R: Rng>(segments: usize, seg_len: usize, rng: &mut R) -> Vec
         };
         for _ in 0..seg_len {
             cur = cur.neighbor(dir);
-            if seen.insert(cur) {
-                cells.push(cur);
-            }
+            seen.insert(cur);
         }
         prev_dir = Some(dir);
     }
-    fill_holes(cells)
+    fill_holes_grid(seen).into_sorted_vec()
 }
 
 /// How [`random_placement`] spreads `k` marked amoebots over a structure.

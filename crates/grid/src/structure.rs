@@ -1,9 +1,24 @@
 //! Connected, hole-free amoebot structures on the triangular grid.
+//!
+//! # Memory layout
+//!
+//! The structure is stored struct-of-arrays, sized for 10^6-node worlds:
+//!
+//! * `coords` — node id to coordinate, in construction order;
+//! * `index` — `(coord, id)` pairs sorted by coordinate; [`node_at`] is a
+//!   binary search over this flat array (no `HashMap`, no per-entry heap);
+//! * `neighbors` — one flat `u32` per (node, direction) slot, `6n` total,
+//!   with [`NONE`] marking vacant directions.
+//!
+//! [`node_at`]: AmoebotStructure::node_at
 
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::coord::{Axis, Coord, Direction, ALL_DIRECTIONS};
+
+/// Vacant-slot sentinel of the flat neighbor table (an id would exceed
+/// the `u32` id space before colliding with it).
+const NONE: u32 = u32::MAX;
 
 /// Identifier of an amoebot (equivalently: of the node it occupies) within an
 /// [`AmoebotStructure`]. Identifiers are dense indices `0..n`.
@@ -64,8 +79,11 @@ impl std::error::Error for StructureError {}
 #[derive(Debug, Clone)]
 pub struct AmoebotStructure {
     coords: Vec<Coord>,
-    index: HashMap<Coord, NodeId>,
-    neighbors: Vec<[Option<NodeId>; 6]>,
+    /// `(coord, id)` sorted by coordinate; binary-searched by [`Self::node_at`].
+    index: Vec<(Coord, u32)>,
+    /// Flat direction-indexed neighbor ids: slot `6 * v + d.index()` is the
+    /// neighbor of `v` towards `d`, or [`NONE`].
+    neighbors: Vec<u32>,
 }
 
 impl AmoebotStructure {
@@ -83,22 +101,26 @@ impl AmoebotStructure {
         if coords.is_empty() {
             return Err(StructureError::Empty);
         }
-        let mut index = HashMap::with_capacity(coords.len());
-        for (i, &c) in coords.iter().enumerate() {
-            if index.insert(c, NodeId(i as u32)).is_some() {
-                return Err(StructureError::Duplicate(c));
+        let mut index: Vec<(Coord, u32)> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i as u32))
+            .collect();
+        index.sort_unstable_by_key(|&(c, _)| c);
+        for w in index.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(StructureError::Duplicate(w[0].0));
             }
         }
-        let neighbors = coords
-            .iter()
-            .map(|&c| {
-                let mut nbr = [None; 6];
-                for d in ALL_DIRECTIONS {
-                    nbr[d.index()] = index.get(&c.neighbor(d)).copied();
+        let mut neighbors = vec![NONE; coords.len() * 6];
+        for (i, &c) in coords.iter().enumerate() {
+            for d in ALL_DIRECTIONS {
+                let target = c.neighbor(d);
+                if let Ok(at) = index.binary_search_by_key(&target, |&(c, _)| c) {
+                    neighbors[i * 6 + d.index()] = index[at].1;
                 }
-                nbr
-            })
-            .collect();
+            }
+        }
         let s = AmoebotStructure {
             coords,
             index,
@@ -137,35 +159,45 @@ impl AmoebotStructure {
         self.coords[node.index()]
     }
 
-    /// The node occupying `coord`, if any.
+    /// The node occupying `coord`, if any. A binary search over the flat
+    /// sorted index (`O(log n)`, no hashing, no pointer chasing).
     #[inline]
     pub fn node_at(&self, coord: Coord) -> Option<NodeId> {
-        self.index.get(&coord).copied()
+        self.index
+            .binary_search_by_key(&coord, |&(c, _)| c)
+            .ok()
+            .map(|at| NodeId(self.index[at].1))
     }
 
     /// Whether `coord` is occupied.
     #[inline]
     pub fn occupied(&self, coord: Coord) -> bool {
-        self.index.contains_key(&coord)
+        self.index.binary_search_by_key(&coord, |&(c, _)| c).is_ok()
     }
 
     /// The neighbor of `node` in direction `dir`, if occupied.
     #[inline]
     pub fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
-        self.neighbors[node.index()][dir.index()]
+        let id = self.neighbors[node.index() * 6 + dir.index()];
+        (id != NONE).then_some(NodeId(id))
     }
 
     /// All occupied neighbors of `node` as `(direction, node)` pairs.
     pub fn neighbors_of(&self, node: NodeId) -> impl Iterator<Item = (Direction, NodeId)> + '_ {
-        let row = self.neighbors[node.index()];
-        ALL_DIRECTIONS
-            .into_iter()
-            .filter_map(move |d| row[d.index()].map(|v| (d, v)))
+        let base = node.index() * 6;
+        ALL_DIRECTIONS.into_iter().filter_map(move |d| {
+            let id = self.neighbors[base + d.index()];
+            (id != NONE).then_some((d, NodeId(id)))
+        })
     }
 
     /// Degree of `node` within `G_X`.
     pub fn degree(&self, node: NodeId) -> usize {
-        self.neighbors[node.index()].iter().flatten().count()
+        let base = node.index() * 6;
+        self.neighbors[base..base + 6]
+            .iter()
+            .filter(|&&id| id != NONE)
+            .count()
     }
 
     /// Number of undirected edges of `G_X`.

@@ -4,6 +4,7 @@
 //! ```text
 //! scenario-runner --seed 42 --count 20 [--threads N] [--family NAME]...
 //!                 [--out PATH] [--no-timing] [--list] [--quiet]
+//! scenario-runner --sweep [--max-nodes N] [--out BENCH_sweep.json] ...
 //! ```
 //!
 //! Every scenario is derived deterministically from `--seed`, executed in
@@ -11,14 +12,24 @@
 //! world), cross-validated against the centralized BFS baselines, and
 //! reported with round counts, beep counts and pass/fail. With
 //! `--no-timing` the report is canonical: byte-identical across runs and
-//! thread counts for the same seed. Exits non-zero if any scenario fails
-//! validation.
+//! thread counts for the same seed.
+//!
+//! `--sweep` switches to the size-sweep mode: every sweepable family runs
+//! across the geometric ladder 1k → 10k → 100k → 1M (clipped by
+//! `--max-nodes` and per-family ceilings) and the report carries
+//! per-(family, size) throughput — the `BENCH_sweep.json` the CI perf
+//! gate diffs against `bench/baseline.json`.
+//!
+//! Failures are never silent: per-scenario `FAIL` lines print even under
+//! `--quiet`, a `summary:` line always reports pass/fail counts, and the
+//! exit code is non-zero whenever any scenario fails cross-validation.
 
 use std::process::ExitCode;
 
 use crate::batch::{run_batch, Threads};
 use crate::registry::default_registry;
 use crate::report::BatchReport;
+use crate::sweep::{run_sweep, sweep_suite, SweepReport, DEFAULT_SIZES};
 
 struct Args {
     seed: u64,
@@ -29,26 +40,32 @@ struct Args {
     timing: bool,
     list: bool,
     quiet: bool,
+    sweep: bool,
+    max_nodes: usize,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: scenario-runner [--seed N] [--count N] [--threads N] \
-         [--family NAME]... [--out PATH] [--no-timing] [--list] [--quiet]\n\
-         \n\
-         --seed N       master seed for the randomized suite (default 42)\n\
-         --count N      number of scenarios to run (default 20)\n\
-         --threads N    worker threads (default: one per core)\n\
-         --family NAME  restrict to a registry family (repeatable; see --list)\n\
-         --out PATH     write the JSON report to PATH (default: stdout)\n\
-         --no-timing    canonical report: omit wall-clock fields\n\
-         --list         list registered scenario families and exit\n\
-         --quiet        suppress the per-scenario progress lines"
-    );
-    std::process::exit(2)
+const USAGE: &str = "usage: scenario-runner [--seed N] [--count N] [--threads N] \
+     [--family NAME]... [--out PATH] [--no-timing] [--list] [--quiet]\n\
+     \x20      scenario-runner --sweep [--max-nodes N] [common flags]\n\
+     \n\
+     --seed N       master seed for the randomized suite (default 42)\n\
+     --count N      number of scenarios to run (default 20)\n\
+     --threads N    worker threads (default: one per core)\n\
+     --family NAME  restrict to a registry family (repeatable; see --list)\n\
+     --out PATH     write the JSON report to PATH (default: stdout)\n\
+     --no-timing    canonical report: omit wall-clock fields\n\
+     --list         list registered scenario families and exit\n\
+     --quiet        suppress progress lines (failures still print)\n\
+     --sweep        run the size sweep (1k/10k/100k/1M per sweepable family)\n\
+     --max-nodes N  clip the sweep ladder at N nodes (default 1000000)";
+
+enum ParseOutcome {
+    Run(Box<Args>),
+    /// Exit immediately with this code (bad usage, or `--help`).
+    Exit(u8),
 }
 
-fn parse_args() -> Args {
+fn parse_args(argv: &[String]) -> ParseOutcome {
     let mut args = Args {
         seed: 42,
         count: 20,
@@ -58,78 +75,126 @@ fn parse_args() -> Args {
         timing: true,
         list: false,
         quiet: false,
+        sweep: false,
+        max_nodes: 1_000_000,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| -> String {
-            it.next().unwrap_or_else(|| {
-                eprintln!("missing value for {name}");
-                usage()
-            })
-        };
+        macro_rules! value {
+            ($name:literal) => {
+                match it.next() {
+                    Some(v) => v.clone(),
+                    None => {
+                        eprintln!("missing value for {}", $name);
+                        eprintln!("{USAGE}");
+                        return ParseOutcome::Exit(2);
+                    }
+                }
+            };
+        }
         // Numeric flags name the offending flag and value before the usage
         // text, so a typo like `--seed abc` is diagnosable at a glance.
-        fn parse_num<T: std::str::FromStr>(name: &str, raw: &str) -> T {
-            raw.parse().unwrap_or_else(|_| {
-                eprintln!("invalid value for {name}: {raw:?}");
-                usage()
-            })
+        macro_rules! num {
+            ($name:literal) => {{
+                let raw = value!($name);
+                match raw.parse() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        eprintln!("invalid value for {}: {raw:?}", $name);
+                        eprintln!("{USAGE}");
+                        return ParseOutcome::Exit(2);
+                    }
+                }
+            }};
         }
         match arg.as_str() {
-            "--seed" => {
-                let raw = value("--seed");
-                args.seed = parse_num("--seed", &raw);
-            }
-            "--count" => {
-                let raw = value("--count");
-                args.count = parse_num("--count", &raw);
-            }
-            "--threads" => {
-                let raw = value("--threads");
-                args.threads = Threads::Count(parse_num("--threads", &raw));
-            }
-            "--family" => args.families.push(value("--family")),
-            "--out" => args.out = Some(value("--out")),
+            "--seed" => args.seed = num!("--seed"),
+            "--count" => args.count = num!("--count"),
+            "--threads" => args.threads = Threads::Count(num!("--threads")),
+            "--family" => args.families.push(value!("--family")),
+            "--out" => args.out = Some(value!("--out")),
             "--no-timing" => args.timing = false,
             "--list" => args.list = true,
             "--quiet" => args.quiet = true,
-            "--help" | "-h" => usage(),
+            "--sweep" => args.sweep = true,
+            "--max-nodes" => args.max_nodes = num!("--max-nodes"),
+            "--help" | "-h" => {
+                // Requested help is a success, not a usage error.
+                println!("{USAGE}");
+                return ParseOutcome::Exit(0);
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                usage()
+                eprintln!("{USAGE}");
+                return ParseOutcome::Exit(2);
             }
         }
     }
-    args
+    ParseOutcome::Run(Box::new(args))
 }
 
-/// Entry point of the `scenario-runner` binary (parses `std::env::args`).
-pub fn main() -> ExitCode {
-    let args = parse_args();
+fn write_report(rendered: &str, out: &Option<String>, quiet: bool) -> Result<(), u8> {
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rendered) {
+                eprintln!("cannot write {path}: {e}");
+                return Err(2);
+            }
+            if !quiet {
+                eprintln!("report written to {path}");
+            }
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// Runs the CLI against an explicit argument list (everything after the
+/// binary name) and returns the process exit code: `0` all scenarios
+/// passed, `1` at least one failed cross-validation, `2` usage or I/O
+/// error. Extracted from `main` so the exit-code contract is testable —
+/// CI leans on it to catch correctness breaks.
+pub fn run(argv: &[String]) -> u8 {
+    let args = match parse_args(argv) {
+        ParseOutcome::Run(args) => args,
+        ParseOutcome::Exit(code) => return code,
+    };
     let registry = default_registry();
 
     if args.list {
-        println!("{:<24} {:<10} description", "family", "randomized");
+        println!(
+            "{:<24} {:<10} {:<10} description",
+            "family", "randomized", "sweep-max"
+        );
         for family in registry.families() {
             println!(
-                "{:<24} {:<10} {}",
+                "{:<24} {:<10} {:<10} {}",
                 family.name,
                 if family.randomized { "yes" } else { "no" },
+                if family.sweepable() {
+                    family.sweep_max_n.to_string()
+                } else {
+                    "-".to_string()
+                },
                 family.description
             );
         }
-        return ExitCode::SUCCESS;
+        return 0;
     }
 
     for name in &args.families {
         if registry.get(name).is_none() {
             eprintln!("unknown scenario family {name:?} (see --list)");
-            return ExitCode::from(2);
+            return 2;
         }
     }
 
-    let scenarios = registry.random_suite(args.seed, args.count, &args.families);
     let threads = args.threads.resolve();
+    if args.sweep {
+        return run_sweep_mode(&args, &registry, threads);
+    }
+
+    let scenarios = registry.random_suite(args.seed, args.count, &args.families);
     if !args.quiet {
         eprintln!(
             "running {} scenarios (seed {}) on {} threads...",
@@ -140,13 +205,20 @@ pub fn main() -> ExitCode {
     }
 
     let results = run_batch(&scenarios, Threads::Count(threads));
-    if !args.quiet {
-        for r in &results {
+    for r in &results {
+        // FAIL lines are diagnostics, not progress: they print even under
+        // --quiet so a red CI batch always names the broken scenarios.
+        if !r.pass || !args.quiet {
             let status = if r.pass { "ok  " } else { "FAIL" };
             eprintln!(
                 "  {status} {:<52} n={:<5} k={:<3} rounds={:<6} beeps={}",
                 r.name, r.n, r.k, r.rounds, r.beeps
             );
+        }
+        if !r.pass {
+            for c in r.checks.iter().filter(|c| !c.pass) {
+                eprintln!("       check {}: {}", c.name, c.detail);
+            }
         }
     }
 
@@ -156,26 +228,17 @@ pub fn main() -> ExitCode {
         results,
     };
     let rendered = report.to_json(args.timing).render_pretty();
-    match &args.out {
-        Some(path) => {
-            if let Err(e) = std::fs::write(path, &rendered) {
-                eprintln!("cannot write {path}: {e}");
-                return ExitCode::from(2);
-            }
-            if !args.quiet {
-                eprintln!("report written to {path}");
-            }
-        }
-        None => print!("{rendered}"),
+    if let Err(code) = write_report(&rendered, &args.out, args.quiet) {
+        return code;
     }
 
-    let failed = report.failed();
+    let (passed, failed) = (report.passed(), report.failed());
+    eprintln!(
+        "summary: {passed}/{} scenarios passed, {failed} failed",
+        report.results.len()
+    );
     if failed > 0 {
-        eprintln!(
-            "{failed} of {} scenarios FAILED cross-validation",
-            report.results.len()
-        );
-        return ExitCode::FAILURE;
+        return 1;
     }
     if report.results.is_empty() {
         eprintln!("warning: no scenarios were run (--count 0); nothing was validated");
@@ -186,5 +249,149 @@ pub fn main() -> ExitCode {
             report.results.iter().map(|r| r.rounds).sum::<u64>()
         );
     }
-    ExitCode::SUCCESS
+    0
+}
+
+fn run_sweep_mode(args: &Args, registry: &crate::registry::Registry, threads: usize) -> u8 {
+    let suite = sweep_suite(
+        registry,
+        args.seed,
+        &DEFAULT_SIZES,
+        args.max_nodes,
+        &args.families,
+    );
+    if suite.is_empty() {
+        eprintln!(
+            "no sweep rungs selected (families: {:?}, max-nodes {}); see --list",
+            args.families, args.max_nodes
+        );
+        return 2;
+    }
+    if !args.quiet {
+        eprintln!(
+            "sweeping {} (family, size) rungs up to {} nodes (seed {}) on {threads} threads...",
+            suite.len(),
+            args.max_nodes,
+            args.seed
+        );
+    }
+    let entries = run_sweep(&suite, Threads::Count(threads));
+    for (p, r) in &entries {
+        if !r.pass || !args.quiet {
+            let status = if r.pass { "ok  " } else { "FAIL" };
+            eprintln!(
+                "  {status} {:<24} size={:<8} n={:<8} rounds={:<6} {:>12} nodes/s",
+                p.family,
+                p.size,
+                r.n,
+                r.rounds,
+                crate::sweep::nodes_per_sec(r.n, r.wall_micros)
+            );
+        }
+        if !r.pass {
+            for c in r.checks.iter().filter(|c| !c.pass) {
+                eprintln!("       check {}: {}", c.name, c.detail);
+            }
+        }
+    }
+    let report = SweepReport {
+        master_seed: args.seed,
+        max_nodes: args.max_nodes,
+        threads,
+        entries,
+    };
+    let rendered = report.to_json(args.timing).render_pretty();
+    if let Err(code) = write_report(&rendered, &args.out, args.quiet) {
+        return code;
+    }
+    let (passed, failed) = (report.passed(), report.failed());
+    eprintln!(
+        "summary: {passed}/{} sweep rungs passed, {failed} failed",
+        report.entries.len()
+    );
+    if failed > 0 {
+        return 1;
+    }
+    0
+}
+
+/// Entry point of the `scenario-runner` binary (parses `std::env::args`).
+pub fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(run(&argv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn failing_scenario_propagates_nonzero_exit() {
+        let code = run(&args(&[
+            "--family",
+            "selftest-fail",
+            "--count",
+            "2",
+            "--quiet",
+            "--no-timing",
+            "--out",
+            "/dev/null",
+        ]));
+        assert_eq!(code, 1, "validation failures must exit non-zero");
+    }
+
+    #[test]
+    fn passing_batch_exits_zero() {
+        let code = run(&args(&[
+            "--seed",
+            "5",
+            "--count",
+            "3",
+            "--quiet",
+            "--no-timing",
+            "--out",
+            "/dev/null",
+        ]));
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn bad_flags_exit_two() {
+        assert_eq!(run(&args(&["--bogus"])), 2);
+        assert_eq!(run(&args(&["--seed", "abc"])), 2);
+        assert_eq!(run(&args(&["--seed"])), 2);
+        assert_eq!(run(&args(&["--family", "no-such-family"])), 2);
+    }
+
+    #[test]
+    fn requested_help_exits_zero() {
+        assert_eq!(run(&args(&["--help"])), 0);
+        assert_eq!(run(&args(&["-h"])), 0);
+    }
+
+    #[test]
+    fn tiny_sweep_exits_zero() {
+        let code = run(&args(&[
+            "--sweep",
+            "--max-nodes",
+            "1000",
+            "--family",
+            "blob-broadcast",
+            "--quiet",
+            "--no-timing",
+            "--out",
+            "/dev/null",
+        ]));
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn sweep_with_no_rungs_exits_two() {
+        let code = run(&args(&["--sweep", "--family", "selftest-fail", "--quiet"]));
+        assert_eq!(code, 2);
+    }
 }

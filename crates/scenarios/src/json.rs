@@ -35,6 +35,62 @@ impl Json {
         Json::Object(Vec::new())
     }
 
+    /// Parses a JSON document (the subset this module renders: integer
+    /// numbers, strings, bools, null, arrays, insertion-ordered objects).
+    /// The bench tooling uses this to read reports back — floats are
+    /// rejected, matching the renderer's integers-only guarantee.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut at = 0usize;
+        let value = parse_value(bytes, &mut at)?;
+        skip_ws(bytes, &mut at);
+        if at != bytes.len() {
+            return Err(format!("trailing data at byte {at}"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a field of an object (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::U64(v) => Some(v),
+            Json::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// Appends a field to an object (panics on non-objects).
     pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
         match &mut self {
@@ -121,6 +177,159 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+fn skip_ws(bytes: &[u8], at: &mut usize) {
+    while *at < bytes.len() && matches!(bytes[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn expect(bytes: &[u8], at: &mut usize, token: &str) -> Result<(), String> {
+    if bytes[*at..].starts_with(token.as_bytes()) {
+        *at += token.len();
+        Ok(())
+    } else {
+        Err(format!("expected {token:?} at byte {at}"))
+    }
+}
+
+fn parse_value(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, at);
+    match bytes.get(*at) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(bytes, at, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, at, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, at, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, at).map(Json::Str),
+        Some(b'[') => {
+            *at += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, at);
+            if bytes.get(*at) == Some(&b']') {
+                *at += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, at)?);
+                skip_ws(bytes, at);
+                match bytes.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b']') => {
+                        *at += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {at}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *at += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, at);
+            if bytes.get(*at) == Some(&b'}') {
+                *at += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, at);
+                let key = parse_string(bytes, at)?;
+                skip_ws(bytes, at);
+                expect(bytes, at, ":")?;
+                fields.push((key, parse_value(bytes, at)?));
+                skip_ws(bytes, at);
+                match bytes.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b'}') => {
+                        *at += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {at}")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, at),
+    }
+}
+
+fn parse_string(bytes: &[u8], at: &mut usize) -> Result<String, String> {
+    if bytes.get(*at) != Some(&b'"') {
+        return Err(format!("expected string at byte {at}"));
+    }
+    *at += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*at) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *at += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *at += 1;
+                match bytes.get(*at) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*at + 1..*at + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid \\u escape {code:#x}"))?,
+                        );
+                        *at += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *at += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences included).
+                let rest = std::str::from_utf8(&bytes[*at..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().expect("non-empty by bounds check");
+                out.push(ch);
+                *at += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
+    let start = *at;
+    if bytes.get(*at) == Some(&b'-') {
+        *at += 1;
+    }
+    while matches!(bytes.get(*at), Some(b'0'..=b'9')) {
+        *at += 1;
+    }
+    if matches!(bytes.get(*at), Some(b'.') | Some(b'e') | Some(b'E')) {
+        return Err(format!(
+            "floating-point numbers are not part of the report format (byte {start})"
+        ));
+    }
+    let text = std::str::from_utf8(&bytes[start..*at]).expect("digits are ASCII");
+    if text.is_empty() || text == "-" {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    if text.starts_with('-') {
+        text.parse::<i64>()
+            .map(Json::I64)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    } else {
+        text.parse::<u64>()
+            .map(Json::U64)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
     }
 }
 
@@ -224,5 +433,49 @@ mod tests {
     fn control_chars_are_escaped() {
         let s = Json::Str("\u{1}".to_string()).render_compact();
         assert_eq!(s, "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parse_round_trips_renderings() {
+        let doc = Json::object()
+            .field("name", "scenario \"x\"\n\u{1}")
+            .field("rounds", 42u64)
+            .field("delta", -3i64)
+            .field("pass", true)
+            .field("nothing", Json::Null)
+            .field(
+                "tags",
+                Json::Array(vec![Json::from("a"), Json::U64(7), Json::object()]),
+            )
+            .field("empty", Json::Array(vec![]));
+        assert_eq!(Json::parse(&doc.render_pretty()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.render_compact()).unwrap(), doc);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1.5").is_err(), "floats are not in the format");
+        assert!(Json::parse("{\"a\":1} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_documents() {
+        let doc = Json::parse(r#"{"summary": {"passed": 3}, "entries": [{"n": 10, "ok": true}]}"#)
+            .unwrap();
+        assert_eq!(
+            doc.get("summary")
+                .and_then(|s| s.get("passed"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        let entries = doc.get("entries").and_then(Json::as_array).unwrap();
+        assert_eq!(entries[0].get("n").and_then(Json::as_u64), Some(10));
+        assert_eq!(entries[0].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::U64(1).get("x"), None);
     }
 }

@@ -41,6 +41,7 @@ pub mod registry;
 pub mod report;
 pub mod run;
 pub mod spec;
+pub mod sweep;
 
 pub use batch::{run_batch, Threads};
 pub use registry::{default_registry, Family, Registry};
@@ -49,3 +50,4 @@ pub use run::{run_scenario, CheckResult, ScenarioResult};
 pub use spec::{
     MicroWorkload, PlacementSpec, Scenario, StructureAlgorithm, StructureSpec, Workload,
 };
+pub use sweep::{run_sweep, sweep_suite, SweepPoint, SweepReport, DEFAULT_SIZES, SWEEP_SCHEMA};

@@ -23,7 +23,15 @@ pub struct Family {
     /// Whether the family draws its parameters from the seed. Only
     /// randomized families participate in [`Registry::random_suite`].
     pub randomized: bool,
+    /// Largest structure size at which this family participates in
+    /// `--sweep` size ladders (`0` = not sweepable). Ceilings are set per
+    /// family because algorithm costs diverge by orders of magnitude: the
+    /// global-circuit broadcast sweeps to 10^6 nodes in seconds while the
+    /// DnC forest is capped where a single run stays within the CI budget.
+    pub sweep_max_n: usize,
     build: Box<dyn Fn(u64) -> Scenario + Send + Sync>,
+    /// Size-parameterized builder used by sweeps.
+    sized: Option<Box<dyn Fn(u64, usize) -> Scenario + Send + Sync>>,
 }
 
 impl Family {
@@ -34,6 +42,20 @@ impl Family {
         // scenarios.
         sc.family = self.name.to_string();
         sc
+    }
+
+    /// Builds the family's scenario at a target structure size, for size
+    /// sweeps. `None` if the family is not sweepable.
+    pub fn build_sized(&self, seed: u64, n: usize) -> Option<Scenario> {
+        let sized = self.sized.as_ref()?;
+        let mut sc = sized(seed, n);
+        sc.family = self.name.to_string();
+        Some(sc)
+    }
+
+    /// Whether the family participates in size sweeps.
+    pub fn sweepable(&self) -> bool {
+        self.sized.is_some()
     }
 }
 
@@ -80,7 +102,42 @@ impl Registry {
             name,
             description,
             randomized,
+            sweep_max_n: 0,
             build: Box::new(build),
+            sized: None,
+        });
+    }
+
+    /// Registers a family that additionally supports size-parameterized
+    /// builds for `--sweep`, up to `sweep_max_n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken or `sweep_max_n == 0`.
+    pub fn register_sweepable<F, S>(
+        &mut self,
+        name: &'static str,
+        description: &'static str,
+        randomized: bool,
+        sweep_max_n: usize,
+        build: F,
+        sized: S,
+    ) where
+        F: Fn(u64) -> Scenario + Send + Sync + 'static,
+        S: Fn(u64, usize) -> Scenario + Send + Sync + 'static,
+    {
+        assert!(sweep_max_n > 0, "sweepable family needs a size ceiling");
+        assert!(
+            self.get(name).is_none(),
+            "scenario family {name:?} registered twice"
+        );
+        self.families.push(Family {
+            name,
+            description,
+            randomized,
+            sweep_max_n,
+            build: Box::new(build),
+            sized: Some(Box::new(sized)),
         });
     }
 
@@ -140,11 +197,13 @@ pub fn default_registry() -> Registry {
 
     // ---- Experiment index (fixed-parameter families). The seed selects
     // from the parameter menus that the `experiments` binary prints.
-    r.register(
+    r.register_sweepable(
         "e1-pasc-chain",
         "E1 (Lemma 4): PASC distances along a chain",
         false,
+        1_000_000,
         |seed| experiments::e1_pasc_chain(menu_pick(seed, 100, &[16, 64, 256, 1024])),
+        |_seed, n| experiments::e1_pasc_chain(n),
     );
     r.register(
         "e2-pasc-tree",
@@ -267,10 +326,14 @@ pub fn default_registry() -> Registry {
     // ---- Randomized families (the batch-runner workhorses). Every one
     // cross-validates a distributed forest against centralized BFS on a
     // randomly generated structure.
-    r.register(
+    r.register_sweepable(
         "random-blob-forest",
         "DnC forest on a random hole-free blob, random multi-source placement",
         true,
+        // The DnC forest costs ~12 s at 10^4 nodes (many reconfiguration
+        // rounds, each a full relabel); larger rungs belong to the weekly
+        // sweep of cheaper families, not the per-PR gate.
+        10_000,
         |seed| {
             let mut p = derive_rng(seed, 90);
             let n = p.gen_range(24..=160usize);
@@ -281,6 +344,19 @@ pub fn default_registry() -> Registry {
                 seed,
                 StructureSpec::RandomBlob { n },
                 PlacementSpec::Random { k, strategy },
+                PlacementSpec::All,
+                StructureAlgorithm::Forest,
+            )
+        },
+        |seed, n| {
+            Scenario::structure(
+                "random-blob-forest",
+                seed,
+                StructureSpec::RandomBlob { n },
+                PlacementSpec::Random {
+                    k: 4.min(n),
+                    strategy: amoebot_grid::Placement::Uniform,
+                },
                 PlacementSpec::All,
                 StructureAlgorithm::Forest,
             )
@@ -328,10 +404,11 @@ pub fn default_registry() -> Registry {
             )
         },
     );
-    r.register(
+    r.register_sweepable(
         "random-blob-spt",
         "SPT on a random blob with random destination subset",
         true,
+        1_000_000,
         |seed| {
             let mut p = derive_rng(seed, 90);
             let n = p.gen_range(24..=200usize);
@@ -346,6 +423,22 @@ pub fn default_registry() -> Registry {
                     strategy: amoebot_grid::Placement::Uniform,
                 },
                 PlacementSpec::Random { k: l, strategy },
+                StructureAlgorithm::Spt,
+            )
+        },
+        |seed, n| {
+            Scenario::structure(
+                "random-blob-spt",
+                seed,
+                StructureSpec::RandomBlob { n },
+                PlacementSpec::Random {
+                    k: 1,
+                    strategy: amoebot_grid::Placement::Uniform,
+                },
+                PlacementSpec::Random {
+                    k: 8.min(n),
+                    strategy: amoebot_grid::Placement::Uniform,
+                },
                 StructureAlgorithm::Spt,
             )
         },
@@ -371,10 +464,14 @@ pub fn default_registry() -> Registry {
             )
         },
     );
-    r.register(
+    r.register_sweepable(
         "random-line-forest",
         "line algorithm with random multi-source placement",
         true,
+        // ~2 s at 10^5 but ~160 s at 10^6 (superlinear merge glue): the
+        // 1M rung belongs to the blob-broadcast/SPT families, which stay
+        // well inside the per-rung minute.
+        100_000,
         |seed| {
             let mut p = derive_rng(seed, 90);
             let n = p.gen_range(16..=256usize);
@@ -385,6 +482,19 @@ pub fn default_registry() -> Registry {
                 StructureSpec::Line { n },
                 PlacementSpec::Random {
                     k,
+                    strategy: amoebot_grid::Placement::Uniform,
+                },
+                PlacementSpec::All,
+                StructureAlgorithm::LineForest,
+            )
+        },
+        |seed, n| {
+            Scenario::structure(
+                "random-line-forest",
+                seed,
+                StructureSpec::Line { n },
+                PlacementSpec::Random {
+                    k: 8.min(n),
                     strategy: amoebot_grid::Placement::Uniform,
                 },
                 PlacementSpec::All,
@@ -415,6 +525,40 @@ pub fn default_registry() -> Registry {
                 },
                 PlacementSpec::All,
                 algorithm,
+            )
+        },
+    );
+    r.register_sweepable(
+        "blob-broadcast",
+        "global-circuit broadcast throughput on a random blob (pure engine sweep)",
+        true,
+        1_000_000,
+        |seed| {
+            let mut p = derive_rng(seed, 90);
+            let n = p.gen_range(64..=256usize);
+            Scenario::micro(
+                "blob-broadcast",
+                seed,
+                crate::spec::MicroWorkload::BlobBroadcast { n, rounds: 8 },
+            )
+        },
+        |seed, n| {
+            Scenario::micro(
+                "blob-broadcast",
+                seed,
+                crate::spec::MicroWorkload::BlobBroadcast { n, rounds: 8 },
+            )
+        },
+    );
+    r.register(
+        "selftest-fail",
+        "always-failing scenario proving the runner's non-zero exit path (never sampled)",
+        false,
+        |seed| {
+            Scenario::micro(
+                "selftest-fail",
+                seed,
+                crate::spec::MicroWorkload::SelfTestFail,
             )
         },
     );

@@ -501,6 +501,42 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
                 || format!("{} levels exceeds bound {bound}", d.levels),
             )];
         }
+        MicroWorkload::BlobBroadcast { n, rounds } => {
+            let mut rng = derive_rng(seed, 0);
+            let s = AmoebotStructure::new(shapes::random_blob(n, &mut rng))
+                .expect("blob generator produces connected sets");
+            let mut world = World::new(Topology::from_structure(&s), 2);
+            for v in 0..n {
+                world.global_pin_config(v);
+            }
+            // Deterministically spread the broadcast origins over the
+            // structure (Fibonacci-hash stride) so consecutive rounds hit
+            // different cache-distant nodes.
+            let mut missed = 0usize;
+            for round in 0..rounds {
+                let origin = (round.wrapping_mul(0x9E3779B9)) % n;
+                world.beep(origin, 0);
+                world.tick();
+                for v in 0..n {
+                    missed += usize::from(!world.received(v, 0));
+                }
+            }
+            r.n = n;
+            r.rounds = world.rounds();
+            r.beeps = world.beeps_sent();
+            r.checks = vec![CheckResult::from_bool(
+                "broadcast-reaches-all",
+                missed == 0,
+                || format!("{missed} (node, round) deliveries missing on the global circuit"),
+            )];
+        }
+        MicroWorkload::SelfTestFail => {
+            r.n = 1;
+            r.checks = vec![CheckResult::fail(
+                "selftest",
+                "intentional failure (exercises the runner's non-zero exit path)".to_string(),
+            )];
+        }
         MicroWorkload::Leader { n } => {
             let mut rng = derive_rng(seed, 0);
             let mut world = path_world(n);

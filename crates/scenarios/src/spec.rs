@@ -277,6 +277,20 @@ pub enum MicroWorkload {
         /// Path length.
         n: usize,
     },
+    /// Circuit-engine throughput: a random blob of `n` amoebots in the
+    /// global-circuit configuration, `rounds` broadcast rounds. Validates
+    /// that every amoebot hears every broadcast — the cheapest
+    /// structure-wide cross-check, which is what lets this family sweep to
+    /// 10^6 nodes inside the CI time budget.
+    BlobBroadcast {
+        /// Structure size.
+        n: usize,
+        /// Broadcast rounds to run.
+        rounds: usize,
+    },
+    /// Always fails validation. Registered (non-randomized) so tests and
+    /// CI can prove the runner's non-zero exit path actually fires.
+    SelfTestFail,
 }
 
 /// The workload of a scenario: either a structure-based shortest-path
@@ -355,6 +369,8 @@ impl Scenario {
             | MicroWorkload::Augmentation { n, q }
             | MicroWorkload::Decomposition { n, q } => format!("n{n}-q{q}"),
             MicroWorkload::Leader { n } => format!("n{n}"),
+            MicroWorkload::BlobBroadcast { n, rounds } => format!("n{n}-r{rounds}"),
+            MicroWorkload::SelfTestFail => "always-fails".to_string(),
         };
         Scenario {
             family: family.to_string(),

@@ -1,0 +1,254 @@
+//! Structure-size sweeps: throughput as a measured, tracked quantity.
+//!
+//! A sweep runs every sweepable registry family across a geometric size
+//! ladder (1k → 10k → 100k → 1M nodes, capped by `--max-nodes` and by
+//! each family's own [`Family::sweep_max_n`] ceiling) and reports
+//! per-(family, size) throughput. The timed rendering
+//! (`BENCH_sweep.json`) is what the CI perf gate diffs against
+//! `bench/baseline.json`; the canonical rendering (`--no-timing`) carries
+//! the same byte-determinism guarantee as batch reports: identical for
+//! identical `(seed, ladder)` inputs regardless of thread count.
+//!
+//! [`Family::sweep_max_n`]: crate::registry::Family::sweep_max_n
+
+use crate::batch::{run_batch, Threads};
+use crate::json::Json;
+use crate::registry::Registry;
+use crate::run::ScenarioResult;
+use crate::spec::{derive_rng, Scenario};
+use rand::RngCore;
+
+/// Schema identifier embedded in every sweep report.
+pub const SWEEP_SCHEMA: &str = "spf-sweep-report/v1";
+
+/// The default geometric size ladder.
+pub const DEFAULT_SIZES: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// One rung of a sweep: a scenario pinned to a target structure size.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Registry family name.
+    pub family: String,
+    /// Target structure size (the ladder rung; the realized size is in
+    /// the result's `n`).
+    pub size: usize,
+    /// The concrete scenario to run.
+    pub scenario: Scenario,
+}
+
+/// Builds the sweep suite: every sweepable family (or the sweepable
+/// subset of `only`, if non-empty), each at every ladder rung within both
+/// `max_nodes` and the family's own ceiling. Deterministic: the rung's
+/// seed derives from `(master_seed, family name, size)` only, so adding
+/// families or rungs never reshuffles the others.
+pub fn sweep_suite(
+    registry: &Registry,
+    master_seed: u64,
+    sizes: &[usize],
+    max_nodes: usize,
+    only: &[String],
+) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for family in registry.families() {
+        if !family.sweepable() {
+            continue;
+        }
+        if !only.is_empty() && !only.iter().any(|n| n == family.name) {
+            continue;
+        }
+        for &size in sizes {
+            if size > max_nodes || size > family.sweep_max_n {
+                continue;
+            }
+            // Tag with the family name hash so two families at the same
+            // rung never share a seed stream.
+            let tag = family
+                .name
+                .bytes()
+                .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+            let seed = derive_rng(master_seed ^ tag, size as u64).next_u64();
+            let scenario = family
+                .build_sized(seed, size)
+                .expect("sweepable family has a sized builder");
+            out.push(SweepPoint {
+                family: family.name.to_string(),
+                size,
+                scenario,
+            });
+        }
+    }
+    out
+}
+
+/// Runs a sweep suite over `threads` workers and pairs each point with
+/// its result, in suite order (thread count never affects content).
+pub fn run_sweep(points: &[SweepPoint], threads: Threads) -> Vec<(SweepPoint, ScenarioResult)> {
+    let scenarios: Vec<Scenario> = points.iter().map(|p| p.scenario.clone()).collect();
+    let results = run_batch(&scenarios, threads);
+    points.iter().cloned().zip(results).collect()
+}
+
+/// An aggregated sweep outcome, renderable as `BENCH_sweep.json`.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The master seed the sweep was derived from.
+    pub master_seed: u64,
+    /// The `--max-nodes` ceiling the ladder was clipped to.
+    pub max_nodes: usize,
+    /// Worker threads used (provenance; never affects content).
+    pub threads: usize,
+    /// Per-rung outcomes in suite order.
+    pub entries: Vec<(SweepPoint, ScenarioResult)>,
+}
+
+impl SweepReport {
+    /// Number of rungs that passed cross-validation.
+    pub fn passed(&self) -> usize {
+        self.entries.iter().filter(|(_, r)| r.pass).count()
+    }
+
+    /// Number of rungs that failed cross-validation.
+    pub fn failed(&self) -> usize {
+        self.entries.len() - self.passed()
+    }
+
+    /// Renders the report. With `include_timing` the per-rung
+    /// `wall_micros` and the derived `nodes_per_sec` throughput are
+    /// included (this is the `BENCH_sweep.json` the perf gate consumes);
+    /// without, the output is canonical and byte-stable across runs and
+    /// thread counts.
+    pub fn to_json(&self, include_timing: bool) -> Json {
+        let entries: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|(p, r)| {
+                let mut doc = Json::object()
+                    .field("family", p.family.as_str())
+                    .field("size", p.size)
+                    .field("name", r.name.as_str())
+                    .field("seed", r.seed)
+                    .field("n", r.n)
+                    .field("k", r.k)
+                    .field("l", r.l)
+                    .field("rounds", r.rounds)
+                    .field("beeps", r.beeps);
+                if include_timing {
+                    doc = doc
+                        .field("wall_micros", r.wall_micros)
+                        .field("nodes_per_sec", nodes_per_sec(r.n, r.wall_micros));
+                }
+                doc.field("pass", r.pass)
+            })
+            .collect();
+        let mut summary = Json::object()
+            .field("passed", self.passed())
+            .field("failed", self.failed())
+            .field(
+                "total_rounds",
+                self.entries.iter().map(|(_, r)| r.rounds).sum::<u64>(),
+            )
+            .field(
+                "total_beeps",
+                self.entries.iter().map(|(_, r)| r.beeps).sum::<u64>(),
+            );
+        if include_timing {
+            summary = summary.field(
+                "total_wall_micros",
+                self.entries.iter().map(|(_, r)| r.wall_micros).sum::<u64>(),
+            );
+        }
+        let mut doc = Json::object()
+            .field("schema", SWEEP_SCHEMA)
+            .field("master_seed", self.master_seed)
+            .field("max_nodes", self.max_nodes)
+            .field("count", self.entries.len());
+        if include_timing {
+            doc = doc.field("threads", self.threads);
+        }
+        doc.field("entries", Json::Array(entries))
+            .field("summary", summary)
+    }
+
+    /// The canonical pretty-printed JSON string (no timing; byte-stable).
+    pub fn canonical_json(&self) -> String {
+        self.to_json(false).render_pretty()
+    }
+}
+
+/// Whole-structure throughput of one rung: nodes simulated per wall-clock
+/// second, saturating and division-safe.
+pub fn nodes_per_sec(n: usize, wall_micros: u64) -> u64 {
+    ((n as u128) * 1_000_000 / (wall_micros.max(1) as u128)).min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::default_registry;
+
+    #[test]
+    fn suite_respects_ceilings_and_filters() {
+        let r = default_registry();
+        let suite = sweep_suite(&r, 42, &DEFAULT_SIZES, 100_000, &[]);
+        assert!(!suite.is_empty());
+        for p in &suite {
+            assert!(p.size <= 100_000, "{}: rung {} over max", p.family, p.size);
+            let fam = r.get(&p.family).unwrap();
+            assert!(
+                p.size <= fam.sweep_max_n,
+                "{} over family ceiling",
+                p.family
+            );
+        }
+        // The forest family's ceiling keeps it off the 100k rung.
+        assert!(!suite
+            .iter()
+            .any(|p| p.family == "random-blob-forest" && p.size > 10_000));
+        // Filtering restricts to the named family.
+        let only = sweep_suite(&r, 42, &DEFAULT_SIZES, 10_000, &["blob-broadcast".into()]);
+        assert!(only.iter().all(|p| p.family == "blob-broadcast"));
+        assert_eq!(only.len(), 2); // 1k and 10k rungs
+    }
+
+    #[test]
+    fn rung_seeds_are_stable_under_suite_composition() {
+        let r = default_registry();
+        let all = sweep_suite(&r, 7, &DEFAULT_SIZES, 10_000, &[]);
+        let only = sweep_suite(&r, 7, &DEFAULT_SIZES, 10_000, &["random-blob-spt".into()]);
+        for p in &only {
+            let same = all
+                .iter()
+                .find(|q| q.family == p.family && q.size == p.size)
+                .expect("family present in the full suite");
+            assert_eq!(same.scenario.seed, p.scenario.seed);
+            assert_eq!(same.scenario.name, p.scenario.name);
+        }
+    }
+
+    #[test]
+    fn small_sweep_runs_and_renders() {
+        let r = default_registry();
+        let suite = sweep_suite(&r, 3, &[100, 200], 200, &[]);
+        let entries = run_sweep(&suite, Threads::Count(2));
+        assert!(entries.iter().all(|(_, res)| res.pass));
+        let report = SweepReport {
+            master_seed: 3,
+            max_nodes: 200,
+            threads: 2,
+            entries,
+        };
+        let canon = report.canonical_json();
+        assert!(canon.contains(SWEEP_SCHEMA));
+        assert!(!canon.contains("wall_micros"));
+        assert!(!canon.contains("nodes_per_sec"));
+        let timed = report.to_json(true).render_pretty();
+        assert!(timed.contains("nodes_per_sec"));
+    }
+
+    #[test]
+    fn nodes_per_sec_is_division_safe() {
+        assert_eq!(nodes_per_sec(1000, 0), 1_000_000_000);
+        assert_eq!(nodes_per_sec(1000, 1_000_000), 1000);
+        assert_eq!(nodes_per_sec(0, 5), 0);
+    }
+}

@@ -53,3 +53,48 @@ fn canonical_report_has_no_timing_fields() {
     assert!(report.contains("\"rounds\""));
     assert!(report.contains("\"pass\""));
 }
+
+mod sweep_determinism {
+    //! ISSUE 3 satellite: `BENCH_sweep.json` must carry the same
+    //! byte-determinism guarantee as batch reports — identical canonical
+    //! bytes for `--threads 1` vs `--threads 8`.
+
+    use amoebot_scenarios::batch::Threads;
+    use amoebot_scenarios::registry::default_registry;
+    use amoebot_scenarios::sweep::{run_sweep, sweep_suite, SweepReport};
+
+    fn canonical_sweep(master_seed: u64, sizes: &[usize], threads: usize) -> String {
+        let registry = default_registry();
+        let suite = sweep_suite(&registry, master_seed, sizes, usize::MAX, &[]);
+        let entries = run_sweep(&suite, Threads::Count(threads));
+        SweepReport {
+            master_seed,
+            max_nodes: *sizes.iter().max().unwrap(),
+            threads,
+            entries,
+        }
+        .canonical_json()
+    }
+
+    #[test]
+    fn sweep_bytes_identical_across_thread_counts() {
+        // Small rungs so the test stays fast; the determinism argument is
+        // size-independent (per-scenario seeds, results in suite order).
+        let serial = canonical_sweep(42, &[64, 256], 1);
+        let parallel = canonical_sweep(42, &[64, 256], 8);
+        assert_eq!(
+            serial, parallel,
+            "canonical BENCH_sweep.json must not depend on the worker count"
+        );
+        assert!(serial.contains("spf-sweep-report/v1"));
+        assert!(!serial.contains("wall_micros"));
+        assert!(!serial.contains("nodes_per_sec"));
+    }
+
+    #[test]
+    fn sweep_bytes_identical_across_runs() {
+        let a = canonical_sweep(7, &[64, 128], 3);
+        let b = canonical_sweep(7, &[64, 128], 3);
+        assert_eq!(a, b);
+    }
+}

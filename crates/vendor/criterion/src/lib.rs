@@ -43,17 +43,32 @@ pub struct Criterion {
     sample_size: usize,
 }
 
+/// Quick-mode override: real criterion has a `--quick` CLI flag; this
+/// shim reads `CRITERION_SAMPLE_SIZE` instead (the CI perf job sets it to
+/// keep bench compile+run inside the gate's time budget). When set, it
+/// wins over both the default and explicit [`Criterion::sample_size`]
+/// calls baked into the benches.
+fn sample_size_override() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+}
+
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: sample_size_override().unwrap_or(10),
+        }
     }
 }
 
 impl Criterion {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark (unless the
+    /// `CRITERION_SAMPLE_SIZE` quick-mode override is in effect).
     pub fn sample_size(mut self, n: usize) -> Criterion {
         assert!(n >= 1, "sample size must be at least 1");
-        self.sample_size = n;
+        self.sample_size = sample_size_override().unwrap_or(n);
         self
     }
 

@@ -1,0 +1,358 @@
+//! `cargo xtask` — repo automation around `BENCH_sweep.json`.
+//!
+//! Two subcommands, both over the sweep-report schema
+//! (`spf-sweep-report/v1`) that `scenario-runner --sweep` emits:
+//!
+//! * `bench-report OLD NEW` — pretty-prints a per-(family, size)
+//!   throughput diff between two sweep reports as a markdown table, for
+//!   PR descriptions;
+//! * `bench-compare BASELINE FRESH [--threshold PCT]
+//!   [--min-wall-micros N]` — the CI gate: exits non-zero if any rung
+//!   regresses by more than `PCT` percent (default 25) in nodes/sec
+//!   throughput, or if any fresh rung failed validation. Rungs present
+//!   on one side only are reported but never fail the gate (ladders
+//!   legitimately grow and shrink), and rungs whose wall time stays
+//!   under the floor on *both* sides (default 20 ms) are reported as
+//!   `tiny` but not gated — sub-millisecond rungs jitter more than the
+//!   threshold from scheduler noise alone, so gating them measures the
+//!   runner, not the code. A slowdown that pushes a small rung past the
+//!   floor is gated again.
+
+use std::process::ExitCode;
+
+use amoebot_scenarios::json::Json;
+use amoebot_scenarios::SWEEP_SCHEMA;
+
+/// One rung parsed out of a sweep report.
+#[derive(Debug, Clone)]
+struct Rung {
+    family: String,
+    size: u64,
+    nodes_per_sec: u64,
+    wall_micros: u64,
+    pass: bool,
+}
+
+fn load_rungs(path: &str) -> Result<Vec<Rung>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != SWEEP_SCHEMA {
+        return Err(format!(
+            "{path}: schema {schema:?} is not {SWEEP_SCHEMA:?} (is this a --sweep report?)"
+        ));
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: no entries array"))?;
+    let mut out = Vec::new();
+    for e in entries {
+        let field = |k: &str| e.get(k).and_then(Json::as_u64);
+        out.push(Rung {
+            family: e
+                .get("family")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{path}: entry without family"))?
+                .to_string(),
+            size: field("size").ok_or_else(|| format!("{path}: entry without size"))?,
+            nodes_per_sec: field("nodes_per_sec").ok_or_else(|| {
+                format!("{path}: entry without nodes_per_sec (was the report written with --no-timing?)")
+            })?,
+            wall_micros: field("wall_micros").unwrap_or(0),
+            pass: e.get("pass").and_then(Json::as_bool).unwrap_or(false),
+        });
+    }
+    Ok(out)
+}
+
+fn find<'a>(rungs: &'a [Rung], family: &str, size: u64) -> Option<&'a Rung> {
+    rungs.iter().find(|r| r.family == family && r.size == size)
+}
+
+/// Signed relative throughput change, in percent (positive = faster).
+fn delta_pct(old: u64, new: u64) -> f64 {
+    if old == 0 {
+        return 0.0;
+    }
+    (new as f64 - old as f64) * 100.0 / old as f64
+}
+
+fn bench_report(old_path: &str, new_path: &str) -> Result<(), String> {
+    let old = load_rungs(old_path)?;
+    let new = load_rungs(new_path)?;
+    println!("| family | size | old nodes/s | new nodes/s | Δ |");
+    println!("|---|---:|---:|---:|---:|");
+    for n in &new {
+        match find(&old, &n.family, n.size) {
+            Some(o) => {
+                let d = delta_pct(o.nodes_per_sec, n.nodes_per_sec);
+                println!(
+                    "| {} | {} | {} | {} | {}{:.1}% |",
+                    n.family,
+                    n.size,
+                    o.nodes_per_sec,
+                    n.nodes_per_sec,
+                    if d >= 0.0 { "+" } else { "" },
+                    d
+                );
+            }
+            None => println!(
+                "| {} | {} | — | {} | new rung |",
+                n.family, n.size, n.nodes_per_sec
+            ),
+        }
+    }
+    for o in &old {
+        if find(&new, &o.family, o.size).is_none() {
+            println!(
+                "| {} | {} | {} | — | removed rung |",
+                o.family, o.size, o.nodes_per_sec
+            );
+        }
+    }
+    Ok(())
+}
+
+fn bench_compare(
+    baseline_path: &str,
+    fresh_path: &str,
+    threshold_pct: f64,
+    min_wall_micros: u64,
+) -> Result<u8, String> {
+    let baseline = load_rungs(baseline_path)?;
+    let fresh = load_rungs(fresh_path)?;
+    let mut regressions = 0usize;
+    let mut failures = 0usize;
+    for f in &fresh {
+        if !f.pass {
+            println!(
+                "FAIL  {:<24} size={:<8} failed cross-validation in the fresh sweep",
+                f.family, f.size
+            );
+            failures += 1;
+            continue;
+        }
+        match find(&baseline, &f.family, f.size) {
+            Some(b) => {
+                let d = delta_pct(b.nodes_per_sec, f.nodes_per_sec);
+                // Gate only rungs long enough to measure: if both sides
+                // finished under the floor, timer jitter dominates the
+                // delta. The max means a real slowdown that grows a tiny
+                // rung past the floor is still caught.
+                let measurable = b.wall_micros.max(f.wall_micros) >= min_wall_micros;
+                let status = if !measurable {
+                    "tiny"
+                } else if d < -threshold_pct {
+                    regressions += 1;
+                    "SLOW"
+                } else {
+                    "ok  "
+                };
+                println!(
+                    "{status}  {:<24} size={:<8} {:>12} -> {:>12} nodes/s ({}{:.1}%, {} µs)",
+                    f.family,
+                    f.size,
+                    b.nodes_per_sec,
+                    f.nodes_per_sec,
+                    if d >= 0.0 { "+" } else { "" },
+                    d,
+                    f.wall_micros,
+                );
+            }
+            None => println!(
+                "new   {:<24} size={:<8} {:>12} nodes/s (no baseline; not gated)",
+                f.family, f.size, f.nodes_per_sec
+            ),
+        }
+    }
+    for b in &baseline {
+        if find(&fresh, &b.family, b.size).is_none() {
+            println!(
+                "gone  {:<24} size={:<8} rung missing from the fresh sweep (not gated)",
+                b.family, b.size
+            );
+        }
+    }
+    if failures > 0 || regressions > 0 {
+        println!(
+            "perf gate: {failures} validation failure(s), {regressions} rung(s) slower than \
+             baseline by more than {threshold_pct}%"
+        );
+        return Ok(1);
+    }
+    println!("perf gate: all rungs within {threshold_pct}% of baseline");
+    Ok(0)
+}
+
+const USAGE: &str = "usage: cargo xtask bench-report OLD.json NEW.json\n\
+     \x20      cargo xtask bench-compare BASELINE.json FRESH.json \
+     [--threshold PCT] [--min-wall-micros N]";
+
+fn run(argv: &[String]) -> Result<u8, String> {
+    match argv.first().map(String::as_str) {
+        Some("bench-report") => {
+            let [old, new] = &argv[1..] else {
+                return Err(USAGE.to_string());
+            };
+            bench_report(old, new)?;
+            Ok(0)
+        }
+        Some("bench-compare") => {
+            let [b, f, rest @ ..] = &argv[1..] else {
+                return Err(USAGE.to_string());
+            };
+            let mut threshold = 25.0;
+            let mut min_wall = 20_000u64;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let value = it.next().ok_or_else(|| USAGE.to_string())?;
+                match flag.as_str() {
+                    "--threshold" => {
+                        threshold = value
+                            .parse()
+                            .map_err(|e| format!("bad --threshold {value:?}: {e}"))?;
+                    }
+                    "--min-wall-micros" => {
+                        min_wall = value
+                            .parse()
+                            .map_err(|e| format!("bad --min-wall-micros {value:?}: {e}"))?;
+                    }
+                    _ => return Err(USAGE.to_string()),
+                }
+            }
+            bench_compare(b, f, threshold, min_wall)
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(code) => ExitCode::from(code),
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal sweep report with one rung at the given throughput.
+    fn report(nps: u64, pass: bool) -> String {
+        report_with_wall(nps, 1_000_000, pass)
+    }
+
+    fn report_with_wall(nps: u64, wall: u64, pass: bool) -> String {
+        format!(
+            r#"{{"schema": "spf-sweep-report/v1", "master_seed": 1, "max_nodes": 1000,
+                "count": 1, "threads": 1,
+                "entries": [{{"family": "blob-broadcast", "size": 1000, "name": "x",
+                              "seed": 1, "n": 1000, "k": 1, "l": 0, "rounds": 8, "beeps": 8,
+                              "wall_micros": {wall}, "nodes_per_sec": {nps}, "pass": {pass}}}],
+                "summary": {{"passed": 1, "failed": 0, "total_rounds": 8, "total_beeps": 8,
+                             "total_wall_micros": {wall}}}}}"#
+        )
+    }
+
+    fn write(dir: &std::path::Path, name: &str, text: &str) -> String {
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("xtask-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_on_2x_slowdown() {
+        let dir = tmpdir("gate");
+        let base = write(&dir, "base.json", &report(1_000_000, true));
+        let same = write(&dir, "same.json", &report(900_000, true));
+        let slow = write(&dir, "slow.json", &report(500_000, true));
+        // 10% under baseline: within the 25% threshold.
+        assert_eq!(bench_compare(&base, &same, 25.0, 20_000).unwrap(), 0);
+        // A 2x slowdown must trip the gate.
+        assert_eq!(bench_compare(&base, &slow, 25.0, 20_000).unwrap(), 1);
+        // ...unless the operator widens the threshold past it.
+        assert_eq!(bench_compare(&base, &slow, 60.0, 20_000).unwrap(), 0);
+    }
+
+    #[test]
+    fn tiny_rungs_are_not_gated_unless_they_grow_past_the_floor() {
+        let dir = tmpdir("floor");
+        // 1 ms rungs: under a 20 ms floor on both sides, so a 2x delta is
+        // jitter, not a regression...
+        let base = write(&dir, "base.json", &report_with_wall(1_000_000, 1_000, true));
+        let slow = write(&dir, "slow.json", &report_with_wall(500_000, 1_000, true));
+        assert_eq!(bench_compare(&base, &slow, 25.0, 20_000).unwrap(), 0);
+        // ...but a slowdown that pushes the fresh rung past the floor is
+        // real work and is gated again.
+        let grown = write(
+            &dir,
+            "grown.json",
+            &report_with_wall(500_000, 1_000_000, true),
+        );
+        assert_eq!(bench_compare(&base, &grown, 25.0, 20_000).unwrap(), 1);
+        // And a floor of zero gates everything.
+        assert_eq!(bench_compare(&base, &slow, 25.0, 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn gate_fails_on_fresh_validation_failure() {
+        let dir = tmpdir("fail");
+        let base = write(&dir, "base.json", &report(1_000_000, true));
+        let bad = write(&dir, "bad.json", &report(1_000_000, false));
+        assert_eq!(bench_compare(&base, &bad, 25.0, 20_000).unwrap(), 1);
+    }
+
+    #[test]
+    fn unmatched_rungs_do_not_trip_the_gate() {
+        let dir = tmpdir("unmatched");
+        let base = write(&dir, "base.json", &report(1_000_000, true));
+        let empty = report(1_000_000, true).replace(
+            r#""entries": [{"#,
+            r#""entries": [{"family": "other", "size": 5, "name": "y", "seed": 1, "n": 5,
+                "k": 1, "l": 0, "rounds": 1, "beeps": 1, "wall_micros": 10,
+                "nodes_per_sec": 500000, "pass": true}, {"#,
+        );
+        let grown = write(&dir, "grown.json", &empty);
+        assert_eq!(bench_compare(&base, &grown, 25.0, 20_000).unwrap(), 0);
+    }
+
+    #[test]
+    fn canonical_reports_are_rejected_with_a_hint() {
+        let dir = tmpdir("canon");
+        let canon = report(1, true)
+            .replace(r#""wall_micros": 1000000, "nodes_per_sec": 1, "#, "")
+            .replace(r#""total_wall_micros": 1000000"#, r#""total_rounds2": 0"#);
+        let path = write(&dir, "canon.json", &canon);
+        let err = load_rungs(&path).unwrap_err();
+        assert!(err.contains("no-timing"), "hint missing from: {err}");
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let dir = tmpdir("schema");
+        let path = write(
+            &dir,
+            "batch.json",
+            r#"{"schema": "spf-scenario-report/v1"}"#,
+        );
+        assert!(load_rungs(&path).unwrap_err().contains("--sweep"));
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["bench-report".into()]).is_err());
+        assert!(run(&["bench-compare".into(), "a".into()]).is_err());
+    }
+}
