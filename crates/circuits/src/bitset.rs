@@ -39,6 +39,31 @@ impl BitSet {
         self.words[i / 64] &= !(1 << (i % 64));
     }
 
+    /// Whether any bit at all is set (word-at-a-time scan; the
+    /// `received_any`-style check over the whole set).
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Clears every bit in O(words). Cheaper than clearing through a
+    /// dense index list when most of the set is populated (the global
+    /// relabel resets its persistent root marks this way).
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates the indices of the set bits in ascending order,
+    /// word-at-a-time (each zero word costs one test, not 64).
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            std::iter::successors((word != 0).then_some(word), |w| {
+                let rest = w & (w - 1); // drop the lowest set bit
+                (rest != 0).then_some(rest)
+            })
+            .map(move |w| wi * 64 + w.trailing_zeros() as usize)
+        })
+    }
+
     /// Whether any bit in `lo..hi` is set (word-at-a-time scan).
     pub fn any_in_range(&self, lo: usize, hi: usize) -> bool {
         if lo >= hi {
@@ -90,5 +115,70 @@ mod tests {
         assert!(!b.any_in_range(129, 256));
         // Spanning several whole words.
         assert!(b.any_in_range(1, 255));
+    }
+
+    /// The whole-set word scan: empty, sparse, and bits in the last
+    /// partial word (capacity not a multiple of 64).
+    #[test]
+    fn any_scans_words_including_the_last_partial_one() {
+        let mut b = BitSet::new(130); // 3 words, last one 2 bits wide
+        assert!(!b.any(), "fresh set is empty");
+        b.set(129); // the very last representable bit
+        assert!(b.any());
+        b.clear(129);
+        assert!(!b.any(), "cleared back to empty");
+        b.set(64); // exactly on a word boundary
+        assert!(b.any());
+    }
+
+    /// `clear_all` wipes every word, including a full last word and a
+    /// partial one.
+    #[test]
+    fn clear_all_resets_every_word() {
+        for bits in [64usize, 65, 130, 192] {
+            let mut b = BitSet::new(bits);
+            for i in [0, bits / 2, bits - 1] {
+                b.set(i);
+            }
+            assert!(b.any());
+            b.clear_all();
+            assert!(!b.any(), "capacity {bits}: clear_all left bits behind");
+            assert!(!b.any_in_range(0, bits));
+        }
+    }
+
+    /// `ones` drains the set indices in ascending order across word
+    /// boundaries, adjacent bits, and the last partial word.
+    #[test]
+    fn ones_iterates_across_word_boundaries() {
+        let mut b = BitSet::new(200);
+        assert_eq!(b.ones().count(), 0, "empty set yields nothing");
+        // Boundary-straddling pattern: ends of words, starts of words,
+        // adjacent pairs, and the last bit of the final partial word.
+        let expected = [0usize, 1, 63, 64, 65, 127, 128, 191, 199];
+        for &i in &expected {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.ones().collect();
+        assert_eq!(got, expected);
+        // Clearing through the drained list empties the set (the dirty-set
+        // usage pattern: dense list drives the clears).
+        for i in got {
+            b.clear(i);
+        }
+        assert!(!b.any());
+        assert_eq!(b.ones().count(), 0);
+    }
+
+    /// A word whose every bit is set drains all 64 indices (the
+    /// lowest-bit-dropping successor must terminate).
+    #[test]
+    fn ones_handles_a_saturated_word() {
+        let mut b = BitSet::new(96);
+        for i in 0..64 {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.ones().collect();
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
     }
 }

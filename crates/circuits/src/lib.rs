@@ -43,4 +43,4 @@ pub mod world;
 pub use bitset::BitSet;
 pub use report::RoundReport;
 pub use topology::{PortId, Topology};
-pub use world::World;
+pub use world::{World, REGION_FALLBACK_FRACTION};

@@ -7,19 +7,33 @@
 //! between rounds is only the *pin configuration* (which local partition
 //! set each pin belongs to). [`World::new`] therefore precomputes a flat
 //! link table of global-pin-index pairs once, and [`World::tick`] maintains
-//! a cached circuit labeling guarded by a configuration-dirty flag:
+//! a cached circuit labeling guarded by a **dirty-pin set** (dense list +
+//! [`BitSet`], mirroring the beep-flag pattern):
 //!
 //! * any mutation ([`World::set_pin`] and everything built on it) that
-//!   actually changes a pin's partition set marks the labeling dirty;
-//! * a dirty tick relabels once — union-find over the link table, then a
-//!   CSR (compressed sparse row) index of circuit membership — in
-//!   O(total pins · α) using preallocated scratch;
+//!   actually changes a pin's partition set marks that pin dirty; no-op
+//!   writes (the stored value is unchanged) keep the labeling clean;
+//! * a dirty tick relabels **region-scoped**: the old circuits touching
+//!   any dirty pin's old or new partition set are dissolved back to
+//!   singleton union-find entries, only the links incident to members of
+//!   that region are re-unioned, and the updated buckets are spliced back
+//!   into the membership index — clean circuits keep their labels and
+//!   members untouched, so a sparse reconfiguration costs O(affected
+//!   circuits · c), not O(total pins). See DESIGN.md §1c for the
+//!   stability invariant that makes this sound;
+//! * when the dirty region exceeds [`REGION_FALLBACK_FRACTION`] of all
+//!   pins (or after [`World::tick_reference`] clobbered the scratch), the
+//!   engine falls back to the global relabel — union-find over the whole
+//!   link table plus a counting-sort membership rebuild in
+//!   O(total pins · α);
 //! * a clean tick (no amoebot reconfigured since the last relabel) reuses
 //!   the cached labeling and costs O(beeps sent + members of beeping
 //!   circuits + deliveries cleared), independent of the structure size.
 //!
-//! No code path in the steady state allocates: beeps, deliveries and root
-//! dedup all go through reusable buffers sized at construction.
+//! No clean-tick code path allocates: beeps, deliveries and root dedup
+//! all go through reusable buffers sized at construction. Both relabel
+//! flavors produce the *same* labeling (each circuit is labelled by its
+//! minimum member id), so reports never depend on which path ran.
 //!
 //! [`World::tick_reference`] keeps the original full-recompute engine
 //! alive verbatim; differential tests and the `circuit_engine` benches pin
@@ -30,6 +44,18 @@ use crate::topology::{PortId, Topology};
 
 /// A pin reference local to a node: `(port, link)` with `link < c`.
 pub type Pin = (PortId, usize);
+
+/// A region-scoped relabel falls back to the global recompute when the
+/// affected region exceeds `total pins / REGION_FALLBACK_FRACTION`: past
+/// a modest fraction of the structure, dissolving and re-unioning the
+/// region (bitset checks per link, scattered bucket writes, arena
+/// repacks) costs more than the global relabel's straight linear sweeps.
+/// Tuned empirically on the PASC-chain workload, whose dirty regions
+/// hover around 1/6 of all pins: 1/4 left it ~35% slower than the global
+/// path, 1/8 restores parity while every genuinely sparse workload (the
+/// DnC forest's portal-scoped phases, percent-level reconfigurations)
+/// stays far below the threshold.
+pub const REGION_FALLBACK_FRACTION: usize = 8;
 
 /// The simulated world: a topology, `c` external links per edge, the current
 /// pin configuration of every amoebot, and the beep state.
@@ -64,22 +90,57 @@ pub struct World {
     recv_set: Vec<u32>,
     /// Union-find scratch (parents over global partition-set ids).
     uf: Vec<u32>,
-    /// Cached circuit labeling: partition-set gid -> root gid of its
-    /// circuit. Valid iff `!dirty`.
+    /// Cached circuit labeling: partition-set gid -> root gid (= minimum
+    /// gid) of its circuit. Valid iff no relabel is pending.
     labels: Vec<u32>,
-    /// CSR membership index over `labels`: after `relabel`'s in-place
-    /// cursor fill, bucket `r` of `members` ends at `member_start[r]` and
-    /// starts at `member_start[r - 1]` (0 for `r == 0`).
-    member_start: Vec<u32>,
+    /// Membership arena: each current circuit root `r` owns the bucket
+    /// `members[member_off[r]..member_end[r]]` (its member gids in
+    /// ascending order). The global rebuild packs buckets contiguously;
+    /// region relabels append fresh buckets at the end (the displaced old
+    /// buckets become garbage) and a full repack reclaims the arena when
+    /// it would outgrow twice the pin count.
     members: Vec<u32>,
+    /// Bucket start per root gid (valid only for current roots).
+    member_off: Vec<u32>,
+    /// Bucket end per root gid (valid only for current roots).
+    member_end: Vec<u32>,
     /// Root dedup scratch; always all-clear between uses (bit-packed).
     root_mark: BitSet,
     /// Dense list of roots currently marked in `root_mark`.
     marked_roots: Vec<u32>,
-    /// Whether a pin changed partition set since the last relabel.
-    dirty: bool,
+    /// Pins whose partition set changed since the last relabel, as
+    /// `(pin gid, owning node's base offset)`; deduped via `dirty_pin`.
+    dirty_pins: Vec<(u32, u32)>,
+    /// Bit per pin: whether it is in `dirty_pins`.
+    dirty_pin: BitSet,
+    /// The pin configuration as of the last relabel — the "old" partition
+    /// sets that seed the affected region of the next region relabel.
+    pset_at_relabel: Vec<u16>,
+    /// Whether the next relabel must be global (set at construction and
+    /// by `tick_reference`, which clobbers the union-find scratch).
+    force_global: bool,
+    /// Persistent marks of the counted circuit roots (a root is counted
+    /// iff some pin references a partition set in its bucket); maintained
+    /// incrementally by the region relabel.
+    circuit_roots: BitSet,
+    /// CSR of edge indices (into `links`) incident to each node.
+    node_edge_off: Vec<u32>,
+    node_edges: Vec<u32>,
+    /// Region-relabel scratch: old roots touching a dirty pin.
+    affected_mark: BitSet,
+    affected_roots: Vec<u32>,
+    /// Region-relabel scratch: all gids of the affected circuits.
+    in_region: BitSet,
+    region: Vec<u32>,
+    /// Region-relabel scratch: nodes owning a region gid.
+    node_mark: BitSet,
+    region_nodes: Vec<u32>,
     /// Number of distinct circuits under the cached labeling.
     cached_circuits: usize,
+    /// Relabel-path counters (diagnostics; pinned by tests so the region
+    /// path cannot silently degrade into always-global).
+    global_relabels: u64,
+    region_relabels: u64,
     rounds: u64,
     /// Rounds executed by `tick`/`tick_reference` (excludes charges).
     simulated: u64,
@@ -110,12 +171,40 @@ impl World {
         base.push(acc);
         let total = acc as usize;
         let mut links = Vec::with_capacity(topo.edge_count());
+        // Per-node incident-edge CSR (each edge appears on both endpoints)
+        // so a region relabel can walk exactly the links it needs.
+        let mut edge_degree = vec![0u32; n];
         for v in 0..n {
             for (p, w, q) in topo.neighbors(v) {
                 if v < w {
                     let a0 = base[v] + (p * c) as u32;
                     let b0 = base[w] + (q * c) as u32;
                     links.push((a0, base[v], b0, base[w]));
+                    edge_degree[v] += 1;
+                    edge_degree[w] += 1;
+                }
+            }
+        }
+        let mut node_edge_off = Vec::with_capacity(n + 1);
+        let mut eacc = 0u32;
+        for &d in &edge_degree {
+            node_edge_off.push(eacc);
+            eacc += d;
+        }
+        node_edge_off.push(eacc);
+        let mut node_edges = vec![0u32; eacc as usize];
+        {
+            let mut cursor: Vec<u32> = node_edge_off[..n].to_vec();
+            let mut ei = 0u32;
+            for v in 0..n {
+                for (_, w, _) in topo.neighbors(v) {
+                    if v < w {
+                        node_edges[cursor[v] as usize] = ei;
+                        node_edges[cursor[w] as usize] = ei;
+                        cursor[v] += 1;
+                        cursor[w] += 1;
+                        ei += 1;
+                    }
                 }
             }
         }
@@ -133,12 +222,27 @@ impl World {
             recv_set: Vec::with_capacity(total),
             uf: vec![0; total],
             labels: vec![0; total],
-            member_start: vec![0; total + 1],
-            members: vec![0; total],
+            members: Vec::with_capacity(total),
+            member_off: vec![0; total],
+            member_end: vec![0; total],
             root_mark: BitSet::new(total),
             marked_roots: Vec::with_capacity(total),
-            dirty: true,
+            dirty_pins: Vec::with_capacity(total),
+            dirty_pin: BitSet::new(total),
+            pset_at_relabel: vec![0; total],
+            force_global: true,
+            circuit_roots: BitSet::new(total),
+            node_edge_off,
+            node_edges,
+            affected_mark: BitSet::new(total),
+            affected_roots: Vec::new(),
+            in_region: BitSet::new(total),
+            region: Vec::new(),
+            node_mark: BitSet::new(n),
+            region_nodes: Vec::new(),
             cached_circuits: 0,
+            global_relabels: 0,
+            region_relabels: 0,
             rounds: 0,
             simulated: 0,
             charged: 0,
@@ -148,6 +252,12 @@ impl World {
         for v in 0..w.topo.len() {
             w.singleton_pin_config(v);
         }
+        // The construction writes above marked everything dirty, but the
+        // first relabel is global regardless (`force_global`); drop the
+        // bookkeeping so the first *real* dirty set starts empty.
+        w.dirty_pins.clear();
+        w.dirty_pin.clear_all();
+        w.pset_at_relabel.copy_from_slice(&w.pin_pset);
         w
     }
 
@@ -238,6 +348,30 @@ impl World {
         (self.base[v + 1] - self.base[v]) as usize
     }
 
+    /// Marks pin `gid` (of the node whose base offset is `node_base`)
+    /// dirty, deduped through the dirty-pin bitset.
+    #[inline]
+    fn mark_pin_dirty(&mut self, gid: usize, node_base: u32) {
+        if !self.dirty_pin.get(gid) {
+            self.dirty_pin.set(gid);
+            self.dirty_pins.push((gid as u32, node_base));
+        }
+    }
+
+    /// Marks every pin of the node at `node_base` whose current partition
+    /// set differs from the last-relabel snapshot. Invariant: a clear
+    /// dirty bit implies the pin still matches the snapshot, so comparing
+    /// against the snapshot (rather than the pre-write value) never
+    /// misses a change — and a no-op rewrite of already-dirty pins just
+    /// re-marks them, which the bitset dedups.
+    fn mark_changed_pins(&mut self, node_base: usize, count: usize) {
+        for i in node_base..node_base + count {
+            if self.pin_pset[i] != self.pset_at_relabel[i] {
+                self.mark_pin_dirty(i, node_base as u32);
+            }
+        }
+    }
+
     /// Assigns a single pin of `v` to local partition set `pset`.
     ///
     /// # Panics
@@ -254,7 +388,7 @@ impl World {
         }
         if self.pin_pset[gid] != pset {
             self.pin_pset[gid] = pset;
-            self.dirty = true;
+            self.mark_pin_dirty(gid, self.base[v]);
         }
     }
 
@@ -269,8 +403,9 @@ impl World {
         let base = self.base[v] as usize;
         let count = self.pset_capacity(v);
         // Branchless change detection (XOR-accumulate, unconditional
-        // store): vectorizes, and only flips `dirty` on a real change so
-        // redundant reconfigurations keep the cached labeling.
+        // store): vectorizes, so the common no-op reconfiguration stays a
+        // single fast pass and keeps the cached labeling untouched. Only
+        // on a real change does the second pass mark the changed pins.
         let mut diff = 0u16;
         for i in 0..count {
             let pset = pset_of(i);
@@ -279,7 +414,7 @@ impl World {
             self.pin_pset[base + i] = pset;
         }
         if diff != 0 {
-            self.dirty = true;
+            self.mark_changed_pins(base, count);
         }
     }
 
@@ -329,18 +464,14 @@ impl World {
         let id = Self::global_link_pset(link);
         let base = self.base[v] as usize;
         let count = self.pset_capacity(v);
-        let mut changed = false;
         // Only the pins on `link` move; other links keep their sets.
         let mut i = link;
         while i < count {
             if self.pin_pset[base + i] != id {
                 self.pin_pset[base + i] = id;
-                changed = true;
+                self.mark_pin_dirty(base + i, base as u32);
             }
             i += self.c;
-        }
-        if changed {
-            self.dirty = true;
         }
     }
 
@@ -373,7 +504,19 @@ impl World {
             i += c;
         }
         if diff != 0 {
-            self.dirty = true;
+            self.mark_changed_pins(base, count);
+        }
+    }
+
+    /// [`World::reset_pins_keeping_links`] over *every* node: the
+    /// per-phase "drop all stale groups" sweep the algorithm layer runs
+    /// between phases, as one call. Only the pins that actually move are
+    /// marked dirty, so after a phase that reconfigured a small region the
+    /// next relabel still only touches that region — the sweep itself
+    /// contributes nothing to the dirty set on already-reset nodes.
+    pub fn reset_all_pins_keeping_links(&mut self, keep: &[usize]) {
+        for v in 0..self.topo.len() {
+            self.reset_pins_keeping_links(v, keep);
         }
     }
 
@@ -432,10 +575,263 @@ impl World {
         }
     }
 
-    /// Recomputes the circuit labeling, the CSR membership index and the
-    /// circuit count from the current pin configuration. O(total pins · α)
-    /// with zero allocations; called only when the configuration is dirty.
-    fn relabel(&mut self) {
+    /// Whether the next [`World::tick`] has to relabel before delivering
+    /// (i.e. some pin's partition set changed since the last relabel, or
+    /// the labeling was never computed / was invalidated by
+    /// [`World::tick_reference`]). No-op reconfigurations — writes that
+    /// store the value a pin already has — never make this true.
+    #[inline]
+    pub fn relabel_pending(&self) -> bool {
+        self.force_global || !self.dirty_pins.is_empty()
+    }
+
+    /// How many global (full union-find + membership rebuild) relabels
+    /// have run. Diagnostic, pinned by tests together with
+    /// [`World::region_relabels`] so the region path cannot silently
+    /// degrade into always-global.
+    #[inline]
+    pub fn global_relabels(&self) -> u64 {
+        self.global_relabels
+    }
+
+    /// How many region-scoped relabels have run (see
+    /// [`World::relabel_pending`] and the module docs).
+    #[inline]
+    pub fn region_relabels(&self) -> u64 {
+        self.region_relabels
+    }
+
+    /// Refreshes the cached labeling: region-scoped when the dirty region
+    /// is small, global otherwise.
+    fn refresh_labels(&mut self) {
+        // Fractional fallback (1/REGION_FALLBACK_FRACTION of all pins):
+        // beyond it, dissolving and re-unioning the region approaches
+        // the cost of the global relabel anyway — without its
+        // cache-friendly linear sweeps.
+        let threshold = self.labels.len() / REGION_FALLBACK_FRACTION;
+        if self.force_global || self.dirty_pins.len() > threshold {
+            self.relabel_global();
+            return;
+        }
+        self.relabel_region(threshold);
+    }
+
+    /// The owner node of pin/partition-set `gid` (binary search over the
+    /// base offsets; zero-pin nodes collapse onto the same offset, and the
+    /// search lands past all of them).
+    #[inline]
+    fn node_of_gid(&self, gid: u32) -> usize {
+        self.base.partition_point(|&b| b <= gid) - 1
+    }
+
+    /// Region-scoped relabel: dissolves only the circuits whose old *or*
+    /// new configuration touches a dirty pin, re-unions only the links
+    /// incident to their member nodes, and splices the rebuilt buckets
+    /// into the membership arena. Clean circuits keep labels, buckets and
+    /// counted-ness untouched — sound because a circuit can only change
+    /// if one of its members' partition sets changed (see DESIGN.md §1c).
+    ///
+    /// Falls back to [`World::relabel_global`] when the collected region
+    /// exceeds `threshold` gids.
+    fn relabel_region(&mut self, threshold: usize) {
+        debug_assert!(!self.affected_mark.any() && !self.in_region.any());
+        // 1. Seed: the old circuits of every dirty pin's old and new
+        // partition set. (A pin's peer circuits are covered transitively:
+        // the old union along the edge put the peer's set in the same old
+        // circuit as this pin's old set.)
+        for i in 0..self.dirty_pins.len() {
+            let (pin, node_base) = self.dirty_pins[i];
+            let old_gid = node_base + self.pset_at_relabel[pin as usize] as u32;
+            let new_gid = node_base + self.pin_pset[pin as usize] as u32;
+            for gid in [old_gid, new_gid] {
+                let root = self.labels[gid as usize];
+                if !self.affected_mark.get(root as usize) {
+                    self.affected_mark.set(root as usize);
+                    self.affected_roots.push(root);
+                }
+            }
+        }
+        // 2. Region size = sum of the affected buckets; bail out to the
+        // global relabel while the scratch is still cheap to unwind.
+        let region_size: usize = self
+            .affected_roots
+            .iter()
+            .map(|&r| (self.member_end[r as usize] - self.member_off[r as usize]) as usize)
+            .sum();
+        if region_size > threshold {
+            for i in 0..self.affected_roots.len() {
+                self.affected_mark.clear(self.affected_roots[i] as usize);
+            }
+            self.affected_roots.clear();
+            self.relabel_global();
+            return;
+        }
+        // 3. Collect the region: every member gid of every affected
+        // circuit, its owner nodes, and — dissolving — singleton
+        // union-find entries. Affected roots drop out of the circuit
+        // count here; step 6 re-adds whatever the new region references.
+        for i in 0..self.affected_roots.len() {
+            let r = self.affected_roots[i] as usize;
+            if self.circuit_roots.get(r) {
+                self.circuit_roots.clear(r);
+                self.cached_circuits -= 1;
+            }
+            for j in self.member_off[r] as usize..self.member_end[r] as usize {
+                let gid = self.members[j];
+                self.in_region.set(gid as usize);
+                self.region.push(gid);
+                self.uf[gid as usize] = gid;
+            }
+        }
+        // (Bucket contents end up in affected-circuit concatenation order
+        // rather than the global counting sort's ascending order; nothing
+        // observes member order, and the collection order is itself
+        // deterministic.) Owner lookups exploit that each old bucket is
+        // ascending, so consecutive gids usually share a node.
+        let mut cached_node = usize::MAX;
+        for i in 0..self.region.len() {
+            let gid = self.region[i];
+            if cached_node == usize::MAX
+                || gid < self.base[cached_node]
+                || gid >= self.base[cached_node + 1]
+            {
+                cached_node = self.node_of_gid(gid);
+            }
+            if !self.node_mark.get(cached_node) {
+                self.node_mark.set(cached_node);
+                self.region_nodes.push(cached_node as u32);
+            }
+        }
+        // 4. Re-union: only links incident to region nodes, and of those
+        // only the ones whose endpoints lie in the region. The stability
+        // invariant guarantees a union never crosses the region boundary.
+        for i in 0..self.region_nodes.len() {
+            let v = self.region_nodes[i] as usize;
+            for e in self.node_edge_off[v] as usize..self.node_edge_off[v + 1] as usize {
+                let (a0, base_a, b0, base_b) = self.links[self.node_edges[e] as usize];
+                for link in 0..self.c as u32 {
+                    let pa = base_a + self.pin_pset[(a0 + link) as usize] as u32;
+                    let pb = base_b + self.pin_pset[(b0 + link) as usize] as u32;
+                    if self.in_region.get(pa as usize) || self.in_region.get(pb as usize) {
+                        debug_assert!(
+                            self.in_region.get(pa as usize) && self.in_region.get(pb as usize),
+                            "a link union crossed the region boundary"
+                        );
+                        self.union(pa, pb);
+                    }
+                }
+            }
+        }
+        for i in 0..self.region.len() {
+            let gid = self.region[i];
+            let root = self.find(gid);
+            self.labels[gid as usize] = root;
+        }
+        // 5. Splice the rebuilt buckets into the arena: append-at-end
+        // (the displaced old buckets become garbage), with a full repack
+        // once the arena would outgrow twice the pin count — amortized
+        // O(region) per relabel.
+        if self.members.len() + self.region.len() > 2 * self.labels.len() {
+            self.rebuild_members();
+        } else {
+            debug_assert!(self.marked_roots.is_empty());
+            for i in 0..self.region.len() {
+                let r = self.labels[self.region[i] as usize] as usize;
+                if !self.root_mark.get(r) {
+                    self.root_mark.set(r);
+                    self.marked_roots.push(r as u32);
+                    self.member_end[r] = 0;
+                }
+                self.member_end[r] += 1;
+            }
+            let mut cursor = self.members.len() as u32;
+            for i in 0..self.marked_roots.len() {
+                let r = self.marked_roots[i] as usize;
+                let size = self.member_end[r];
+                self.member_off[r] = cursor;
+                self.member_end[r] = cursor;
+                cursor += size;
+            }
+            self.members.resize(cursor as usize, 0);
+            for i in 0..self.region.len() {
+                let gid = self.region[i];
+                let r = self.labels[gid as usize] as usize;
+                self.members[self.member_end[r] as usize] = gid;
+                self.member_end[r] += 1;
+            }
+            for &r in &self.marked_roots {
+                self.root_mark.clear(r as usize);
+            }
+            self.marked_roots.clear();
+        }
+        // 6. Re-count: a region circuit is counted iff some pin of a
+        // region node references one of its member sets (pins of clean
+        // nodes cannot reference region gids, which all belong to region
+        // nodes; references to clean circuits are untouched).
+        for i in 0..self.region_nodes.len() {
+            let v = self.region_nodes[i] as usize;
+            for p in self.base[v] as usize..self.base[v + 1] as usize {
+                let gid = self.base[v] as usize + self.pin_pset[p] as usize;
+                if self.in_region.get(gid) {
+                    let root = self.labels[gid] as usize;
+                    if !self.circuit_roots.get(root) {
+                        self.circuit_roots.set(root);
+                        self.cached_circuits += 1;
+                    }
+                }
+            }
+        }
+        // 7. Snapshot the new configuration and unwind the scratch.
+        for i in 0..self.dirty_pins.len() {
+            let pin = self.dirty_pins[i].0 as usize;
+            self.pset_at_relabel[pin] = self.pin_pset[pin];
+            self.dirty_pin.clear(pin);
+        }
+        self.dirty_pins.clear();
+        for i in 0..self.affected_roots.len() {
+            self.affected_mark.clear(self.affected_roots[i] as usize);
+        }
+        self.affected_roots.clear();
+        for i in 0..self.region.len() {
+            self.in_region.clear(self.region[i] as usize);
+        }
+        self.region.clear();
+        for i in 0..self.region_nodes.len() {
+            self.node_mark.clear(self.region_nodes[i] as usize);
+        }
+        self.region_nodes.clear();
+        self.region_relabels += 1;
+    }
+
+    /// Fully repacks the membership arena from `labels`: counting sort
+    /// into contiguous ascending buckets, one slot per gid.
+    fn rebuild_members(&mut self) {
+        let total = self.labels.len();
+        self.members.clear();
+        self.members.resize(total, 0);
+        self.member_end.fill(0);
+        for gid in 0..total {
+            self.member_end[self.labels[gid] as usize] += 1;
+        }
+        let mut acc = 0u32;
+        for r in 0..total {
+            let size = self.member_end[r];
+            self.member_off[r] = acc;
+            self.member_end[r] = acc;
+            acc += size;
+        }
+        for gid in 0..total as u32 {
+            let r = self.labels[gid as usize] as usize;
+            self.members[self.member_end[r] as usize] = gid;
+            self.member_end[r] += 1;
+        }
+    }
+
+    /// Recomputes the circuit labeling, the membership index and the
+    /// circuit count from scratch. O(total pins · α) with zero
+    /// allocations; the escape hatch when the dirty region is large (or
+    /// unknown, after [`World::tick_reference`]).
+    fn relabel_global(&mut self) {
         let total = self.labels.len();
         for i in 0..total {
             self.uf[i] = i as u32;
@@ -455,44 +851,31 @@ impl World {
             let root = self.find(gid);
             self.labels[gid as usize] = root;
         }
-        // CSR membership by counting sort over the labels. The prefix
-        // array doubles as the fill cursor: after the fill, entry `r`
-        // holds the *end* of bucket `r` (and `r - 1` its start), so no
-        // separate cursor array is needed.
-        self.member_start.fill(0);
-        for gid in 0..total {
-            self.member_start[self.labels[gid] as usize + 1] += 1;
-        }
-        for i in 0..total {
-            self.member_start[i + 1] += self.member_start[i];
-        }
-        for gid in 0..total as u32 {
-            let root = self.labels[gid as usize] as usize;
-            let at = self.member_start[root] as usize;
-            self.members[at] = gid;
-            self.member_start[root] += 1;
-        }
+        self.rebuild_members();
         // Circuit count: distinct roots among partition sets that some pin
-        // actually references (empty sets are not circuits).
+        // actually references (empty sets are not circuits). The marks
+        // persist so region relabels can maintain the count incrementally.
+        self.circuit_roots.clear_all();
         let mut count = 0usize;
         for v in 0..self.topo.len() {
             let node_base = self.base[v];
             for p in node_base..self.base[v + 1] {
                 let pset_gid = node_base + self.pin_pset[p as usize] as u32;
                 let root = self.labels[pset_gid as usize] as usize;
-                if !self.root_mark.get(root) {
-                    self.root_mark.set(root);
-                    self.marked_roots.push(root as u32);
+                if !self.circuit_roots.get(root) {
+                    self.circuit_roots.set(root);
                     count += 1;
                 }
             }
         }
-        for &root in &self.marked_roots {
-            self.root_mark.clear(root as usize);
-        }
-        self.marked_roots.clear();
         self.cached_circuits = count;
-        self.dirty = false;
+        self.pset_at_relabel.copy_from_slice(&self.pin_pset);
+        for i in 0..self.dirty_pins.len() {
+            self.dirty_pin.clear(self.dirty_pins[i].0 as usize);
+        }
+        self.dirty_pins.clear();
+        self.force_global = false;
+        self.global_relabels += 1;
     }
 
     /// Executes one synchronous round: circuits are computed from the current
@@ -500,8 +883,8 @@ impl World {
     /// beeps sent via [`World::beep`] are delivered to every partition set of
     /// their circuit, and the round counter advances.
     pub fn tick(&mut self) {
-        if self.dirty {
-            self.relabel();
+        if self.relabel_pending() {
+            self.refresh_labels();
         }
         // Clear last round's deliveries (O(previous deliveries)).
         for &gid in &self.recv_set {
@@ -518,17 +901,12 @@ impl World {
             }
         }
         self.sent.clear();
-        // Deliver to every member of each beeping circuit. After relabel's
-        // in-place cursor fill, `member_start[r]` is the end of bucket `r`
-        // and `member_start[r - 1]` its start.
+        // Deliver to every member of each beeping circuit (bucket bounds
+        // straight out of the membership arena).
         for i in 0..self.marked_roots.len() {
             let root = self.marked_roots[i] as usize;
-            let start = if root == 0 {
-                0
-            } else {
-                self.member_start[root - 1] as usize
-            };
-            let end = self.member_start[root] as usize;
+            let start = self.member_off[root] as usize;
+            let end = self.member_end[root] as usize;
             for j in start..end {
                 let gid = self.members[j];
                 self.recv.set(gid as usize);
@@ -596,8 +974,9 @@ impl World {
             self.send.clear(gid as usize);
         }
         self.sent.clear();
-        // This path clobbers `uf` without refreshing `labels`.
-        self.dirty = true;
+        // This path clobbers `uf` without refreshing `labels` (and tracks
+        // no per-pin dirty state), so the next relabel must be global.
+        self.force_global = true;
         self.rounds += 1;
         self.simulated += 1;
     }
@@ -640,8 +1019,8 @@ impl World {
     /// (diagnostic; does not advance the round counter). Served from the
     /// cached labeling; relabels only if the configuration changed.
     pub fn circuit_count(&mut self) -> usize {
-        if self.dirty {
-            self.relabel();
+        if self.relabel_pending() {
+            self.refresh_labels();
         }
         self.cached_circuits
     }
@@ -830,6 +1209,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// No-op reconfigurations — every mutation path re-storing the values
+    /// the pins already hold — must keep the next tick on the clean path:
+    /// nothing becomes dirty, no relabel of either flavor runs.
+    #[test]
+    fn noop_writes_keep_the_next_tick_clean() {
+        let mut w = path_world(5, 2);
+        for v in 0..5 {
+            w.global_link_config(v, 1);
+        }
+        w.tick();
+        assert!(!w.relabel_pending());
+        let before = (w.global_relabels(), w.region_relabels());
+        // Re-apply the identical configuration through every sibling.
+        for v in 0..5 {
+            w.global_link_config(v, 1);
+            for i in 0..w.pset_capacity(v) {
+                let pset = if i % 2 == 1 { 1 } else { i as u16 };
+                w.set_pin(v, i / 2, i % 2, pset);
+            }
+        }
+        w.reset_all_pins_keeping_links(&[1]);
+        assert!(
+            !w.relabel_pending(),
+            "no-op writes must not dirty the labeling"
+        );
+        w.tick();
+        assert_eq!(
+            (w.global_relabels(), w.region_relabels()),
+            before,
+            "the clean tick must not relabel"
+        );
     }
 
     /// Out-of-range partition sets on `beep` must panic — in release builds

@@ -109,13 +109,14 @@ pub fn shortest_path_forest(
 
     // Corollary 57: prune every tree with Q = D.
     let start = world.rounds();
+    let roots = forest_roots(&forest);
     let trees: Vec<Tree> = forest
         .sources
         .iter()
         .map(|&s| {
             let mut parents = vec![None; n];
             for v in 0..n {
-                if forest.member[v] && root_of(&forest, v) == Some(s) {
+                if forest.member[v] && roots[v] == s as u32 {
                     parents[v] = forest.parents[v];
                 }
             }
@@ -142,16 +143,44 @@ pub fn shortest_path_forest(
     }
 }
 
-fn root_of(f: &Forest, mut v: usize) -> Option<usize> {
-    let mut steps = 0;
-    while let Some(p) = f.parents[v] {
-        v = p;
-        steps += 1;
-        if steps > f.parents.len() {
-            return None;
+/// The root of every node under `f`'s parent pointers, memoized with path
+/// compression: one O(n) pass over two flat arrays. The previous
+/// per-(source, node) upward walks cost O(n · k · depth) and dominated
+/// destination pruning once the structure outgrew ~10^4 nodes.
+fn forest_roots(f: &Forest) -> Vec<u32> {
+    const UNKNOWN: u32 = u32::MAX;
+    let n = f.parents.len();
+    let mut root = vec![UNKNOWN; n];
+    let mut path: Vec<u32> = Vec::new();
+    for v in 0..n {
+        if root[v] != UNKNOWN {
+            continue;
+        }
+        let mut x = v;
+        path.clear();
+        while root[x] == UNKNOWN {
+            match f.parents[x] {
+                // The length guard mirrors the old defensive cycle check:
+                // a (never expected) parent cycle terminates instead of
+                // spinning, labelling the cycle by its entry node.
+                Some(p) if path.len() < n => {
+                    path.push(x as u32);
+                    x = p;
+                }
+                _ => break,
+            }
+        }
+        let r = if root[x] != UNKNOWN {
+            root[x]
+        } else {
+            x as u32
+        };
+        root[x] = r;
+        for &y in &path {
+            root[y as usize] = r;
         }
     }
-    Some(v)
+    root
 }
 
 /// A region of the divide step: an amoebot mask plus, per `Q'` portal it

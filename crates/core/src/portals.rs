@@ -178,9 +178,7 @@ pub fn mark_portals(
     flags: &[bool],
 ) -> Vec<bool> {
     let n = structure.len();
-    for v in 0..n {
-        world.reset_pins_keeping_links(v, &[SYNC]);
-    }
+    world.reset_all_pins_keeping_links(&[SYNC]);
     let (pos, neg) = ap.axis.directions();
     let mut pset = vec![u16::MAX; n];
     for members in &ap.portals {
@@ -303,9 +301,7 @@ pub fn portal_root_and_prune(
     // its axis pins on the BROADCAST link; connectors with non-zero diff
     // beep; the root portal's representative beeps iff |Q| > 0. Every member
     // then knows whether its portal is in V_Q.
-    for v in 0..n {
-        world.reset_pins_keeping_links(v, &[SYNC]);
-    }
+    world.reset_all_pins_keeping_links(&[SYNC]);
     let (pos, neg) = ap.axis.directions();
     let mut portal_pset = vec![u16::MAX; n];
     for members in &ap.portals {
@@ -355,9 +351,7 @@ pub fn portal_root_and_prune(
     // form a circuit along the axis (cut at run boundaries); the connector
     // of the parent edge beeps; every receiving member knows its cross
     // neighbors on that side are in the parent portal.
-    for v in 0..n {
-        world.reset_pins_keeping_links(v, &[SYNC, BROADCAST]);
-    }
+    world.reset_all_pins_keeping_links(&[SYNC, BROADCAST]);
     let sides = ap.axis.cross_sides();
     let side_links = [FWD_PRIMARY, FWD_SECONDARY];
     let mut side_pset = vec![[u16::MAX; 2]; n];
@@ -703,9 +697,7 @@ pub fn portal_centroids(
     }
 
     // Pass 2: stream sizes against |Q|/2 (3 rounds per iteration).
-    for v in 0..n {
-        world.reset_pins_keeping_links(v, &[SYNC]);
-    }
+    world.reset_all_pins_keeping_links(&[SYNC]);
     let ts = crate::ett::build_tours(world.topology(), std::slice::from_ref(&tree), &q_hat);
     let mut run = PascRun::new(world, ts.specs.clone(), SYNC);
     // Structure-spanning broadcast circuit for the |Q| bits.

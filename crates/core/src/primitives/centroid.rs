@@ -43,9 +43,7 @@ pub fn q_centroids(world: &mut World, trees: &[Tree], q: &[bool]) -> CentroidOut
     let rp = root_and_prune(world, trees, q);
 
     // Second pass: same tours, now streaming sizes against |Q|/2.
-    for v in 0..n {
-        world.reset_pins_keeping_links(v, &[BROADCAST, SYNC]);
-    }
+    world.reset_all_pins_keeping_links(&[BROADCAST, SYNC]);
     let ts = build_tours(world.topology(), trees, q);
     let mut run = PascRun::new(world, ts.specs.clone(), SYNC);
 

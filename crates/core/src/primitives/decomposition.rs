@@ -78,9 +78,7 @@ pub fn centroid_decomposition(world: &mut World, tree: &Tree, q_prime: &[bool]) 
         // One round: every candidate subtree forms a circuit on the
         // BROADCAST link along its tree edges; remaining Q' members beep;
         // silent subtrees are dropped (they contain no unelected Q').
-        for v in 0..n {
-            world.reset_pins_keeping_links(v, &[SYNC]);
-        }
+        world.reset_all_pins_keeping_links(&[SYNC]);
         let mut pset_of: Vec<u16> = vec![u16::MAX; n];
         for (sub, _, _) in &next_regions {
             for &v in &sub.members {

@@ -18,10 +18,7 @@ use crate::tree::Tree;
 /// Note this is *not* leader election: each tree's root is already unique
 /// and coordinates the step.
 pub fn elect(world: &mut World, trees: &[Tree], q: &[bool]) -> Vec<Option<usize>> {
-    let n = world.topology().len();
-    for v in 0..n {
-        world.reset_pins_keeping_links(v, &[BROADCAST, SYNC]);
-    }
+    world.reset_all_pins_keeping_links(&[BROADCAST, SYNC]);
     let ts = build_tours(world.topology(), trees, q);
     let c = world.links_per_edge();
 

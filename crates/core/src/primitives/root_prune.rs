@@ -49,9 +49,7 @@ impl RootPrune {
 /// without a node in `Q` (Lemma 20, `O(log |Q|)` rounds).
 pub fn root_and_prune(world: &mut World, trees: &[Tree], q: &[bool]) -> RootPrune {
     let n = world.topology().len();
-    for v in 0..n {
-        world.reset_pins_keeping_links(v, &[BROADCAST, SYNC]);
-    }
+    world.reset_all_pins_keeping_links(&[BROADCAST, SYNC]);
     let ts = build_tours(world.topology(), trees, q);
     let mut run = PascRun::new(world, ts.specs.clone(), SYNC);
 

@@ -160,17 +160,32 @@ pub fn spt_in_world(
     let start = world.rounds();
     let mut comp = vec![false; n];
     comp[source] = true;
-    // Children adjacency of the chosen-parent graph.
-    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Children adjacency of the chosen-parent graph, in CSR form: two
+    // counting passes over two flat arrays instead of `n` heap-allocated
+    // vectors — this routine runs once per pairwise merge of the DnC
+    // forest, so its constant factor is on the reconfiguration hot path.
+    let mut child_off = vec![0u32; n + 1];
     for v in 0..n {
         if let Some(p) = chosen[v] {
-            children[p].push(v);
+            child_off[p + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        child_off[i + 1] += child_off[i];
+    }
+    let mut children = vec![0u32; child_off[n] as usize];
+    let mut cursor = child_off.clone();
+    for v in 0..n {
+        if let Some(p) = chosen[v] {
+            children[cursor[p] as usize] = v as u32;
+            cursor[p] += 1;
         }
     }
     let mut stack = vec![source];
     let mut edges = Vec::new();
     while let Some(v) = stack.pop() {
-        for &w in &children[v] {
+        for &w in &children[child_off[v] as usize..child_off[v + 1] as usize] {
+            let w = w as usize;
             if !comp[w] {
                 comp[w] = true;
                 edges.push((v, w));

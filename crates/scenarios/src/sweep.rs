@@ -200,10 +200,15 @@ mod tests {
                 p.family
             );
         }
-        // The forest family's ceiling keeps it off the 100k rung.
-        assert!(!suite
+        // The DnC forest family reaches its lifted 100k ceiling...
+        assert!(suite
             .iter()
-            .any(|p| p.family == "random-blob-forest" && p.size > 10_000));
+            .any(|p| p.family == "random-blob-forest" && p.size == 100_000));
+        // ...but no further: 1M stays above the ceiling.
+        let unclipped = sweep_suite(&r, 42, &DEFAULT_SIZES, 1_000_000, &[]);
+        assert!(!unclipped
+            .iter()
+            .any(|p| p.family == "random-blob-forest" && p.size > 100_000));
         // Filtering restricts to the named family.
         let only = sweep_suite(&r, 42, &DEFAULT_SIZES, 10_000, &["blob-broadcast".into()]);
         assert!(only.iter().all(|p| p.family == "blob-broadcast"));

@@ -1,6 +1,6 @@
 //! `cargo xtask` — repo automation around `BENCH_sweep.json`.
 //!
-//! Two subcommands, both over the sweep-report schema
+//! Three subcommands, all over the sweep-report schema
 //! (`spf-sweep-report/v1`) that `scenario-runner --sweep` emits:
 //!
 //! * `bench-report OLD NEW` — pretty-prints a per-(family, size)
@@ -16,7 +16,14 @@
 //!   `tiny` but not gated — sub-millisecond rungs jitter more than the
 //!   threshold from scheduler noise alone, so gating them measures the
 //!   runner, not the code. A slowdown that pushes a small rung past the
-//!   floor is gated again.
+//!   floor is gated again. Rungs *faster* than baseline by more than the
+//!   threshold print as `FAST` with a non-fatal "consider refreshing the
+//!   baseline" note, so wins show up in the CI log instead of silently
+//!   eroding the gate's sensitivity;
+//! * `bench-refresh` — regenerates `bench/baseline.json` in place via
+//!   the canonical CI sweep invocation (release build, 10k ladder,
+//!   `--threads 1 --seed 42`) and prints the markdown diff against the
+//!   previous baseline. One command instead of the by-hand procedure.
 
 use std::process::ExitCode;
 
@@ -36,6 +43,10 @@ struct Rung {
 fn load_rungs(path: &str) -> Result<Vec<Rung>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    rungs_from_doc(&doc, path)
+}
+
+fn rungs_from_doc(doc: &Json, path: &str) -> Result<Vec<Rung>, String> {
     let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
     if schema != SWEEP_SCHEMA {
         return Err(format!(
@@ -81,10 +92,15 @@ fn delta_pct(old: u64, new: u64) -> f64 {
 fn bench_report(old_path: &str, new_path: &str) -> Result<(), String> {
     let old = load_rungs(old_path)?;
     let new = load_rungs(new_path)?;
+    print_report_table(&old, &new);
+    Ok(())
+}
+
+fn print_report_table(old: &[Rung], new: &[Rung]) {
     println!("| family | size | old nodes/s | new nodes/s | Δ |");
     println!("|---|---:|---:|---:|---:|");
-    for n in &new {
-        match find(&old, &n.family, n.size) {
+    for n in new {
+        match find(old, &n.family, n.size) {
             Some(o) => {
                 let d = delta_pct(o.nodes_per_sec, n.nodes_per_sec);
                 println!(
@@ -103,15 +119,72 @@ fn bench_report(old_path: &str, new_path: &str) -> Result<(), String> {
             ),
         }
     }
-    for o in &old {
-        if find(&new, &o.family, o.size).is_none() {
+    for o in old {
+        if find(new, &o.family, o.size).is_none() {
             println!(
                 "| {} | {} | {} | — | removed rung |",
                 o.family, o.size, o.nodes_per_sec
             );
         }
     }
-    Ok(())
+}
+
+/// The canonical baseline-refresh sweep invocation — the same flags the
+/// CI perf job uses (`--threads 1` so rungs never compete for cores),
+/// writing straight to the committed baseline path.
+fn refresh_invocation() -> Vec<&'static str> {
+    vec![
+        "run",
+        "--release",
+        "--locked",
+        "--bin",
+        "scenario-runner",
+        "--",
+        "--sweep",
+        "--max-nodes",
+        "10000",
+        "--threads",
+        "1",
+        "--seed",
+        "42",
+        "--out",
+        "bench/baseline.json",
+    ]
+}
+
+/// Regenerates `bench/baseline.json` via the canonical sweep and prints
+/// the markdown diff against the previous baseline.
+fn bench_refresh() -> Result<u8, String> {
+    // The xtask manifest lives in `<workspace>/xtask`; run the sweep from
+    // the workspace root so relative paths match the CI invocation.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .ok_or("xtask manifest has no parent directory")?
+        .to_path_buf();
+    let baseline_path = root.join("bench/baseline.json");
+    let old = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => {
+            let doc = Json::parse(&text).map_err(|e| format!("old baseline: {e}"))?;
+            rungs_from_doc(&doc, "old baseline")?
+        }
+        Err(_) => Vec::new(), // first-ever baseline: nothing to diff
+    };
+    let args = refresh_invocation();
+    eprintln!("running: cargo {}", args.join(" "));
+    let status = std::process::Command::new("cargo")
+        .args(&args)
+        .current_dir(&root)
+        .status()
+        .map_err(|e| format!("cannot spawn cargo: {e}"))?;
+    if !status.success() {
+        return Err(format!("baseline sweep failed ({status})"));
+    }
+    let new = load_rungs(&baseline_path.to_string_lossy())?;
+    println!();
+    println!("refreshed bench/baseline.json; diff against the previous baseline:");
+    println!();
+    print_report_table(&old, &new);
+    Ok(0)
 }
 
 fn bench_compare(
@@ -119,11 +192,12 @@ fn bench_compare(
     fresh_path: &str,
     threshold_pct: f64,
     min_wall_micros: u64,
-) -> Result<u8, String> {
+) -> Result<(u8, usize), String> {
     let baseline = load_rungs(baseline_path)?;
     let fresh = load_rungs(fresh_path)?;
     let mut regressions = 0usize;
     let mut failures = 0usize;
+    let mut improvements = 0usize;
     for f in &fresh {
         if !f.pass {
             println!(
@@ -146,6 +220,11 @@ fn bench_compare(
                 } else if d < -threshold_pct {
                     regressions += 1;
                     "SLOW"
+                } else if d > threshold_pct {
+                    // Never fatal: a win past the threshold just means
+                    // the baseline is stale on this rung.
+                    improvements += 1;
+                    "FAST"
                 } else {
                     "ok  "
                 };
@@ -174,20 +253,28 @@ fn bench_compare(
             );
         }
     }
+    if improvements > 0 {
+        println!(
+            "note: {improvements} rung(s) faster than baseline by more than {threshold_pct}% — \
+             consider refreshing the baseline (`cargo xtask bench-refresh`) so future \
+             regressions are measured against the new level"
+        );
+    }
     if failures > 0 || regressions > 0 {
         println!(
             "perf gate: {failures} validation failure(s), {regressions} rung(s) slower than \
              baseline by more than {threshold_pct}%"
         );
-        return Ok(1);
+        return Ok((1, improvements));
     }
     println!("perf gate: all rungs within {threshold_pct}% of baseline");
-    Ok(0)
+    Ok((0, improvements))
 }
 
 const USAGE: &str = "usage: cargo xtask bench-report OLD.json NEW.json\n\
      \x20      cargo xtask bench-compare BASELINE.json FRESH.json \
-     [--threshold PCT] [--min-wall-micros N]";
+     [--threshold PCT] [--min-wall-micros N]\n\
+     \x20      cargo xtask bench-refresh";
 
 fn run(argv: &[String]) -> Result<u8, String> {
     match argv.first().map(String::as_str) {
@@ -197,6 +284,12 @@ fn run(argv: &[String]) -> Result<u8, String> {
             };
             bench_report(old, new)?;
             Ok(0)
+        }
+        Some("bench-refresh") => {
+            if argv.len() != 1 {
+                return Err(USAGE.to_string());
+            }
+            bench_refresh()
         }
         Some("bench-compare") => {
             let [b, f, rest @ ..] = &argv[1..] else {
@@ -221,7 +314,7 @@ fn run(argv: &[String]) -> Result<u8, String> {
                     _ => return Err(USAGE.to_string()),
                 }
             }
-            bench_compare(b, f, threshold, min_wall)
+            bench_compare(b, f, threshold, min_wall).map(|(code, _)| code)
         }
         _ => Err(USAGE.to_string()),
     }
@@ -278,11 +371,33 @@ mod tests {
         let same = write(&dir, "same.json", &report(900_000, true));
         let slow = write(&dir, "slow.json", &report(500_000, true));
         // 10% under baseline: within the 25% threshold.
-        assert_eq!(bench_compare(&base, &same, 25.0, 20_000).unwrap(), 0);
+        assert_eq!(bench_compare(&base, &same, 25.0, 20_000).unwrap().0, 0);
         // A 2x slowdown must trip the gate.
-        assert_eq!(bench_compare(&base, &slow, 25.0, 20_000).unwrap(), 1);
+        assert_eq!(bench_compare(&base, &slow, 25.0, 20_000).unwrap().0, 1);
         // ...unless the operator widens the threshold past it.
-        assert_eq!(bench_compare(&base, &slow, 60.0, 20_000).unwrap(), 0);
+        assert_eq!(bench_compare(&base, &slow, 60.0, 20_000).unwrap().0, 0);
+    }
+
+    /// Improvements past the threshold are reported (so wins are visible
+    /// in the CI log and prompt a baseline refresh) but never fatal.
+    #[test]
+    fn improvements_are_noted_but_never_fail_the_gate() {
+        let dir = tmpdir("fast");
+        let base = write(&dir, "base.json", &report(1_000_000, true));
+        let fast = write(&dir, "fast.json", &report(3_000_000, true));
+        let (code, improvements) = bench_compare(&base, &fast, 25.0, 20_000).unwrap();
+        assert_eq!(code, 0, "a speedup must not trip the gate");
+        assert_eq!(improvements, 1, "the 3x win must be counted");
+        // Within-threshold deltas are not "improvements".
+        let same = write(&dir, "same.json", &report(1_100_000, true));
+        assert_eq!(bench_compare(&base, &same, 25.0, 20_000).unwrap(), (0, 0));
+        // Tiny rungs never count as improvements either (jitter).
+        let tiny_base = write(&dir, "tb.json", &report_with_wall(1_000_000, 1_000, true));
+        let tiny_fast = write(&dir, "tf.json", &report_with_wall(3_000_000, 1_000, true));
+        assert_eq!(
+            bench_compare(&tiny_base, &tiny_fast, 25.0, 20_000).unwrap(),
+            (0, 0)
+        );
     }
 
     #[test]
@@ -292,7 +407,7 @@ mod tests {
         // jitter, not a regression...
         let base = write(&dir, "base.json", &report_with_wall(1_000_000, 1_000, true));
         let slow = write(&dir, "slow.json", &report_with_wall(500_000, 1_000, true));
-        assert_eq!(bench_compare(&base, &slow, 25.0, 20_000).unwrap(), 0);
+        assert_eq!(bench_compare(&base, &slow, 25.0, 20_000).unwrap().0, 0);
         // ...but a slowdown that pushes the fresh rung past the floor is
         // real work and is gated again.
         let grown = write(
@@ -300,9 +415,9 @@ mod tests {
             "grown.json",
             &report_with_wall(500_000, 1_000_000, true),
         );
-        assert_eq!(bench_compare(&base, &grown, 25.0, 20_000).unwrap(), 1);
+        assert_eq!(bench_compare(&base, &grown, 25.0, 20_000).unwrap().0, 1);
         // And a floor of zero gates everything.
-        assert_eq!(bench_compare(&base, &slow, 25.0, 0).unwrap(), 1);
+        assert_eq!(bench_compare(&base, &slow, 25.0, 0).unwrap().0, 1);
     }
 
     #[test]
@@ -310,7 +425,7 @@ mod tests {
         let dir = tmpdir("fail");
         let base = write(&dir, "base.json", &report(1_000_000, true));
         let bad = write(&dir, "bad.json", &report(1_000_000, false));
-        assert_eq!(bench_compare(&base, &bad, 25.0, 20_000).unwrap(), 1);
+        assert_eq!(bench_compare(&base, &bad, 25.0, 20_000).unwrap().0, 1);
     }
 
     #[test]
@@ -324,7 +439,25 @@ mod tests {
                 "nodes_per_sec": 500000, "pass": true}, {"#,
         );
         let grown = write(&dir, "grown.json", &empty);
-        assert_eq!(bench_compare(&base, &grown, 25.0, 20_000).unwrap(), 0);
+        assert_eq!(bench_compare(&base, &grown, 25.0, 20_000).unwrap().0, 0);
+    }
+
+    /// The refresh invocation must stay in lockstep with the CI perf
+    /// job's sweep flags (threads pinned, canonical seed, 10k ladder,
+    /// written straight to the committed baseline path).
+    #[test]
+    fn refresh_invocation_matches_the_canonical_sweep() {
+        let args = refresh_invocation().join(" ");
+        assert!(args.starts_with("run --release --locked --bin scenario-runner -- --sweep"));
+        assert!(args.contains("--max-nodes 10000"));
+        assert!(args.contains("--threads 1"));
+        assert!(args.contains("--seed 42"));
+        assert!(args.ends_with("--out bench/baseline.json"));
+    }
+
+    #[test]
+    fn bench_refresh_rejects_extra_arguments() {
+        assert!(run(&["bench-refresh".into(), "x".into()]).is_err());
     }
 
     #[test]
