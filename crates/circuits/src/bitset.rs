@@ -64,6 +64,26 @@ impl BitSet {
         })
     }
 
+    /// Grows the capacity to `bits` flags, zero-filling the new tail.
+    /// Shrinking is not supported: a smaller `bits` is a no-op (the extra
+    /// words keep their contents), so existing flags are never lost.
+    ///
+    /// Word-boundary safe by construction: bits between the old capacity
+    /// and the end of its last word were never settable, so they are
+    /// already zero and the new capacity exposes them as cleared.
+    pub fn grow(&mut self, bits: usize) {
+        let words = bits.div_ceil(64);
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+        }
+    }
+
+    /// [`BitSet::grow`] under its set-container alias: makes sure at
+    /// least `bits` flags are addressable, keeping every existing flag.
+    pub fn ensure_len(&mut self, bits: usize) {
+        self.grow(bits);
+    }
+
     /// Whether any bit in `lo..hi` is set (word-at-a-time scan).
     pub fn any_in_range(&self, lo: usize, hi: usize) -> bool {
         if lo >= hi {
@@ -168,6 +188,49 @@ mod tests {
         }
         assert!(!b.any());
         assert_eq!(b.ones().count(), 0);
+    }
+
+    /// `grow` exposes new zero bits and keeps old ones, across word
+    /// boundaries and mid-word growth (the dynamic-world growth path).
+    #[test]
+    fn grow_zero_fills_and_preserves() {
+        let mut b = BitSet::new(70); // 2 words, last one partial
+        b.set(0);
+        b.set(69);
+        // Mid-word growth: 70 -> 100 stays within the second word.
+        b.grow(100);
+        assert!(b.get(0) && b.get(69));
+        for i in 70..100 {
+            assert!(!b.get(i), "bit {i} must start clear");
+        }
+        b.set(99);
+        // Word-boundary growth: 100 -> 128 -> 129 allocates a third word.
+        b.grow(129);
+        assert!(b.get(99));
+        assert!(!b.get(128));
+        b.set(128);
+        assert_eq!(b.ones().collect::<Vec<_>>(), vec![0, 69, 99, 128]);
+        // Shrinking is a no-op: nothing is lost.
+        b.grow(1);
+        assert!(b.get(128));
+        // ensure_len is the same operation under its container alias.
+        let mut c = BitSet::new(10);
+        c.set(9);
+        c.ensure_len(200);
+        c.set(199);
+        assert!(c.get(9) && c.get(199) && !c.get(100));
+    }
+
+    /// Growth of an empty/default bitset behaves like a fresh `new`.
+    #[test]
+    fn grow_from_empty() {
+        let mut b = BitSet::default();
+        assert!(!b.any());
+        b.grow(65);
+        assert!(!b.any());
+        b.set(64);
+        assert!(b.get(64) && !b.get(0));
+        assert!(b.any_in_range(0, 65));
     }
 
     /// A word whose every bit is set drains all 64 indices (the

@@ -44,15 +44,29 @@ impl Topology {
     ///
     /// Panics on out-of-range endpoints, self-loops, or duplicate edges.
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Topology {
-        // Two passes: count degrees for the CSR offsets, then fill slots
-        // in order of appearance (ports are assigned densely, no vacancy).
+        // Reject malformed inputs up front, before any CSR is built: a
+        // self-loop or duplicate edge would otherwise produce a CSR whose
+        // port mutuality silently breaks (two slots claiming the same
+        // peer port).
         let mut degree = vec![0u32; n];
+        let mut normalized: Vec<(usize, usize)> = Vec::with_capacity(edges.len());
         for &(u, v) in edges {
             assert!(u < n && v < n, "edge endpoint out of range");
-            assert_ne!(u, v, "self-loops are not allowed");
+            assert!(u != v, "self-loop edge ({u}, {v}) is not allowed");
+            normalized.push((u.min(v), u.max(v)));
             degree[u] += 1;
             degree[v] += 1;
         }
+        normalized.sort_unstable();
+        for w in normalized.windows(2) {
+            assert!(
+                w[0] != w[1],
+                "duplicate edge ({}, {}) in edge list",
+                w[0].0,
+                w[0].1
+            );
+        }
+        drop(normalized);
         let mut offsets = Vec::with_capacity(n + 1);
         let mut acc = 0u32;
         for &d in &degree {
@@ -75,20 +89,12 @@ impl Topology {
             peer_node[sv] = u as u32;
             peer_port[sv] = pu;
         }
-        let t = Topology {
+        Topology {
             offsets,
             peer_node,
             peer_port,
             edge_count: edges.len(),
-        };
-        for v in 0..n {
-            let mut seen: Vec<usize> = t.neighbors(v).map(|(_, w, _)| w).collect();
-            seen.sort_unstable();
-            for w in seen.windows(2) {
-                assert!(w[0] != w[1], "duplicate edge ({v}, {})", w[0]);
-            }
         }
-        t
     }
 
     /// Builds the topology of `G_X` with ports indexed by [`Direction`]:
@@ -208,6 +214,88 @@ impl Topology {
     pub fn port_direction(p: PortId) -> Direction {
         Direction::from_index(p)
     }
+
+    // ---- Incremental edits (dynamic structures).
+    //
+    // The CSR rows are fixed-width per node (every node of a
+    // structure-derived topology owns 6 slots, vacant ones holding a
+    // sentinel), so an edit never moves another node's row: appending a
+    // node pushes one offset and `slots` sentinel entries, and wiring or
+    // unwiring an edge writes exactly the two slots it occupies — the
+    // O(Δ) splice the dynamic-structure subsystem builds on.
+
+    /// Appends a node with `slots` vacant port slots and returns its id.
+    pub fn push_node(&mut self, slots: usize) -> usize {
+        let v = self.len();
+        let end = *self.offsets.last().expect("offsets always non-empty");
+        self.offsets.push(end + slots as u32);
+        self.peer_node.resize(self.peer_node.len() + slots, NONE);
+        self.peer_port.resize(self.peer_port.len() + slots, NONE);
+        v
+    }
+
+    /// Wires an undirected edge into the vacant slots `(v, p)` and
+    /// `(w, q)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or ports, on a self-loop, on a
+    /// duplicate (parallel) edge — two vacant slots could otherwise wire
+    /// a second `v`–`w` edge, which the model forbids — or if either
+    /// slot is already occupied.
+    pub fn connect(&mut self, v: usize, p: PortId, w: usize, q: PortId) {
+        assert!(v != w, "self-loop edge ({v}, {w}) is not allowed");
+        assert!(
+            self.port_to(v, w).is_none(),
+            "duplicate edge ({v}, {w}): the nodes are already adjacent"
+        );
+        let sv = self.slot(v, p);
+        let sw = self.slot(w, q);
+        assert!(
+            self.peer_node[sv] == NONE,
+            "port {p} of node {v} is already occupied"
+        );
+        assert!(
+            self.peer_node[sw] == NONE,
+            "port {q} of node {w} is already occupied"
+        );
+        self.peer_node[sv] = w as u32;
+        self.peer_port[sv] = q as u32;
+        self.peer_node[sw] = v as u32;
+        self.peer_port[sw] = p as u32;
+        self.edge_count += 1;
+    }
+
+    /// Unwires the edge behind port `p` of `v`, vacating both endpoint
+    /// slots, and returns the peer `(w, q)` it occupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant or out of range.
+    pub fn disconnect(&mut self, v: usize, p: PortId) -> (usize, PortId) {
+        let (w, q) = self
+            .peer(v, p)
+            .unwrap_or_else(|| panic!("port {p} of node {v} carries no edge"));
+        let sv = self.slot(v, p);
+        let sw = self.slot(w, q);
+        debug_assert_eq!(self.peer_node[sw], v as u32, "port tables out of sync");
+        self.peer_node[sv] = NONE;
+        self.peer_port[sv] = NONE;
+        self.peer_node[sw] = NONE;
+        self.peer_port[sw] = NONE;
+        self.edge_count -= 1;
+        (w, q)
+    }
+
+    /// The flat slot index of `(v, p)`, range-checked.
+    #[inline]
+    fn slot(&self, v: usize, p: PortId) -> usize {
+        let count = self.ports_len(v);
+        if p >= count {
+            Self::port_out_of_range(v, p, count);
+        }
+        self.offsets[v] as usize + p
+    }
 }
 
 #[cfg(test)]
@@ -229,9 +317,85 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate edge")]
+    #[should_panic(expected = "duplicate edge (0, 1)")]
     fn rejects_duplicate_edges() {
         Topology::from_edges(2, &[(0, 1), (1, 0)]);
+    }
+
+    /// Self-loops must be rejected by name before any CSR is built: an
+    /// unchecked `(v, v)` edge would assign two ports of the same node to
+    /// each other and break port mutuality.
+    #[test]
+    #[should_panic(expected = "self-loop edge (1, 1)")]
+    fn rejects_self_loops() {
+        Topology::from_edges(3, &[(0, 1), (1, 1)]);
+    }
+
+    /// Duplicate edges are rejected regardless of orientation or
+    /// position in the list (the normalized sort catches both).
+    #[test]
+    #[should_panic(expected = "duplicate edge (1, 2)")]
+    fn rejects_duplicate_edges_same_orientation() {
+        Topology::from_edges(4, &[(1, 2), (0, 1), (1, 2)]);
+    }
+
+    /// The incremental splice: growing a structure-shaped topology node
+    /// by node and edge by edge yields exactly `from_structure`'s CSR
+    /// behavior, and disconnect restores vacancy.
+    #[test]
+    fn splice_grows_and_unwires_edges() {
+        let s = AmoebotStructure::new(shapes::parallelogram(3, 2)).unwrap();
+        let reference = Topology::from_structure(&s);
+        // Rebuild it through the splice API.
+        let mut t = Topology::from_edges(0, &[]);
+        for _ in 0..s.len() {
+            t.push_node(6);
+        }
+        for v in s.nodes() {
+            for (d, w) in s.neighbors_of(v) {
+                if v.index() < w.index() {
+                    t.connect(v.index(), d.index(), w.index(), d.opposite().index());
+                }
+            }
+        }
+        assert_eq!(t.len(), reference.len());
+        assert_eq!(t.edge_count(), reference.edge_count());
+        for v in 0..t.len() {
+            assert_eq!(t.ports_len(v), 6);
+            for p in 0..6 {
+                assert_eq!(t.peer(v, p), reference.peer(v, p), "node {v} port {p}");
+            }
+        }
+        // Unwire one edge: both slots vacate, everything else unchanged.
+        let (p, w, q) = t.neighbors(0).next().unwrap();
+        assert_eq!(t.disconnect(0, p), (w, q));
+        assert_eq!(t.peer(0, p), None);
+        assert_eq!(t.peer(w, q), None);
+        assert_eq!(t.edge_count(), reference.edge_count() - 1);
+        // Rewire it: back to the reference.
+        t.connect(0, p, w, q);
+        assert_eq!(t.peer(0, p), reference.peer(0, p));
+        assert_eq!(t.edge_count(), reference.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "already adjacent")]
+    fn splice_rejects_parallel_edges() {
+        let mut t = Topology::from_edges(0, &[]);
+        t.push_node(6);
+        t.push_node(6);
+        t.connect(0, 0, 1, 3);
+        t.connect(0, 1, 1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "carries no edge")]
+    fn disconnect_requires_an_edge() {
+        let mut t = Topology::from_edges(2, &[(0, 1)]);
+        // from_edges assigns dense ports; node 0 has exactly one slot, so
+        // grow a vacant-slot node to exercise the vacant-disconnect panic.
+        let v = t.push_node(6);
+        t.disconnect(v, 2);
     }
 
     /// Out-of-range ports must panic in release builds too: in the flat

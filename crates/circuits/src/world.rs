@@ -2,13 +2,16 @@
 //!
 //! # Engine design
 //!
-//! The pin *topology* of a world is immutable: which pin faces which peer
-//! pin across an external link is fixed at construction. What changes
-//! between rounds is only the *pin configuration* (which local partition
-//! set each pin belongs to). [`World::new`] therefore precomputes a flat
-//! link table of global-pin-index pairs once, and [`World::tick`] maintains
-//! a cached circuit labeling guarded by a **dirty-pin set** (dense list +
-//! [`BitSet`], mirroring the beep-flag pattern):
+//! The pin *topology* of a world changes only through the explicit
+//! structure-mutation calls ([`World::add_node`], [`World::connect`],
+//! [`World::disconnect`], [`World::isolate`]); between those, which pin
+//! faces which peer pin across an external link is fixed. What changes
+//! between rounds is normally only the *pin configuration* (which local
+//! partition set each pin belongs to). [`World::new`] therefore
+//! precomputes a flat link table of global-pin-index pairs once, and
+//! [`World::tick`] maintains a cached circuit labeling guarded by a
+//! **dirty-pin set** (dense list + [`BitSet`], mirroring the beep-flag
+//! pattern):
 //!
 //! * any mutation ([`World::set_pin`] and everything built on it) that
 //!   actually changes a pin's partition set marks that pin dirty; no-op
@@ -35,6 +38,15 @@
 //! flavors produce the *same* labeling (each circuit is labelled by its
 //! minimum member id), so reports never depend on which path ran.
 //!
+//! Structure mutations ride the same machinery: [`World::connect`] and
+//! [`World::disconnect`] splice the link table (tombstoned entries plus a
+//! freelist keep `links` compact under grow–shrink cycles) and mark the
+//! `c` pin pairs of the edge dirty, so the next relabel dissolves exactly
+//! the circuits that ran through the edge — a k-node churn event costs
+//! O(k · deg) amortized, not O(n). [`World::add_node`] appends a node
+//! with vacant ports and pre-labels its fresh singleton sets, keeping the
+//! cached labeling valid without any relabel at all.
+//!
 //! [`World::tick_reference`] keeps the original full-recompute engine
 //! alive verbatim; differential tests and the `circuit_engine` benches pin
 //! the incremental engine against it.
@@ -57,6 +69,13 @@ pub type Pin = (PortId, usize);
 /// stays far below the threshold.
 pub const REGION_FALLBACK_FRACTION: usize = 8;
 
+/// Vacant-slot sentinel of the per-port edge table.
+const NO_EDGE: u32 = u32::MAX;
+
+/// Tombstone of a removed `links` entry (`a0 == u32::MAX` never occurs on
+/// a live entry: it would exceed the pin id space).
+const DEAD_LINK: (u32, u32, u32, u32) = (u32::MAX, 0, 0, 0);
+
 /// The simulated world: a topology, `c` external links per edge, the current
 /// pin configuration of every amoebot, and the beep state.
 ///
@@ -72,12 +91,16 @@ pub struct World {
     base: Vec<u32>,
     /// Global pin index -> local partition set id of the owning node.
     pin_pset: Vec<u16>,
-    /// Immutable link table, one entry per *edge* (the topology never
-    /// changes): `(a0, base_a, b0, base_b)` where `a0`/`b0` are the global
-    /// pin indices of the edge's link-0 pins (links `0..c` are the `c`
-    /// consecutive pins from there) and `base_a`/`base_b` the owning
-    /// nodes' base offsets, so relabeling needs no per-pin node lookup.
+    /// Link table, one entry per *edge*: `(a0, base_a, b0, base_b)` where
+    /// `a0`/`b0` are the global pin indices of the edge's link-0 pins
+    /// (links `0..c` are the `c` consecutive pins from there) and
+    /// `base_a`/`base_b` the owning nodes' base offsets, so relabeling
+    /// needs no per-pin node lookup. [`World::disconnect`] tombstones an
+    /// entry ([`DEAD_LINK`]) and recycles its slot through `free_links`,
+    /// so the table never grows past the historical edge maximum.
     links: Vec<(u32, u32, u32, u32)>,
+    /// Recycled slots of tombstoned `links` entries.
+    free_links: Vec<u32>,
     /// Partition sets (by global id) that beep this round (bit-packed;
     /// the set bits are always a subset of the dense `sent` list).
     send: BitSet,
@@ -123,9 +146,13 @@ pub struct World {
     /// iff some pin references a partition set in its bucket); maintained
     /// incrementally by the region relabel.
     circuit_roots: BitSet,
-    /// CSR of edge indices (into `links`) incident to each node.
-    node_edge_off: Vec<u32>,
-    node_edges: Vec<u32>,
+    /// Edge index (into `links`) behind each *port slot* (slot of
+    /// `(v, p)` = `base[v] / c + p`; [`NO_EDGE`] = vacant). Replaces the
+    /// old per-node edge CSR: same O(incident edges) walk during region
+    /// relabels, but splice-editable in O(1) per edge — prefix-offset
+    /// CSRs cannot absorb an insertion without rebuilding every row
+    /// behind it.
+    port_edge: Vec<u32>,
     /// Region-relabel scratch: old roots touching a dirty pin.
     affected_mark: BitSet,
     affected_roots: Vec<u32>,
@@ -171,40 +198,18 @@ impl World {
         base.push(acc);
         let total = acc as usize;
         let mut links = Vec::with_capacity(topo.edge_count());
-        // Per-node incident-edge CSR (each edge appears on both endpoints)
+        // Per-port edge index (each edge appears on both endpoint slots)
         // so a region relabel can walk exactly the links it needs.
-        let mut edge_degree = vec![0u32; n];
+        let mut port_edge = vec![NO_EDGE; total / c];
         for v in 0..n {
             for (p, w, q) in topo.neighbors(v) {
                 if v < w {
                     let a0 = base[v] + (p * c) as u32;
                     let b0 = base[w] + (q * c) as u32;
+                    let ei = links.len() as u32;
                     links.push((a0, base[v], b0, base[w]));
-                    edge_degree[v] += 1;
-                    edge_degree[w] += 1;
-                }
-            }
-        }
-        let mut node_edge_off = Vec::with_capacity(n + 1);
-        let mut eacc = 0u32;
-        for &d in &edge_degree {
-            node_edge_off.push(eacc);
-            eacc += d;
-        }
-        node_edge_off.push(eacc);
-        let mut node_edges = vec![0u32; eacc as usize];
-        {
-            let mut cursor: Vec<u32> = node_edge_off[..n].to_vec();
-            let mut ei = 0u32;
-            for v in 0..n {
-                for (_, w, _) in topo.neighbors(v) {
-                    if v < w {
-                        node_edges[cursor[v] as usize] = ei;
-                        node_edges[cursor[w] as usize] = ei;
-                        cursor[v] += 1;
-                        cursor[w] += 1;
-                        ei += 1;
-                    }
+                    port_edge[a0 as usize / c] = ei;
+                    port_edge[b0 as usize / c] = ei;
                 }
             }
         }
@@ -214,6 +219,7 @@ impl World {
             base,
             pin_pset: vec![0; total],
             links,
+            free_links: Vec::new(),
             send: BitSet::new(total),
             // Worst-case capacity up front (cheap: pages fault on first
             // write, not at malloc), so ticks never reallocate.
@@ -232,8 +238,7 @@ impl World {
             pset_at_relabel: vec![0; total],
             force_global: true,
             circuit_roots: BitSet::new(total),
-            node_edge_off,
-            node_edges,
+            port_edge,
             affected_mark: BitSet::new(total),
             affected_roots: Vec::new(),
             in_region: BitSet::new(total),
@@ -416,6 +421,18 @@ impl World {
         if diff != 0 {
             self.mark_changed_pins(base, count);
         }
+    }
+
+    /// The local partition set currently holding pin `(port, link)` of
+    /// `v` — the read side of [`World::set_pin`]. Lets a dynamic-world
+    /// oracle copy a configuration into a freshly rebuilt world.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the pin is out of range.
+    #[inline]
+    pub fn pin_config(&self, v: usize, port: PortId, link: usize) -> u16 {
+        self.pin_pset[self.pin_gid(v, (port, link))]
     }
 
     /// Resets `v` to the singleton configuration: pin `(port, link)` goes to
@@ -707,8 +724,14 @@ impl World {
         // invariant guarantees a union never crosses the region boundary.
         for i in 0..self.region_nodes.len() {
             let v = self.region_nodes[i] as usize;
-            for e in self.node_edge_off[v] as usize..self.node_edge_off[v + 1] as usize {
-                let (a0, base_a, b0, base_b) = self.links[self.node_edges[e] as usize];
+            let lo = self.base[v] as usize / self.c;
+            let hi = self.base[v + 1] as usize / self.c;
+            for slot in lo..hi {
+                let ei = self.port_edge[slot];
+                if ei == NO_EDGE {
+                    continue;
+                }
+                let (a0, base_a, b0, base_b) = self.links[ei as usize];
                 for link in 0..self.c as u32 {
                     let pa = base_a + self.pin_pset[(a0 + link) as usize] as u32;
                     let pb = base_b + self.pin_pset[(b0 + link) as usize] as u32;
@@ -838,9 +861,12 @@ impl World {
         }
         // Union partition sets along every external link (precomputed
         // per-edge table: no per-node neighbor iteration, no
-        // edge-direction test).
+        // edge-direction test). Tombstoned entries are removed edges.
         for i in 0..self.links.len() {
             let (a0, base_a, b0, base_b) = self.links[i];
+            if a0 == u32::MAX {
+                continue;
+            }
             for link in 0..self.c as u32 {
                 let pa = base_a + self.pin_pset[(a0 + link) as usize] as u32;
                 let pb = base_b + self.pin_pset[(b0 + link) as usize] as u32;
@@ -1023,6 +1049,173 @@ impl World {
             self.refresh_labels();
         }
         self.cached_circuits
+    }
+
+    /// The circuit label (minimum member gid) of `v`'s partition set
+    /// `pset` under the current configuration. Two partition sets lie on
+    /// the same circuit iff their labels are equal — the diagnostic the
+    /// dynamic-structure oracle uses to compare an incrementally edited
+    /// world against a from-scratch rebuild. Relabels first if pending;
+    /// does not advance the round counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pset` is out of range for `v`.
+    pub fn pset_circuit(&mut self, v: usize, pset: u16) -> u32 {
+        if self.relabel_pending() {
+            self.refresh_labels();
+        }
+        let gid = self.pset_gid(v, pset);
+        self.labels[gid]
+    }
+
+    // ---- Structure mutation (dynamic worlds).
+    //
+    // All four operations keep the cached labeling machinery sound by
+    // construction: `add_node` pre-labels its fresh singletons (nothing
+    // to relabel), while `connect`/`disconnect` mark the `c` pin pairs of
+    // the edge dirty *as if* their partition sets had changed — the
+    // region relabel then dissolves exactly the circuits that run(ran)
+    // through the edge and re-unions them against the spliced link table.
+    // The stability argument of DESIGN.md §1c extends verbatim: every
+    // added or removed link-union has both endpoint sets' circuits
+    // seeded, so circuits disjoint from the seeds cannot change.
+
+    /// Appends an isolated node with `ports` vacant port slots and
+    /// returns its id. Its pins start in the singleton configuration,
+    /// already labelled (one counted singleton circuit per pin), so the
+    /// cached labeling stays valid and no relabel is triggered.
+    pub fn add_node(&mut self, ports: usize) -> usize {
+        let v = self.topo.push_node(ports);
+        let old_total = *self.base.last().expect("base always non-empty") as usize;
+        let added = ports * self.c;
+        let new_total = old_total + added;
+        self.base.push(new_total as u32);
+        for i in 0..added {
+            self.pin_pset.push(i as u16);
+            self.pset_at_relabel.push(i as u16);
+        }
+        for gid in old_total..new_total {
+            self.uf.push(gid as u32);
+            self.labels.push(gid as u32);
+            // A fresh singleton bucket at the end of the arena; the next
+            // repack folds it in with everything else.
+            let pos = self.members.len() as u32;
+            self.members.push(gid as u32);
+            self.member_off.push(pos);
+            self.member_end.push(pos + 1);
+        }
+        self.send.grow(new_total);
+        self.recv.grow(new_total);
+        self.root_mark.grow(new_total);
+        self.dirty_pin.grow(new_total);
+        self.affected_mark.grow(new_total);
+        self.in_region.grow(new_total);
+        self.circuit_roots.grow(new_total);
+        self.node_mark.ensure_len(self.topo.len());
+        self.port_edge.resize(self.port_edge.len() + ports, NO_EDGE);
+        // Keep the construction-time worst-case reservations of the dense
+        // scratch lists in step with the grown pin space, so the "ticks
+        // never reallocate" invariant survives growth (the realloc lands
+        // here, outside the hot tick path).
+        for dense in [&mut self.sent, &mut self.recv_set, &mut self.marked_roots] {
+            if dense.capacity() < new_total {
+                let len = dense.len();
+                dense.reserve(new_total - len);
+            }
+        }
+        if self.dirty_pins.capacity() < new_total {
+            let len = self.dirty_pins.len();
+            self.dirty_pins.reserve(new_total - len);
+        }
+        // Each fresh singleton set is referenced by its own pin: it is a
+        // circuit, counted immediately so the cached count stays exact.
+        for gid in old_total..new_total {
+            self.circuit_roots.set(gid);
+        }
+        self.cached_circuits += added;
+        v
+    }
+
+    /// Wires an edge (with its `c` external links) into the vacant ports
+    /// `(v, p)` and `(w, q)`, marking the edge's pins dirty so the next
+    /// relabel merges the circuits it now bridges. O(deg + c).
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, duplicate edges, or occupied ports (see
+    /// [`Topology::connect`]).
+    pub fn connect(&mut self, v: usize, p: PortId, w: usize, q: PortId) {
+        self.topo.connect(v, p, w, q);
+        let a0 = self.base[v] + (p * self.c) as u32;
+        let b0 = self.base[w] + (q * self.c) as u32;
+        let entry = (a0, self.base[v], b0, self.base[w]);
+        let ei = match self.free_links.pop() {
+            Some(ei) => {
+                debug_assert_eq!(self.links[ei as usize], DEAD_LINK);
+                self.links[ei as usize] = entry;
+                ei
+            }
+            None => {
+                self.links.push(entry);
+                (self.links.len() - 1) as u32
+            }
+        };
+        // `a0 / c` is `base[v] / c + p`: node bases are multiples of `c`.
+        self.port_edge[a0 as usize / self.c] = ei;
+        self.port_edge[b0 as usize / self.c] = ei;
+        let (base_a, base_b) = (self.base[v], self.base[w]);
+        for link in 0..self.c {
+            self.mark_pin_dirty(a0 as usize + link, base_a);
+            self.mark_pin_dirty(b0 as usize + link, base_b);
+        }
+    }
+
+    /// Unwires the edge behind port `p` of `v` (tombstoning its link
+    /// table entry) and returns the peer `(w, q)`. The edge's pins are
+    /// marked dirty *before* the splice so the next relabel's seeds still
+    /// capture the circuits that ran through the edge. O(deg + c).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port carries no edge.
+    pub fn disconnect(&mut self, v: usize, p: PortId) -> (usize, PortId) {
+        let (w, q) = self
+            .topo
+            .peer(v, p)
+            .unwrap_or_else(|| panic!("port {p} of node {v} carries no edge"));
+        let a0 = self.base[v] + (p * self.c) as u32;
+        let b0 = self.base[w] + (q * self.c) as u32;
+        let (base_a, base_b) = (self.base[v], self.base[w]);
+        for link in 0..self.c {
+            self.mark_pin_dirty(a0 as usize + link, base_a);
+            self.mark_pin_dirty(b0 as usize + link, base_b);
+        }
+        let slot_a = a0 as usize / self.c;
+        let slot_b = b0 as usize / self.c;
+        let ei = self.port_edge[slot_a];
+        debug_assert_eq!(ei, self.port_edge[slot_b], "port tables out of sync");
+        self.links[ei as usize] = DEAD_LINK;
+        self.free_links.push(ei);
+        self.port_edge[slot_a] = NO_EDGE;
+        self.port_edge[slot_b] = NO_EDGE;
+        self.topo.disconnect(v, p);
+        (w, q)
+    }
+
+    /// Disconnects every edge of `v` and resets its pins to singletons —
+    /// the "this amoebot left the structure" operation. The node id
+    /// remains valid (a tombstone the caller may re-wire later via
+    /// [`World::connect`]); its singleton sets keep counting as
+    /// single-pin circuits, exactly like any other isolated node's.
+    /// O(deg · c).
+    pub fn isolate(&mut self, v: usize) {
+        for p in 0..self.topo.ports_len(v) {
+            if self.topo.peer(v, p).is_some() {
+                self.disconnect(v, p);
+            }
+        }
+        self.singleton_pin_config(v);
     }
 }
 
@@ -1271,6 +1464,181 @@ mod tests {
     fn set_pin_bounds_check_holds_in_release() {
         let mut w = path_world(2, 1);
         w.set_pin(0, 0, 0, 12);
+    }
+}
+
+#[cfg(test)]
+mod dynamic_tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn empty_world(c: usize) -> World {
+        World::new(Topology::from_edges(0, &[]), c)
+    }
+
+    /// A world grown node by node and edge by edge behaves exactly like
+    /// one built in a single shot: broadcasts span it, counts match.
+    #[test]
+    fn grown_world_behaves_like_a_built_one() {
+        let mut w = empty_world(2);
+        for _ in 0..4 {
+            w.add_node(6);
+        }
+        // A path 0-1-2-3 on E/W ports (0 and 3).
+        for v in 0..3 {
+            w.connect(v, 0, v + 1, 3);
+        }
+        for v in 0..4 {
+            w.global_pin_config(v);
+        }
+        w.beep(0, 0);
+        w.tick();
+        for v in 0..4 {
+            assert!(w.received(v, 0), "node {v} missed the broadcast");
+        }
+        // All pins of all nodes reference set 0 and the links bridge
+        // them: one structure-spanning circuit.
+        assert_eq!(w.circuit_count(), 1);
+    }
+
+    /// `add_node` must not invalidate the cached labeling; wiring the new
+    /// node in dirties exactly the edge region. Circuit counts stay exact
+    /// through the whole grow sequence (c = 2, 6 ports => 12 singleton
+    /// circuits per isolated node, each edge merging two pin pairs).
+    #[test]
+    fn add_node_keeps_the_labeling_clean() {
+        let mut w = empty_world(2);
+        w.add_node(6);
+        w.add_node(6);
+        w.connect(0, 0, 1, 3);
+        w.tick();
+        assert!(!w.relabel_pending());
+        let before = (w.global_relabels(), w.region_relabels());
+        let v = w.add_node(6);
+        assert!(!w.relabel_pending(), "isolated growth needs no relabel");
+        assert_eq!(w.circuit_count(), 2 * 12 - 2 + 12);
+        assert_eq!(
+            (w.global_relabels(), w.region_relabels()),
+            before,
+            "counting fresh singletons must not relabel"
+        );
+        w.connect(0, 1, v, 4);
+        assert!(w.relabel_pending());
+        assert_eq!(w.circuit_count(), 34 - 2);
+        assert_eq!(w.global_relabels(), before.0, "edge splice stays regional");
+        assert!(w.region_relabels() > before.1);
+        // The spliced edge's link-0 pin pair shares a circuit.
+        assert_eq!(w.pset_circuit(0, 2), w.pset_circuit(v, 8));
+        assert_ne!(w.pset_circuit(0, 2), w.pset_circuit(v, 9));
+    }
+
+    /// Detach/re-attach churn at the boundary of a singleton-configured
+    /// path must take the region path every time — structural edits ride
+    /// the dirty-pin machinery, they do not force global relabels.
+    #[test]
+    fn boundary_churn_takes_the_region_path() {
+        let n = 64;
+        let mut w = empty_world(1);
+        for _ in 0..n {
+            w.add_node(6);
+        }
+        for v in 0..n - 1 {
+            w.connect(v, 0, v + 1, 3);
+        }
+        w.tick();
+        let g0 = w.global_relabels();
+        for _ in 0..5 {
+            w.isolate(n - 1);
+            w.beep(n - 2, 0);
+            w.tick();
+            assert!(!w.received_any(n - 1), "detached node must hear nothing");
+            w.connect(n - 2, 0, n - 1, 3);
+            w.beep(n - 2, 0);
+            w.tick();
+            assert!(w.received(n - 1, 3), "re-attached node hears its neighbor");
+        }
+        assert_eq!(w.global_relabels(), g0, "churn must relabel regionally");
+        assert!(w.region_relabels() >= 10);
+    }
+
+    /// The interleaving guard: churn followed by `tick_reference` (which
+    /// clobbers the scratch) followed by more churn must still deliver
+    /// correctly — the forced global relabel covers the spliced links.
+    #[test]
+    fn churn_interleaves_with_the_reference_engine() {
+        let mut w = empty_world(1);
+        for _ in 0..3 {
+            w.add_node(6);
+        }
+        w.connect(0, 0, 1, 3);
+        w.connect(1, 0, 2, 3);
+        for v in 0..3 {
+            w.global_pin_config(v);
+        }
+        w.beep(0, 0);
+        w.tick_reference();
+        assert!(w.received(2, 0));
+        w.disconnect(1, 0);
+        w.beep(0, 0);
+        w.tick();
+        assert!(w.received(1, 0));
+        assert!(
+            !w.received_any(2),
+            "split must hold after the reference tick"
+        );
+        w.connect(1, 0, 2, 3);
+        w.beep(0, 0);
+        w.tick_reference();
+        assert!(w.received(2, 0), "rewired edge must carry beeps again");
+    }
+
+    /// Tombstoned link-table entries are recycled: a long grow–shrink
+    /// cycle must not grow the link table past its historical maximum.
+    #[test]
+    fn link_slots_are_recycled_across_churn_cycles() {
+        let mut w = empty_world(2);
+        for _ in 0..3 {
+            w.add_node(6);
+        }
+        w.connect(0, 0, 1, 3);
+        w.connect(1, 0, 2, 3);
+        let links_high_water = w.links.len();
+        for _ in 0..50 {
+            w.isolate(2);
+            w.connect(1, 0, 2, 3);
+            w.tick();
+        }
+        assert_eq!(
+            w.links.len(),
+            links_high_water,
+            "freelist must recycle tombstones"
+        );
+        w.beep(0, 0);
+        w.tick();
+        // c = 2: node 1's port-3 link-0 pin sits in singleton set 6.
+        assert!(w.received(1, 6));
+    }
+
+    /// An isolated (tombstoned) node keeps its singleton circuits and its
+    /// id; rewiring it at a different port works like a fresh node.
+    #[test]
+    fn isolate_then_rewire_reuses_the_node() {
+        let mut w = empty_world(1);
+        for _ in 0..3 {
+            w.add_node(6);
+        }
+        w.connect(0, 0, 1, 3);
+        w.connect(1, 0, 2, 3);
+        let count_before = w.circuit_count();
+        w.isolate(2);
+        // The severed edge's two 2-pin circuits split into singletons.
+        assert_eq!(w.circuit_count(), count_before + 1);
+        // Rewire node 2 on the other side of node 0 (port 3/W of 0).
+        w.connect(0, 3, 2, 0);
+        assert_eq!(w.circuit_count(), count_before);
+        w.beep(2, 0);
+        w.tick();
+        assert!(w.received(0, 3));
     }
 }
 

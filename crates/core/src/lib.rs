@@ -36,6 +36,7 @@
 // range loops over node ids are the clearest rendering of that style.
 #![allow(clippy::needless_range_loop)]
 
+pub mod churn;
 pub mod ett;
 pub mod forest;
 pub mod links;

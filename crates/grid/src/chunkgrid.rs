@@ -118,6 +118,42 @@ impl ChunkGrid {
         true
     }
 
+    /// Removes `c`; returns `true` if it was occupied. Emptied chunks are
+    /// kept in the map (a churn workload that vacates a chunk usually
+    /// re-fills it; iteration yields nothing from an empty chunk).
+    #[inline]
+    pub fn remove(&mut self, c: Coord) -> bool {
+        let (key, bit) = split(c);
+        if !self.load(key, false) {
+            return false;
+        }
+        let (word, mask) = (bit / 64, 1u64 << (bit % 64));
+        if self.cached[word] & mask == 0 {
+            return false;
+        }
+        self.cached[word] &= !mask;
+        self.len -= 1;
+        true
+    }
+
+    /// The chunk key covering `c` — the granularity of the editor's
+    /// scoped hole revalidation.
+    #[inline]
+    pub fn chunk_key(c: Coord) -> (i32, i32) {
+        split(c).0
+    }
+
+    /// The cell span of chunk `key` as `(q_range, r_range)`, inclusive.
+    pub fn chunk_span(
+        key: (i32, i32),
+    ) -> (std::ops::RangeInclusive<i32>, std::ops::RangeInclusive<i32>) {
+        let (cq, cr) = key;
+        (
+            cq * CHUNK..=cq * CHUNK + (CHUNK - 1),
+            cr * CHUNK..=cr * CHUNK + (CHUNK - 1),
+        )
+    }
+
     /// Whether `c` is occupied.
     #[inline]
     pub fn contains(&mut self, c: Coord) -> bool {
@@ -235,6 +271,97 @@ mod tests {
         cells.sort_unstable();
         cells.dedup();
         assert_eq!(g.into_sorted_vec(), cells);
+    }
+
+    /// Scattered writes far apart force the one-entry chunk cache through
+    /// all of its paths: cache hit (same chunk), cache swap with
+    /// write-back (existing far chunk), cache fill (fresh far chunk), and
+    /// the miss-without-eviction path (`contains` on a never-touched
+    /// chunk must not evict the hot chunk).
+    #[test]
+    fn scattered_writes_exercise_the_chunk_cache() {
+        let mut g = ChunkGrid::new();
+        // Spray cells across chunks thousands of cells apart, twice over
+        // (the second pass swaps every chunk back in from the map).
+        let anchors = [
+            Coord::new(0, 0),
+            Coord::new(5_000, 0),
+            Coord::new(-5_000, 3),
+            Coord::new(7, 9_000),
+            Coord::new(-4, -9_000),
+            Coord::new(6_000, -6_000),
+        ];
+        for pass in 0..2 {
+            for (i, &a) in anchors.iter().enumerate() {
+                let c = Coord::new(a.q + pass, a.r + i as i32);
+                assert!(g.insert(c), "{c} inserted once per pass");
+                // Same-chunk probe: must hit the cache, not the map.
+                assert!(g.contains(c));
+                // A probe into a never-touched chunk must not evict the
+                // hot chunk: the follow-up same-chunk probe still hits.
+                assert!(!g.contains(Coord::new(a.q + 2_000_000, a.r)));
+                assert!(g.contains(c));
+            }
+        }
+        assert_eq!(g.len(), 2 * anchors.len());
+        // Every cell from every pass survives the cache swapping.
+        for pass in 0..2 {
+            for (i, &a) in anchors.iter().enumerate() {
+                assert!(g.contains(Coord::new(a.q + pass, a.r + i as i32)));
+            }
+        }
+    }
+
+    /// Remove round-trips across far-apart chunks: insert → remove
+    /// restores vacancy and the length, including cells whose chunk has
+    /// been written back to the map in between.
+    #[test]
+    fn remove_round_trips_across_chunks() {
+        let mut g = ChunkGrid::new();
+        let cells = [
+            Coord::new(0, 0),
+            Coord::new(15, 15), // same chunk as the origin
+            Coord::new(16, 0),  // adjacent chunk
+            Coord::new(-1, -1), // negative chunk
+            Coord::new(3_000, -3_000),
+        ];
+        for &c in &cells {
+            assert!(g.insert(c));
+        }
+        // Removing something never inserted (near and far) is a no-op.
+        assert!(!g.remove(Coord::new(1, 0)));
+        assert!(!g.remove(Coord::new(1_000_000, 0)));
+        assert_eq!(g.len(), cells.len());
+        for &c in &cells {
+            assert!(g.remove(c), "{c}");
+            assert!(!g.contains(c), "{c} still present after remove");
+            assert!(!g.remove(c), "{c} removed twice");
+        }
+        assert!(g.is_empty());
+        assert_eq!(g.iter().count(), 0);
+        // Re-inserting into the emptied (but retained) chunks works.
+        for &c in &cells {
+            assert!(g.insert(c));
+        }
+        assert_eq!(g.len(), cells.len());
+    }
+
+    #[test]
+    fn chunk_key_and_span_agree() {
+        for c in [
+            Coord::new(0, 0),
+            Coord::new(15, 15),
+            Coord::new(16, -17),
+            Coord::new(-1, -16),
+            Coord::new(-33, 47),
+        ] {
+            let key = ChunkGrid::chunk_key(c);
+            let (qs, rs) = ChunkGrid::chunk_span(key);
+            assert!(
+                qs.contains(&c.q) && rs.contains(&c.r),
+                "{c} outside its chunk span"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,814 @@
+//! Runtime structure mutation: insert and remove amoebots without
+//! rebuilding the structure.
+//!
+//! [`AmoebotStructure`] is deliberately immutable — its sorted coordinate
+//! index and flat neighbor table are built once and shared. A
+//! [`StructureEditor`] carries the same three stores in an *editable*
+//! form, sized for churn workloads at the sweep scales of this repo:
+//!
+//! * the **sorted coordinate index** becomes a merge pair: a large sorted
+//!   base array plus a small sorted overlay of recent insertions.
+//!   Lookups binary-search both (overlay first — it holds the newer
+//!   facts); removals mark base entries stale in place. When the overlay
+//!   and the stale count outgrow ~√n, the pair is merged back into one
+//!   sorted array, balancing the overlay's insertion memmove against the
+//!   merge frequency — O(√n) amortized index maintenance per edit,
+//!   against the O(n) memmove a plain sorted vector would pay on every
+//!   insertion;
+//! * the **flat neighbor table** (6 `u32` slots per node) is edited in
+//!   place, O(Δ) per edit with Δ ≤ 6;
+//! * the **[`ChunkGrid`] occupancy** mirror is edited bit by bit, and the
+//!   editor remembers which chunks an edit touched so hole-freeness can
+//!   be revalidated *scoped to the edited chunks*
+//!   ([`StructureEditor::revalidate_edited_chunks`]) instead of
+//!   flood-filling the whole bounding box.
+//!
+//! Node ids are stable across edits: a removed node's id goes to a free
+//! list and is recycled by a later insertion, so downstream pin/world
+//! state (which is keyed by node id) can be reused instead of renumbered.
+//!
+//! # Invariants
+//!
+//! Every edit preserves the paper's standing assumptions (§1.1): the
+//! structure stays **connected** and **hole-free**. Both are enforced by
+//! the *local arc rule* — the occupied neighbors of the edited cell must
+//! form exactly one contiguous arc around it:
+//!
+//! * inserting at such a cell cannot enclose a pocket of the complement
+//!   (the vacant neighbors also form one arc, mutually adjacent, so any
+//!   complement path through the cell reroutes around it), and attaching
+//!   to at least one occupied neighbor keeps the structure connected;
+//! * removing such a node keeps its neighbors mutually connected (cells
+//!   in consecutive directions are themselves adjacent) and opens the
+//!   vacated cell to the outside, so no hole appears. A node with all
+//!   six neighbors occupied is *not* removable (the vacated cell would
+//!   be a hole); a cell with all six neighbors occupied *is* insertable
+//!   (it fills a pocket — which a hole-free structure cannot have, but
+//!   the rule is safe either way).
+//!
+//! [`StructureEditor::can_insert`] / [`StructureEditor::can_remove`]
+//! expose the rule; `insert` / `remove` panic when it is violated, so a
+//! churn driver probes first and the structure can never leave the
+//! algorithms' supported class.
+
+use std::collections::HashSet;
+
+use crate::chunkgrid::ChunkGrid;
+use crate::coord::{Coord, Direction, ALL_DIRECTIONS};
+use crate::structure::{AmoebotStructure, NodeId};
+
+/// Vacant-slot sentinel of the flat neighbor table (mirrors
+/// [`AmoebotStructure`]'s).
+const NONE: u32 = u32::MAX;
+
+/// An editable amoebot structure: stable node ids, O(Δ)-amortized insert
+/// and remove, scoped hole revalidation. See the module docs.
+#[derive(Debug, Clone)]
+pub struct StructureEditor {
+    /// Node id -> coordinate (stale for dead ids).
+    coords: Vec<Coord>,
+    /// Node id -> liveness.
+    alive: Vec<bool>,
+    /// Recyclable ids of removed nodes.
+    free: Vec<u32>,
+    /// Dense list of the live ids (order arbitrary; supports O(1)
+    /// uniform sampling by churn drivers).
+    live_ids: Vec<u32>,
+    /// Node id -> its position in `live_ids` (undefined for dead ids).
+    live_pos: Vec<u32>,
+    /// The large sorted half of the coordinate index. May contain stale
+    /// entries (dead ids, or ids re-inserted elsewhere); lookups validate
+    /// against `alive`/`coords`.
+    base_index: Vec<(Coord, u32)>,
+    /// The small sorted overlay of recent insertions. Always valid: a
+    /// removal deletes its overlay entry eagerly (the overlay is small),
+    /// while base entries go stale lazily.
+    overlay: Vec<(Coord, u32)>,
+    /// Number of stale entries in `base_index`.
+    stale: usize,
+    /// Flat neighbor table, 6 slots per id (same layout as
+    /// [`AmoebotStructure`]).
+    neighbors: Vec<u32>,
+    /// One-bit-per-cell occupancy mirror.
+    occupancy: ChunkGrid,
+    /// Chunk keys touched since the last revalidation.
+    edited: HashSet<(i32, i32)>,
+}
+
+impl StructureEditor {
+    /// Starts editing from a snapshot of `structure`: ids `0..n` map to
+    /// the structure's node ids.
+    pub fn from_structure(structure: &AmoebotStructure) -> StructureEditor {
+        let n = structure.len();
+        let coords: Vec<Coord> = structure.nodes().map(|v| structure.coord(v)).collect();
+        let mut base_index: Vec<(Coord, u32)> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i as u32))
+            .collect();
+        base_index.sort_unstable_by_key(|&(c, _)| c);
+        let mut neighbors = vec![NONE; n * 6];
+        for v in structure.nodes() {
+            for (d, w) in structure.neighbors_of(v) {
+                neighbors[v.index() * 6 + d.index()] = w.0;
+            }
+        }
+        StructureEditor {
+            occupancy: coords.iter().copied().collect(),
+            alive: vec![true; n],
+            free: Vec::new(),
+            live_ids: (0..n as u32).collect(),
+            live_pos: (0..n as u32).collect(),
+            base_index,
+            overlay: Vec::new(),
+            stale: 0,
+            neighbors,
+            coords,
+            edited: HashSet::new(),
+        }
+    }
+
+    /// Number of live amoebots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live_ids.len()
+    }
+
+    /// Whether the structure has no live amoebots (never true: removal
+    /// keeps at least one).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live_ids.is_empty()
+    }
+
+    /// Size of the id space (live + recyclable dead ids). Ids are always
+    /// `< capacity()`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether `v` currently occupies a cell.
+    #[inline]
+    pub fn is_alive(&self, v: NodeId) -> bool {
+        self.alive[v.index()]
+    }
+
+    /// The dense list of live ids (order arbitrary but deterministic for
+    /// a given edit history) — the churn drivers' sampling pool.
+    #[inline]
+    pub fn live_ids(&self) -> &[u32] {
+        &self.live_ids
+    }
+
+    /// The coordinate of live node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is dead or out of range.
+    #[inline]
+    pub fn coord(&self, v: NodeId) -> Coord {
+        assert!(self.alive[v.index()], "node {v} was removed");
+        self.coords[v.index()]
+    }
+
+    /// The live node at `coord`, if any.
+    pub fn node_at(&self, coord: Coord) -> Option<NodeId> {
+        if let Ok(at) = self.overlay.binary_search_by_key(&coord, |&(c, _)| c) {
+            // Overlay entries are always valid (removals delete them).
+            return Some(NodeId(self.overlay[at].1));
+        }
+        if let Ok(at) = self.base_index.binary_search_by_key(&coord, |&(c, _)| c) {
+            let id = self.base_index[at].1;
+            // Base entries go stale lazily: dead, or recycled elsewhere.
+            if self.alive[id as usize] && self.coords[id as usize] == coord {
+                return Some(NodeId(id));
+            }
+        }
+        None
+    }
+
+    /// Whether `coord` is occupied by a live amoebot.
+    #[inline]
+    pub fn occupied(&self, coord: Coord) -> bool {
+        self.node_at(coord).is_some()
+    }
+
+    /// The live neighbor of `v` towards `dir`, if occupied.
+    #[inline]
+    pub fn neighbor(&self, v: NodeId, dir: Direction) -> Option<NodeId> {
+        let id = self.neighbors[v.index() * 6 + dir.index()];
+        (id != NONE).then_some(NodeId(id))
+    }
+
+    /// All live neighbors of `v` as `(direction, node)` pairs.
+    pub fn neighbors_of(&self, v: NodeId) -> impl Iterator<Item = (Direction, NodeId)> + '_ {
+        let base = v.index() * 6;
+        ALL_DIRECTIONS.into_iter().filter_map(move |d| {
+            let id = self.neighbors[base + d.index()];
+            (id != NONE).then_some((d, NodeId(id)))
+        })
+    }
+
+    /// Degree of `v` within the live structure.
+    pub fn degree(&self, v: NodeId) -> usize {
+        let base = v.index() * 6;
+        self.neighbors[base..base + 6]
+            .iter()
+            .filter(|&&id| id != NONE)
+            .count()
+    }
+
+    /// The 6-bit mask of occupied neighbor cells around `c` (bit `i` =
+    /// direction index `i`).
+    fn occupied_mask_around(&self, c: Coord) -> u8 {
+        let mut mask = 0u8;
+        for d in ALL_DIRECTIONS {
+            if self.occupied(c.neighbor(d)) {
+                mask |= 1 << d.index();
+            }
+        }
+        mask
+    }
+
+    /// Number of contiguous arcs of set bits in a cyclic 6-bit mask
+    /// (0 for the empty and the full mask — the full ring has no 0→1
+    /// transition).
+    fn arc_count(mask: u8) -> u32 {
+        let m = mask & 0x3F;
+        let prev = ((m << 1) | (m >> 5)) & 0x3F;
+        (m & !prev).count_ones()
+    }
+
+    /// Whether inserting at `coord` is legal: the cell is vacant and its
+    /// occupied neighbors form one contiguous arc (or the full ring), so
+    /// connectivity and hole-freeness are preserved. See the module docs.
+    pub fn can_insert(&self, coord: Coord) -> bool {
+        if self.occupied(coord) {
+            return false;
+        }
+        let mask = self.occupied_mask_around(coord);
+        mask == 0x3F || Self::arc_count(mask) == 1
+    }
+
+    /// Whether removing `v` is legal: it is alive, not the last amoebot,
+    /// and its occupied neighbors form one contiguous arc short of the
+    /// full ring. See the module docs.
+    pub fn can_remove(&self, v: NodeId) -> bool {
+        if v.index() >= self.alive.len() || !self.alive[v.index()] || self.len() <= 1 {
+            return false;
+        }
+        let mut mask = 0u8;
+        for (d, _) in self.neighbors_of(v) {
+            mask |= 1 << d.index();
+        }
+        mask != 0x3F && Self::arc_count(mask) == 1
+    }
+
+    /// Inserts an amoebot at `coord`, recycling a dead id if one exists.
+    /// Returns the node id and the adjacencies it created, as
+    /// `(direction, live neighbor)` pairs — exactly what a simulator
+    /// layer needs to splice the corresponding edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`StructureEditor::can_insert`] is false for `coord`.
+    pub fn insert(&mut self, coord: Coord) -> (NodeId, Vec<(Direction, NodeId)>) {
+        assert!(
+            self.can_insert(coord),
+            "cell {coord} is not insertable (occupied, detached, or hole-creating)"
+        );
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.coords[id as usize] = coord;
+                self.alive[id as usize] = true;
+                id
+            }
+            None => {
+                let id = self.coords.len() as u32;
+                self.coords.push(coord);
+                self.alive.push(true);
+                self.live_pos.push(0);
+                self.neighbors.resize(self.neighbors.len() + 6, NONE);
+                id
+            }
+        };
+        self.live_pos[id as usize] = self.live_ids.len() as u32;
+        self.live_ids.push(id);
+        let mut links = Vec::new();
+        for d in ALL_DIRECTIONS {
+            if let Some(w) = self.node_at(coord.neighbor(d)) {
+                self.neighbors[id as usize * 6 + d.index()] = w.0;
+                self.neighbors[w.index() * 6 + d.opposite().index()] = id;
+                links.push((d, w));
+            } else {
+                self.neighbors[id as usize * 6 + d.index()] = NONE;
+            }
+        }
+        self.occupancy.insert(coord);
+        self.touch_chunks(coord);
+        let at = self
+            .overlay
+            .binary_search_by_key(&coord, |&(c, _)| c)
+            .expect_err("cell was vacant, so no valid overlay entry exists");
+        self.overlay.insert(at, (coord, id));
+        self.maybe_merge();
+        (NodeId(id), links)
+    }
+
+    /// Removes live node `v`, freeing its id for recycling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`StructureEditor::can_remove`] is false for `v`.
+    pub fn remove(&mut self, v: NodeId) {
+        assert!(
+            self.can_remove(v),
+            "node {v} is not removable (dead, last amoebot, articulation cell, or hole-creating)"
+        );
+        let id = v.index();
+        let coord = self.coords[id];
+        for d in ALL_DIRECTIONS {
+            let w = self.neighbors[id * 6 + d.index()];
+            if w != NONE {
+                self.neighbors[w as usize * 6 + d.opposite().index()] = NONE;
+                self.neighbors[id * 6 + d.index()] = NONE;
+            }
+        }
+        self.alive[id] = false;
+        self.free.push(id as u32);
+        // Swap-remove from the dense live list.
+        let pos = self.live_pos[id] as usize;
+        let last = *self.live_ids.last().expect("live list non-empty");
+        self.live_ids.swap_remove(pos);
+        if pos < self.live_ids.len() {
+            self.live_pos[last as usize] = pos as u32;
+        }
+        self.occupancy.remove(coord);
+        self.touch_chunks(coord);
+        // Delete the index entry: eagerly from the overlay, lazily (a
+        // stale-count bump) from the base.
+        match self.overlay.binary_search_by_key(&coord, |&(c, _)| c) {
+            Ok(at) => {
+                debug_assert_eq!(self.overlay[at].1 as usize, id);
+                self.overlay.remove(at);
+            }
+            Err(_) => self.stale += 1,
+        }
+        self.maybe_merge();
+    }
+
+    /// Records the chunks an edit at `c` may affect (its own plus the
+    /// neighbors', distinct keys only — a cell in the chunk interior
+    /// touches exactly one).
+    fn touch_chunks(&mut self, c: Coord) {
+        self.edited.insert(ChunkGrid::chunk_key(c));
+        for d in ALL_DIRECTIONS {
+            self.edited.insert(ChunkGrid::chunk_key(c.neighbor(d)));
+        }
+    }
+
+    /// Merges the overlay into the base index and drops stale entries
+    /// once their combined size outgrows ~√(base size): a cap of B costs
+    /// O(B) memmove per overlay insertion and an O(n) merge every B
+    /// edits, so B ≈ √n balances the two at O(√n) amortized per edit (a
+    /// linear-fraction cap would degrade insertions back to Θ(n)).
+    fn maybe_merge(&mut self) {
+        if self.overlay.len() + self.stale <= 32 + 4 * self.base_index.len().isqrt() {
+            return;
+        }
+        self.base_index.clear();
+        self.base_index.extend(
+            self.live_ids
+                .iter()
+                .map(|&id| (self.coords[id as usize], id)),
+        );
+        self.base_index.sort_unstable_by_key(|&(c, _)| c);
+        self.overlay.clear();
+        self.stale = 0;
+    }
+
+    /// Revalidates hole-freeness **scoped to the edited chunks**: every
+    /// vacant cell inside the chunks touched since the last call must
+    /// reach the region's one-cell margin through vacant cells. A pocket
+    /// fully enclosed inside the region is a definite hole (returns
+    /// `false`); the check is sound but scoped — an enclosure stretching
+    /// beyond the edited region is the full
+    /// [`AmoebotStructure::is_hole_free`]'s job, which churn tests run on
+    /// snapshots. Clears the edited-chunk set; returns `true` when no
+    /// edits are pending.
+    ///
+    /// Cost is O(touched chunks): edits scattered across the structure
+    /// are grouped into connected chunk clusters and each cluster floods
+    /// its own bounding box, so two edits at opposite ends of a large
+    /// structure cost two chunk-sized scans, not one structure-sized one.
+    pub fn revalidate_edited_chunks(&mut self) -> bool {
+        if self.edited.is_empty() {
+            return true;
+        }
+        let mut pending = std::mem::take(&mut self.edited);
+        let mut ok = true;
+        while let Some(&seed) = pending.iter().next() {
+            // Peel one 8-connected cluster of edited chunks off.
+            let mut cluster = Vec::new();
+            let mut stack = vec![seed];
+            pending.remove(&seed);
+            while let Some(key) = stack.pop() {
+                cluster.push(key);
+                for dq in -1..=1 {
+                    for dr in -1..=1 {
+                        let nb = (key.0 + dq, key.1 + dr);
+                        if pending.remove(&nb) {
+                            stack.push(nb);
+                        }
+                    }
+                }
+            }
+            ok &= self.revalidate_cluster(&cluster);
+        }
+        ok
+    }
+
+    /// Floods the bounding box of one connected chunk cluster (plus a
+    /// one-cell margin): complement paths out of the box must cross the
+    /// margin, so every vacant cell not reached from the margin's vacant
+    /// cells is an enclosed pocket — a hole.
+    fn revalidate_cluster(&mut self, cluster: &[(i32, i32)]) -> bool {
+        let (mut min_q, mut max_q, mut min_r, mut max_r) = (i32::MAX, i32::MIN, i32::MAX, i32::MIN);
+        for &key in cluster {
+            let (qs, rs) = ChunkGrid::chunk_span(key);
+            min_q = min_q.min(*qs.start());
+            max_q = max_q.max(*qs.end());
+            min_r = min_r.min(*rs.start());
+            max_r = max_r.max(*rs.end());
+        }
+        let (min_q, max_q, min_r, max_r) = (min_q - 1, max_q + 1, min_r - 1, max_r + 1);
+        let w = (max_q - min_q + 1) as usize;
+        let h = (max_r - min_r + 1) as usize;
+        let idx = |c: Coord| ((c.r - min_r) as usize) * w + (c.q - min_q) as usize;
+        let in_box = |c: Coord| c.q >= min_q && c.q <= max_q && c.r >= min_r && c.r <= max_r;
+        let mut seen = vec![false; w * h];
+        let mut stack = Vec::new();
+        for q in min_q..=max_q {
+            for r in [min_r, max_r] {
+                let c = Coord::new(q, r);
+                if !self.occupancy.contains(c) && !seen[idx(c)] {
+                    seen[idx(c)] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        for r in min_r..=max_r {
+            for q in [min_q, max_q] {
+                let c = Coord::new(q, r);
+                if !self.occupancy.contains(c) && !seen[idx(c)] {
+                    seen[idx(c)] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        while let Some(c) = stack.pop() {
+            for nb in c.neighbors() {
+                if in_box(nb) && !self.occupancy.contains(nb) && !seen[idx(nb)] {
+                    seen[idx(nb)] = true;
+                    stack.push(nb);
+                }
+            }
+        }
+        for q in min_q..=max_q {
+            for r in min_r..=max_r {
+                let c = Coord::new(q, r);
+                if !self.occupancy.contains(c) && !seen[idx(c)] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Builds a dense [`AmoebotStructure`] snapshot of the live cells,
+    /// plus the id map `old id -> dense id` (`None` for dead ids). Dense
+    /// ids follow old-id order, so the map is monotone on live ids. O(n
+    /// log n); this is the from-scratch rebuild the churn oracle
+    /// cross-validates against.
+    pub fn snapshot(&self) -> (AmoebotStructure, Vec<Option<NodeId>>) {
+        let mut map = vec![None; self.capacity()];
+        let mut coords = Vec::with_capacity(self.len());
+        for (id, slot) in map.iter_mut().enumerate() {
+            if self.alive[id] {
+                *slot = Some(NodeId(coords.len() as u32));
+                coords.push(self.coords[id]);
+            }
+        }
+        let structure = AmoebotStructure::new(coords)
+            .expect("editor invariants keep the structure connected and non-empty");
+        (structure, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    fn editor(coords: Vec<Coord>) -> StructureEditor {
+        StructureEditor::from_structure(&AmoebotStructure::new(coords).unwrap())
+    }
+
+    #[test]
+    fn lookups_match_the_source_structure() {
+        let s = AmoebotStructure::new(shapes::hexagon(2)).unwrap();
+        let e = StructureEditor::from_structure(&s);
+        assert_eq!(e.len(), s.len());
+        for v in s.nodes() {
+            assert_eq!(e.coord(v), s.coord(v));
+            assert_eq!(e.node_at(s.coord(v)), Some(v));
+            assert_eq!(e.degree(v), s.degree(v));
+            for d in crate::coord::ALL_DIRECTIONS {
+                assert_eq!(e.neighbor(v, d), s.neighbor(v, d));
+            }
+        }
+        assert_eq!(e.node_at(Coord::new(100, 100)), None);
+    }
+
+    #[test]
+    fn arc_rule_examples() {
+        // A line 0-1-2 along +x.
+        let e = editor(shapes::line(3));
+        let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
+        // Endpoints are removable, the middle is an articulation cell.
+        assert!(e.can_remove(a));
+        assert!(e.can_remove(c));
+        assert!(!e.can_remove(b), "cutting the line must be rejected");
+        // Cells adjacent to the line are insertable; detached cells not.
+        assert!(e.can_insert(Coord::new(3, 0)));
+        assert!(e.can_insert(Coord::new(0, 1)));
+        assert!(!e.can_insert(Coord::new(5, 5)));
+        assert!(!e.can_insert(Coord::new(0, 0)), "occupied cell");
+        // A cell bridging the two ends of a C-shape would close a ring
+        // around a vacant center: two arcs, rejected.
+        let ring: Vec<Coord> = Coord::origin().neighbors().to_vec();
+        let c5 = ring[5];
+        let mut open = ring;
+        open.remove(5);
+        let e = editor(open);
+        assert!(
+            !e.can_insert(c5),
+            "closing the ring would enclose the center"
+        );
+        // Filling the center first makes the closing cell legal.
+        let mut e = e;
+        let (center, links) = e.insert(Coord::origin());
+        assert_eq!(links.len(), 5);
+        assert!(e.is_alive(center));
+        assert!(e.can_insert(c5), "no pocket once the center is filled");
+    }
+
+    #[test]
+    fn insert_links_both_sides_and_remove_unlinks() {
+        let mut e = editor(shapes::line(2));
+        let (v, links) = e.insert(Coord::new(2, 0));
+        assert_eq!(links, vec![(Direction::W, NodeId(1))]);
+        assert_eq!(e.neighbor(NodeId(1), Direction::E), Some(v));
+        assert_eq!(e.neighbor(v, Direction::W), Some(NodeId(1)));
+        assert_eq!(e.len(), 3);
+        e.remove(v);
+        assert_eq!(e.len(), 2);
+        assert!(!e.is_alive(v));
+        assert_eq!(e.neighbor(NodeId(1), Direction::E), None);
+        assert_eq!(e.node_at(Coord::new(2, 0)), None);
+    }
+
+    #[test]
+    fn ids_are_recycled_and_coords_revalidated() {
+        let mut e = editor(shapes::line(3));
+        let old_coord = e.coord(NodeId(2));
+        e.remove(NodeId(2));
+        // The recycled id lands at a *different* coordinate; the stale
+        // base-index entry for the old coordinate must not resolve.
+        let (v, _) = e.insert(Coord::new(0, 1));
+        assert_eq!(v, NodeId(2));
+        assert_eq!(e.capacity(), 3, "no id-space growth on recycling");
+        assert_eq!(e.node_at(old_coord), None, "stale index entry resolved");
+        assert_eq!(e.node_at(Coord::new(0, 1)), Some(v));
+        assert_eq!(e.coord(v), Coord::new(0, 1));
+    }
+
+    #[test]
+    fn grow_then_shrink_heavy_churn_stays_consistent() {
+        // Enough edits to cross several merge thresholds.
+        let mut e = editor(shapes::line(4));
+        let mut grown: Vec<NodeId> = Vec::new();
+        for i in 0..300 {
+            let (v, links) = e.insert(Coord::new(4 + i, 0));
+            assert!(!links.is_empty());
+            grown.push(v);
+        }
+        assert_eq!(e.len(), 304);
+        for &v in grown.iter().rev() {
+            assert!(e.can_remove(v));
+            e.remove(v);
+        }
+        assert_eq!(e.len(), 4);
+        let (s, map) = e.snapshot();
+        assert_eq!(s.len(), 4);
+        assert!(s.is_hole_free());
+        for (id, &dense) in map.iter().take(4).enumerate() {
+            assert_eq!(dense, Some(NodeId(id as u32)));
+        }
+        assert!(map[4..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn snapshot_maps_live_ids_densely() {
+        let mut e = editor(shapes::parallelogram(4, 2));
+        // Remove a boundary node in the middle of the id range.
+        let victim = NodeId(3);
+        assert!(e.can_remove(victim));
+        e.remove(victim);
+        let (s, map) = e.snapshot();
+        assert_eq!(s.len(), 7);
+        assert!(s.is_hole_free());
+        assert_eq!(map[victim.index()], None);
+        for (id, &dense) in map.iter().enumerate() {
+            if let Some(dense) = dense {
+                assert_eq!(s.coord(dense), e.coord(NodeId(id as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn scoped_revalidation_accepts_legal_churn() {
+        let mut e = editor(shapes::hexagon(2));
+        assert!(e.revalidate_edited_chunks(), "no edits pending");
+        let (v, _) = e.insert(Coord::new(3, 0));
+        e.remove(v);
+        assert!(e.revalidate_edited_chunks());
+        // The set is consumed: a second call is trivially clean.
+        assert!(e.revalidate_edited_chunks());
+    }
+
+    /// Edits scattered across far-apart chunks form separate clusters:
+    /// each floods its own small box (a long thin structure would make a
+    /// single shared bounding box structure-sized), and a pocket forced
+    /// into *one* cluster is still caught while the other validates.
+    #[test]
+    fn scoped_revalidation_handles_scattered_clusters() {
+        // A long line spanning many chunks; edit legally at both ends.
+        let mut e = editor(shapes::line(200));
+        let (a, _) = e.insert(Coord::new(-1, 0));
+        let (b, _) = e.insert(Coord::new(200, 0));
+        assert!(e.revalidate_edited_chunks(), "legal edits at both ends");
+        e.remove(a);
+        e.remove(b);
+        assert!(e.revalidate_edited_chunks());
+        // Force a pocket near the west end only: the far cluster passes,
+        // the west cluster must still flag it.
+        let ring: Vec<Coord> = Coord::new(0, -3).neighbors().to_vec();
+        for &c in &ring {
+            e.occupancy.insert(c);
+            e.touch_chunks(c);
+        }
+        e.touch_chunks(Coord::new(199, 0)); // a second, clean far cluster
+        assert!(
+            !e.revalidate_edited_chunks(),
+            "the enclosed pocket in the west cluster must be detected"
+        );
+    }
+
+    /// White-box: force a pocket past the arc rule to prove the scoped
+    /// flood fill actually detects enclosed vacancies.
+    #[test]
+    fn scoped_revalidation_detects_a_forced_pocket() {
+        let ring: Vec<Coord> = Coord::origin().neighbors().to_vec();
+        let mut open = ring.clone();
+        open.remove(5);
+        let mut e = editor(open);
+        // Bypass `insert` (which would reject): splice the closing cell
+        // straight into the occupancy mirror and mark its chunk edited.
+        e.occupancy.insert(ring[5]);
+        e.touch_chunks(ring[5]);
+        assert!(
+            !e.revalidate_edited_chunks(),
+            "the enclosed center must be reported as a hole"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::shapes;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The full observable state of the editor's index + neighbor table,
+    /// as seen through the public API.
+    fn observable_state(e: &StructureEditor) -> Vec<(u32, Coord, [u32; 6])> {
+        let mut out: Vec<(u32, Coord, [u32; 6])> = e
+            .live_ids()
+            .iter()
+            .map(|&id| {
+                let v = NodeId(id);
+                let mut slots = [u32::MAX; 6];
+                for (d, w) in e.neighbors_of(v) {
+                    slots[d.index()] = w.0;
+                }
+                (id, e.coord(v), slots)
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Satellite: insert → remove round-trips restore the exact flat
+        /// index and neighbor table, across random blobs, random attach
+        /// points, and bursts long enough to cross merge thresholds.
+        #[test]
+        fn insert_remove_round_trip_restores_state(seed in 0u64..1000, n in 5usize..40, burst in 1usize..12) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = AmoebotStructure::new(shapes::random_blob(n, &mut rng)).unwrap();
+            let mut e = StructureEditor::from_structure(&s);
+            let before = observable_state(&e);
+            let (snap_before, _) = e.snapshot();
+            // A burst of boundary insertions...
+            let mut inserted = Vec::new();
+            let mut tries = 0;
+            while inserted.len() < burst && tries < 200 {
+                tries += 1;
+                let &anchor = &e.live_ids()[rng.gen_range(0..e.len())];
+                let d = crate::coord::ALL_DIRECTIONS[rng.gen_range(0..6)];
+                let cell = e.coord(NodeId(anchor)).neighbor(d);
+                if e.can_insert(cell) {
+                    let (v, links) = e.insert(cell);
+                    // Every reported link is mirrored on the peer side.
+                    for (dir, w) in links {
+                        prop_assert_eq!(e.neighbor(w, dir.opposite()), Some(v));
+                    }
+                    inserted.push(v);
+                }
+            }
+            prop_assert!(!inserted.is_empty(), "no insertable cell found");
+            prop_assert!(e.revalidate_edited_chunks());
+            // ...then unwind it in reverse order (reverse order keeps
+            // every step legal: each node re-exposes its predecessor).
+            for &v in inserted.iter().rev() {
+                prop_assert!(e.can_remove(v));
+                e.remove(v);
+            }
+            prop_assert!(e.revalidate_edited_chunks());
+            prop_assert_eq!(observable_state(&e), before);
+            let (snap_after, _) = e.snapshot();
+            prop_assert_eq!(snap_after.len(), snap_before.len());
+            for v in snap_before.nodes() {
+                prop_assert_eq!(snap_after.coord(v), snap_before.coord(v));
+            }
+            prop_assert!(snap_after.is_hole_free());
+        }
+
+        /// Random legal churn keeps every invariant: connected, hole-free
+        /// snapshots whose adjacency equals the editor's table.
+        #[test]
+        fn random_churn_preserves_invariants(seed in 0u64..1000, n in 4usize..32, events in 1usize..40) {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+            let s = AmoebotStructure::new(shapes::random_blob(n, &mut rng)).unwrap();
+            let mut e = StructureEditor::from_structure(&s);
+            for _ in 0..events {
+                if rng.gen_bool(0.5) {
+                    let &anchor = &e.live_ids()[rng.gen_range(0..e.len())];
+                    let d = crate::coord::ALL_DIRECTIONS[rng.gen_range(0..6)];
+                    let cell = e.coord(NodeId(anchor)).neighbor(d);
+                    if e.can_insert(cell) {
+                        e.insert(cell);
+                    }
+                } else {
+                    let &victim = &e.live_ids()[rng.gen_range(0..e.len())];
+                    if e.can_remove(NodeId(victim)) {
+                        e.remove(NodeId(victim));
+                    }
+                }
+                prop_assert!(e.revalidate_edited_chunks());
+            }
+            let (snap, map) = e.snapshot();
+            prop_assert!(snap.is_hole_free());
+            prop_assert_eq!(snap.len(), e.len());
+            for id in 0..e.capacity() {
+                let v = NodeId(id as u32);
+                match map[id] {
+                    None => prop_assert!(!e.is_alive(v)),
+                    Some(dense) => {
+                        prop_assert_eq!(snap.coord(dense), e.coord(v));
+                        for d in crate::coord::ALL_DIRECTIONS {
+                            let via_editor = e.neighbor(v, d).map(|w| map[w.index()].unwrap());
+                            prop_assert_eq!(snap.neighbor(dense, d), via_editor);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -29,6 +29,7 @@
 pub mod bfs;
 pub mod chunkgrid;
 pub mod coord;
+pub mod editor;
 pub mod random;
 pub mod render;
 pub mod shapes;
@@ -38,6 +39,7 @@ pub mod validate;
 pub use bfs::{bfs_distances, bfs_parents, multi_source_bfs};
 pub use chunkgrid::ChunkGrid;
 pub use coord::{Axis, Coord, Direction, ALL_AXES, ALL_DIRECTIONS};
+pub use editor::StructureEditor;
 pub use random::{random_placement, random_shape_mix, random_snake, random_structure, Placement};
 pub use structure::{AmoebotStructure, NodeId, StructureError};
 pub use validate::{validate_forest, ForestViolation};

@@ -29,7 +29,8 @@ use std::process::ExitCode;
 use crate::batch::{run_batch, Threads};
 use crate::registry::default_registry;
 use crate::report::BatchReport;
-use crate::sweep::{run_sweep, sweep_suite, SweepReport, DEFAULT_SIZES};
+use crate::run::ScenarioResult;
+use crate::sweep::{run_sweep, sweep_suite, SweepPoint, SweepReport, DEFAULT_SIZES};
 
 struct Args {
     seed: u64,
@@ -209,11 +210,7 @@ pub fn run(argv: &[String]) -> u8 {
         // FAIL lines are diagnostics, not progress: they print even under
         // --quiet so a red CI batch always names the broken scenarios.
         if !r.pass || !args.quiet {
-            let status = if r.pass { "ok  " } else { "FAIL" };
-            eprintln!(
-                "  {status} {:<52} n={:<5} k={:<3} rounds={:<6} beeps={}",
-                r.name, r.n, r.k, r.rounds, r.beeps
-            );
+            eprintln!("{}", batch_line(r));
         }
         if !r.pass {
             for c in r.checks.iter().filter(|c| !c.pass) {
@@ -278,15 +275,7 @@ fn run_sweep_mode(args: &Args, registry: &crate::registry::Registry, threads: us
     let entries = run_sweep(&suite, Threads::Count(threads));
     for (p, r) in &entries {
         if !r.pass || !args.quiet {
-            let status = if r.pass { "ok  " } else { "FAIL" };
-            eprintln!(
-                "  {status} {:<24} size={:<8} n={:<8} rounds={:<6} {:>12} nodes/s",
-                p.family,
-                p.size,
-                r.n,
-                r.rounds,
-                crate::sweep::nodes_per_sec(r.n, r.wall_micros)
-            );
+            eprintln!("{}", sweep_line(p, r));
         }
         if !r.pass {
             for c in r.checks.iter().filter(|c| !c.pass) {
@@ -313,6 +302,49 @@ fn run_sweep_mode(args: &Args, registry: &crate::registry::Registry, threads: us
         return 1;
     }
     0
+}
+
+/// One batch progress/diagnostic line. FAIL lines carry the scenario
+/// seed so a red run is reproducible from the log alone
+/// (`--seed N --family F` rebuilds the exact scenario; churn check
+/// details additionally name their schedule seed and event index).
+fn batch_line(r: &ScenarioResult) -> String {
+    if r.pass {
+        format!(
+            "  ok   {:<52} n={:<5} k={:<3} rounds={:<6} beeps={}",
+            r.name, r.n, r.k, r.rounds, r.beeps
+        )
+    } else {
+        format!(
+            "  FAIL {:<52} seed={} n={:<5} k={:<3} rounds={:<6} beeps={}",
+            r.name, r.seed, r.n, r.k, r.rounds, r.beeps
+        )
+    }
+}
+
+/// One sweep progress/diagnostic line; FAIL lines carry the rung's seed,
+/// like [`batch_line`].
+fn sweep_line(p: &SweepPoint, r: &ScenarioResult) -> String {
+    if r.pass {
+        format!(
+            "  ok   {:<24} size={:<8} n={:<8} rounds={:<6} {:>12} nodes/s",
+            p.family,
+            p.size,
+            r.n,
+            r.rounds,
+            crate::sweep::nodes_per_sec(r.n, r.wall_micros)
+        )
+    } else {
+        format!(
+            "  FAIL {:<24} size={:<8} seed={} n={:<8} rounds={:<6} {:>12} nodes/s",
+            p.family,
+            p.size,
+            r.seed,
+            r.n,
+            r.rounds,
+            crate::sweep::nodes_per_sec(r.n, r.wall_micros)
+        )
+    }
 }
 
 /// Entry point of the `scenario-runner` binary (parses `std::env::args`).
@@ -393,5 +425,35 @@ mod tests {
     fn sweep_with_no_rungs_exits_two() {
         let code = run(&args(&["--sweep", "--family", "selftest-fail", "--quiet"]));
         assert_eq!(code, 2);
+    }
+
+    /// Satellite: FAIL lines carry the seed, in batch and sweep form, so
+    /// a failed cross-validation is reproducible from the log alone.
+    #[test]
+    fn fail_lines_carry_the_seed() {
+        use crate::run::run_scenario;
+        let registry = default_registry();
+        let sc = registry.get("selftest-fail").unwrap().build(777);
+        let failing = run_scenario(&sc);
+        assert!(!failing.pass);
+        let line = batch_line(&failing);
+        assert!(
+            line.contains("FAIL") && line.contains("seed=777"),
+            "batch FAIL line must carry the seed: {line}"
+        );
+        let point = SweepPoint {
+            family: "selftest-fail".to_string(),
+            size: 1,
+            scenario: sc,
+        };
+        let line = sweep_line(&point, &failing);
+        assert!(
+            line.contains("FAIL") && line.contains("seed=777"),
+            "sweep FAIL line must carry the seed: {line}"
+        );
+        // Passing lines stay compact (no seed clutter).
+        let passing = run_scenario(&registry.get("blob-broadcast").unwrap().build(5));
+        assert!(passing.pass);
+        assert!(!batch_line(&passing).contains("seed="));
     }
 }

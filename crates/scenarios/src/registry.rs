@@ -552,6 +552,78 @@ pub fn default_registry() -> Registry {
             )
         },
     );
+    r.register_sweepable(
+        "blob-churn-broadcast",
+        "runtime churn on a blob under global-circuit broadcast, rebuild-oracle-checked per event",
+        true,
+        // Each event pays one rebuild-oracle pass (O(n)), so the rung
+        // cost is ~events × the blob-broadcast rung; 10^5 keeps the
+        // weekly sweep comfortably inside its budget.
+        100_000,
+        |seed| {
+            let mut p = derive_rng(seed, 90);
+            let n = p.gen_range(24..=128usize);
+            let events = p.gen_range(4..=10usize);
+            let per_event = p.gen_range(1..=(n / 8).max(1));
+            Scenario::micro(
+                "blob-churn-broadcast",
+                seed,
+                crate::spec::MicroWorkload::BlobChurnBroadcast {
+                    n,
+                    events,
+                    per_event,
+                },
+            )
+        },
+        |seed, n| {
+            Scenario::micro(
+                "blob-churn-broadcast",
+                seed,
+                crate::spec::MicroWorkload::BlobChurnBroadcast {
+                    n,
+                    events: 8,
+                    // 1% churn per event at sweep sizes — the cost model
+                    // rung the churn_ticks bench mirrors.
+                    per_event: (n / 100).max(1),
+                },
+            )
+        },
+    );
+    r.register_sweepable(
+        "line-churn-spt",
+        "grow/shrink churn on a line with SPT restarts + BFS cross-validation per event",
+        true,
+        // Each event restarts the SPT (~the random-blob-spt rung cost)
+        // and validates against BFS; 6 restarts at 10^5 stay well under
+        // the weekly per-rung minute.
+        100_000,
+        |seed| {
+            let mut p = derive_rng(seed, 90);
+            let n = p.gen_range(16..=96usize);
+            let events = p.gen_range(3..=8usize);
+            let per_event = p.gen_range(1..=4usize);
+            Scenario::micro(
+                "line-churn-spt",
+                seed,
+                crate::spec::MicroWorkload::LineChurnSpt {
+                    n,
+                    events,
+                    per_event,
+                },
+            )
+        },
+        |seed, n| {
+            Scenario::micro(
+                "line-churn-spt",
+                seed,
+                crate::spec::MicroWorkload::LineChurnSpt {
+                    n,
+                    events: 6,
+                    per_event: (n / 100).max(1),
+                },
+            )
+        },
+    );
     r.register(
         "selftest-fail",
         "always-failing scenario proving the runner's non-zero exit path (never sampled)",

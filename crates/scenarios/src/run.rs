@@ -19,7 +19,7 @@ use amoebot_spf::primitives::{centroid_decomposition, elect, q_centroids, root_a
 use amoebot_spf::spt::shortest_path_tree;
 use amoebot_spf::Tree;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use crate::spec::{derive_rng, MicroWorkload, Scenario, StructureAlgorithm, Workload};
 
@@ -530,6 +530,168 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
                 || format!("{missed} (node, round) deliveries missing on the global circuit"),
             )];
         }
+        MicroWorkload::BlobChurnBroadcast {
+            n,
+            events,
+            per_event,
+        } => {
+            use amoebot_dynamics::{
+                verify_against_rebuild, ChurnPlan, DynamicWorld, ALL_CHURN_FAMILIES,
+            };
+            let mut rng = derive_rng(seed, 0);
+            let s = AmoebotStructure::new(shapes::random_blob(n, &mut rng))
+                .expect("blob generator produces connected sets");
+            let mut dw = DynamicWorld::new(&s, 2);
+            for v in 0..n {
+                dw.world_mut().global_pin_config(v);
+            }
+            let family = *crate::spec::pick(&mut derive_rng(seed, 5), &ALL_CHURN_FAMILIES);
+            // An explicit schedule seed, surfaced in every failure detail:
+            // together with the event index it reproduces the failing
+            // churn schedule from the log alone.
+            let schedule_seed = derive_rng(seed, 6).next_u64();
+            let plan = ChurnPlan::new(schedule_seed, family, events, per_event);
+            let mut oracle_fail: Option<String> = None;
+            let mut broadcast_fail: Option<String> = None;
+            let mut holes_fail: Option<String> = None;
+            for e in 0..events {
+                let applied = plan.apply(&mut dw, e);
+                for v in &applied.inserted {
+                    dw.world_mut().global_pin_config(v.index());
+                }
+                // Geometry first: the scoped hole revalidation over the
+                // chunks this event touched.
+                if holes_fail.is_none() && !dw.revalidate_edited_chunks() {
+                    holes_fail = Some(format!(
+                        "churn schedule seed={schedule_seed} event=#{e} ({}): \
+                         scoped hole revalidation failed",
+                        family.label()
+                    ));
+                }
+                // Cross-validation: the incrementally edited world vs a
+                // from-scratch rebuild, after *every* event.
+                if oracle_fail.is_none() {
+                    if let Err(msg) = verify_against_rebuild(&dw) {
+                        oracle_fail = Some(format!(
+                            "churn schedule seed={schedule_seed} event=#{e} ({}): {msg}",
+                            family.label()
+                        ));
+                    }
+                }
+                // And the workload itself: the global circuit must still
+                // span the churned structure.
+                let origin = dw.editor().live_ids()[0] as usize;
+                dw.world_mut().beep(origin, 0);
+                dw.world_mut().tick();
+                if broadcast_fail.is_none() {
+                    let missed = dw
+                        .editor()
+                        .live_ids()
+                        .iter()
+                        .filter(|&&v| !dw.world().received(v as usize, 0))
+                        .count();
+                    if missed > 0 {
+                        broadcast_fail = Some(format!(
+                            "churn schedule seed={schedule_seed} event=#{e} ({}): \
+                             {missed} live amoebots missed the broadcast",
+                            family.label()
+                        ));
+                    }
+                }
+            }
+            r.n = n;
+            r.k = events;
+            r.l = dw.len();
+            r.rounds = dw.world().rounds();
+            r.beeps = dw.world().beeps_sent();
+            let oracle_ok = oracle_fail.is_none();
+            let broadcast_ok = broadcast_fail.is_none();
+            let holes_ok = holes_fail.is_none();
+            r.checks = vec![
+                CheckResult::from_bool("churn-chunks-hole-free", holes_ok, || {
+                    holes_fail.unwrap_or_default()
+                }),
+                CheckResult::from_bool("churn-oracle-equivalent", oracle_ok, || {
+                    oracle_fail.unwrap_or_default()
+                }),
+                CheckResult::from_bool("churn-broadcast-reaches-all", broadcast_ok, || {
+                    broadcast_fail.unwrap_or_default()
+                }),
+            ];
+        }
+        MicroWorkload::LineChurnSpt {
+            n,
+            events,
+            per_event,
+        } => {
+            use amoebot_dynamics::{ChurnFamily, ChurnPlan, DynamicWorld};
+            use amoebot_spf::churn::{remap_terminals, restart_spt, RestartCounter};
+            let s = AmoebotStructure::new(shapes::line(n)).expect("lines are connected");
+            let mut dw = DynamicWorld::new(&s, 1);
+            let mut p = derive_rng(seed, 5);
+            let l = p.gen_range(1..=8usize).min(n);
+            // Terminals live in the editor's stable id space. A terminal
+            // whose amoebot leaves is a casualty (dropped / re-anchored
+            // by the restart hook); if churn later recycles the id, the
+            // replacement amoebot takes over the terminal role — a
+            // deterministic, documented policy.
+            let source_old = NodeId(p.gen_range(0..n as u32));
+            let dests_old: Vec<NodeId> = shapes::random_subset(n, l, &mut p)
+                .into_iter()
+                .map(|i| NodeId(i as u32))
+                .collect();
+            let schedule_seed = derive_rng(seed, 6).next_u64();
+            let plan = ChurnPlan::new(schedule_seed, ChurnFamily::GrowShrink, events, per_event);
+            let mut counter = RestartCounter::default();
+            let mut fail: Option<String> = None;
+            let mut holes_fail: Option<String> = None;
+            for e in 0..events {
+                plan.apply(&mut dw, e);
+                if holes_fail.is_none() && !dw.revalidate_edited_chunks() {
+                    holes_fail = Some(format!(
+                        "churn schedule seed={schedule_seed} event=#{e}: \
+                         scoped hole revalidation failed"
+                    ));
+                }
+                let (snapshot, map) = dw.editor().snapshot();
+                let source = map[source_old.index()];
+                let dests = remap_terminals(&map, &dests_old);
+                // Restart hook: re-run the SPT on the post-churn
+                // snapshot, then cross-validate against centralized BFS.
+                let restart = restart_spt(&snapshot, source, &dests, &mut counter);
+                if fail.is_none() {
+                    let violations = validate_forest(
+                        &snapshot,
+                        std::slice::from_ref(&restart.source),
+                        &restart.dests,
+                        &restart.outcome.parents,
+                    );
+                    if let Some(first) = violations.first() {
+                        fail = Some(format!(
+                            "churn schedule seed={schedule_seed} event=#{e}: {first}{}",
+                            if violations.len() > 1 {
+                                format!(" (+{} more)", violations.len() - 1)
+                            } else {
+                                String::new()
+                            }
+                        ));
+                    }
+                }
+            }
+            r.n = n;
+            r.k = events;
+            r.l = l;
+            r.rounds = counter.rounds;
+            r.beeps = counter.beeps;
+            let ok = fail.is_none();
+            let holes_ok = holes_fail.is_none();
+            r.checks = vec![
+                CheckResult::from_bool("churn-chunks-hole-free", holes_ok, || {
+                    holes_fail.unwrap_or_default()
+                }),
+                CheckResult::from_bool("churn-spt-forest-valid", ok, || fail.unwrap_or_default()),
+            ];
+        }
         MicroWorkload::SelfTestFail => {
             r.n = 1;
             r.checks = vec![CheckResult::fail(
@@ -650,6 +812,38 @@ mod tests {
             MicroWorkload::Leader { n: 64 },
         ] {
             run_ok(&Scenario::micro("t", 11, micro));
+        }
+    }
+
+    /// The churn workloads: every event is rebuild-oracle-checked
+    /// (blob) / BFS-cross-validated after an SPT restart (line), across
+    /// several seeds so all four schedule families get sampled.
+    #[test]
+    fn churn_scenarios_pass_across_seeds() {
+        for seed in [0u64, 3, 11, 27, 42] {
+            let blob = Scenario::micro(
+                "t",
+                seed,
+                MicroWorkload::BlobChurnBroadcast {
+                    n: 40,
+                    events: 5,
+                    per_event: 4,
+                },
+            );
+            let r = run_ok(&blob);
+            assert_eq!(r.k, 5, "k reports the event count");
+            assert!(r.rounds >= 5, "one broadcast round per event");
+            let line = Scenario::micro(
+                "t",
+                seed,
+                MicroWorkload::LineChurnSpt {
+                    n: 28,
+                    events: 4,
+                    per_event: 2,
+                },
+            );
+            let r = run_ok(&line);
+            assert!(r.rounds > 0, "SPT restarts consume rounds");
         }
     }
 

@@ -288,6 +288,34 @@ pub enum MicroWorkload {
         /// Broadcast rounds to run.
         rounds: usize,
     },
+    /// Runtime churn on a random blob under the global-circuit broadcast
+    /// configuration: `events` seeded churn events (family drawn from the
+    /// scenario seed) of ~`per_event` node joins/leaves each. After
+    /// *every* event the incrementally edited world is cross-validated
+    /// against a from-scratch rebuild oracle
+    /// ([`amoebot_dynamics::verify_against_rebuild`]) and a broadcast
+    /// must still reach every live amoebot.
+    BlobChurnBroadcast {
+        /// Initial structure size.
+        n: usize,
+        /// Number of churn events.
+        events: usize,
+        /// Target node joins/leaves per event.
+        per_event: usize,
+    },
+    /// Grow/shrink churn on a line with an SPT restart
+    /// ([`amoebot_spf::churn::restart_spt`]) after every event: terminals
+    /// are remapped through the churn id map (casualties dropped /
+    /// re-anchored) and the restarted tree is cross-validated against
+    /// centralized BFS on the post-churn snapshot.
+    LineChurnSpt {
+        /// Initial line length.
+        n: usize,
+        /// Number of churn events.
+        events: usize,
+        /// Target node joins/leaves per event.
+        per_event: usize,
+    },
     /// Always fails validation. Registered (non-randomized) so tests and
     /// CI can prove the runner's non-zero exit path actually fires.
     SelfTestFail,
@@ -370,6 +398,18 @@ impl Scenario {
             | MicroWorkload::Decomposition { n, q } => format!("n{n}-q{q}"),
             MicroWorkload::Leader { n } => format!("n{n}"),
             MicroWorkload::BlobBroadcast { n, rounds } => format!("n{n}-r{rounds}"),
+            MicroWorkload::BlobChurnBroadcast {
+                n,
+                events,
+                per_event,
+            }
+            | MicroWorkload::LineChurnSpt {
+                n,
+                events,
+                per_event,
+            } => {
+                format!("n{n}-e{events}x{per_event}")
+            }
             MicroWorkload::SelfTestFail => "always-fails".to_string(),
         };
         Scenario {

@@ -1,14 +1,16 @@
 //! Facade crate re-exporting the whole SPF reproduction workspace.
 //!
 //! See `README.md` for the project overview and `DESIGN.md` for the
-//! system inventory (S1–S20) and the substitution notes. Most users want
+//! system inventory (S1–S21) and the substitution notes. Most users want
 //! [`amoebot_spf`] (the paper's algorithms), [`amoebot_grid`] (structures
-//! and workloads) and [`amoebot_circuits`] (the incremental circuit
-//! simulator). The `scenario-runner` binary batch-runs the randomized
-//! cross-validated workloads.
+//! and workloads), [`amoebot_circuits`] (the incremental circuit
+//! simulator) and [`amoebot_dynamics`] (runtime structure churn). The
+//! `scenario-runner` binary batch-runs the randomized cross-validated
+//! workloads.
 
 pub use amoebot_baselines as baselines;
 pub use amoebot_circuits as circuits;
+pub use amoebot_dynamics as dynamics;
 pub use amoebot_grid as grid;
 pub use amoebot_pasc as pasc;
 pub use amoebot_spf as core;
