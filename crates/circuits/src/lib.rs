@@ -36,11 +36,13 @@
 
 pub mod bitset;
 pub mod leader;
+pub mod replay;
 pub mod report;
 pub mod topology;
 pub mod world;
 
 pub use bitset::BitSet;
+pub use replay::{replay_trace, ReplayError, ReplayReport};
 pub use report::RoundReport;
 pub use topology::{PortId, Topology};
 pub use world::{World, REGION_FALLBACK_FRACTION};

@@ -97,6 +97,68 @@ impl Topology {
         }
     }
 
+    /// Builds a topology in one pass from per-node port counts and an
+    /// explicit port-to-port edge list — the bulk equivalent of
+    /// [`Topology::push_node`] + [`Topology::connect`], used by trace
+    /// replay to rebuild a recorded starting world without paying the
+    /// incremental splice path per edge. Unlike the panicking
+    /// constructors this validates untrusted input: out-of-range
+    /// endpoints or ports, self-loops, occupied ports and duplicate
+    /// node pairs are reported, not asserted.
+    pub fn from_ports(
+        node_ports: &[u32],
+        edges: &[(u32, u32, u32, u32)],
+    ) -> Result<Topology, String> {
+        let n = node_ports.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc: u32 = 0;
+        for &ports in node_ports {
+            offsets.push(acc);
+            acc = acc
+                .checked_add(ports)
+                .ok_or_else(|| "total port count overflows u32".to_string())?;
+        }
+        offsets.push(acc);
+        let mut peer_node = vec![NONE; acc as usize];
+        let mut peer_port = vec![NONE; acc as usize];
+        for &(v, p, w, q) in edges {
+            if v as usize >= n || w as usize >= n {
+                return Err(format!("edge ({v}, {w}) endpoint out of range ({n} nodes)"));
+            }
+            if v == w {
+                return Err(format!("self-loop edge at node {v}"));
+            }
+            if p >= node_ports[v as usize] || q >= node_ports[w as usize] {
+                return Err(format!("edge ({v}:{p}, {w}:{q}) port out of range"));
+            }
+            let sv = (offsets[v as usize] + p) as usize;
+            let sw = (offsets[w as usize] + q) as usize;
+            if peer_node[sv] != NONE || peer_node[sw] != NONE {
+                return Err(format!("edge ({v}:{p}, {w}:{q}) lands on an occupied port"));
+            }
+            // Parallel-edge check: scan v's already-filled slots for w.
+            // Port counts are tiny (≤ 6 on the triangular grid), so this
+            // beats collecting and sorting the full pair list.
+            let (lo, hi) = (
+                offsets[v as usize] as usize,
+                offsets[v as usize + 1] as usize,
+            );
+            if peer_node[lo..hi].contains(&w) {
+                return Err(format!("duplicate edge ({}, {})", v.min(w), v.max(w)));
+            }
+            peer_node[sv] = w;
+            peer_port[sv] = q;
+            peer_node[sw] = v;
+            peer_port[sw] = p;
+        }
+        Ok(Topology {
+            offsets,
+            peer_node,
+            peer_port,
+            edge_count: edges.len(),
+        })
+    }
+
     /// Builds the topology of `G_X` with ports indexed by [`Direction`]:
     /// port `d.index()` of node `v` leads to the neighbor in direction `d`
     /// (vacant if unoccupied). Every node has exactly 6 port slots.

@@ -53,6 +53,10 @@
 
 use crate::bitset::BitSet;
 use crate::topology::{PortId, Topology};
+use amoebot_telemetry::{
+    mix64, CounterId, Metrics, NullRecorder, Recorder, RelabelKind, RoundSummary, Stopwatch,
+    TimerId, BEEP_DIGEST_SALT,
+};
 
 /// A pin reference local to a node: `(port, link)` with `link < c`.
 pub type Pin = (PortId, usize);
@@ -75,6 +79,40 @@ const NO_EDGE: u32 = u32::MAX;
 /// Tombstone of a removed `links` entry (`a0 == u32::MAX` never occurs on
 /// a live entry: it would exceed the pin id space).
 const DEAD_LINK: (u32, u32, u32, u32) = (u32::MAX, 0, 0, 0);
+
+/// The engine's telemetry registry plus pre-registered handles for the
+/// hot-path counters and phase timers, so instrumented code never pays a
+/// name lookup. Relabel counters live here (the old `u64` fields are now
+/// thin wrappers over the registry); phase timers are populated only
+/// when a run drives the engine through a [`Recorder`] with
+/// `TIMED = true` — under [`NullRecorder`] the timing code compiles away.
+#[derive(Debug, Clone)]
+struct EngineStats {
+    metrics: Metrics,
+    relabel_global: CounterId,
+    relabel_region: CounterId,
+    t_propagate: TimerId,
+    t_dissolve: TimerId,
+    t_reunion: TimerId,
+    t_repack: TimerId,
+    t_global: TimerId,
+}
+
+impl EngineStats {
+    fn new() -> EngineStats {
+        let mut m = Metrics::new();
+        EngineStats {
+            relabel_global: m.counter("relabel_global"),
+            relabel_region: m.counter("relabel_region"),
+            t_propagate: m.timer("phase_propagate_micros"),
+            t_dissolve: m.timer("phase_region_dissolve_micros"),
+            t_reunion: m.timer("phase_region_reunion_micros"),
+            t_repack: m.timer("phase_membership_repack_micros"),
+            t_global: m.timer("phase_global_relabel_micros"),
+            metrics: m,
+        }
+    }
+}
 
 /// The simulated world: a topology, `c` external links per edge, the current
 /// pin configuration of every amoebot, and the beep state.
@@ -164,10 +202,10 @@ pub struct World {
     region_nodes: Vec<u32>,
     /// Number of distinct circuits under the cached labeling.
     cached_circuits: usize,
-    /// Relabel-path counters (diagnostics; pinned by tests so the region
-    /// path cannot silently degrade into always-global).
-    global_relabels: u64,
-    region_relabels: u64,
+    /// Telemetry registry + cached handles. Holds the relabel-path
+    /// counters (diagnostics; pinned by tests so the region path cannot
+    /// silently degrade into always-global) and the phase timers.
+    stats: EngineStats,
     rounds: u64,
     /// Rounds executed by `tick`/`tick_reference` (excludes charges).
     simulated: u64,
@@ -246,8 +284,7 @@ impl World {
             node_mark: BitSet::new(n),
             region_nodes: Vec::new(),
             cached_circuits: 0,
-            global_relabels: 0,
-            region_relabels: 0,
+            stats: EngineStats::new(),
             rounds: 0,
             simulated: 0,
             charged: 0,
@@ -605,32 +642,43 @@ impl World {
     /// How many global (full union-find + membership rebuild) relabels
     /// have run. Diagnostic, pinned by tests together with
     /// [`World::region_relabels`] so the region path cannot silently
-    /// degrade into always-global.
+    /// degrade into always-global. Thin wrapper over the telemetry
+    /// registry's `relabel_global` counter (see [`World::metrics`]).
     #[inline]
     pub fn global_relabels(&self) -> u64 {
-        self.global_relabels
+        self.stats.metrics.get(self.stats.relabel_global)
     }
 
     /// How many region-scoped relabels have run (see
-    /// [`World::relabel_pending`] and the module docs).
+    /// [`World::relabel_pending`] and the module docs). Thin wrapper over
+    /// the registry's `relabel_region` counter.
     #[inline]
     pub fn region_relabels(&self) -> u64 {
-        self.region_relabels
+        self.stats.metrics.get(self.stats.relabel_region)
+    }
+
+    /// The engine's telemetry registry: relabel counters plus — when the
+    /// driving [`Recorder`] has `TIMED = true` — per-phase wall-time
+    /// histograms (`phase_*_micros`).
+    #[inline]
+    pub fn metrics(&self) -> &Metrics {
+        &self.stats.metrics
     }
 
     /// Refreshes the cached labeling: region-scoped when the dirty region
-    /// is small, global otherwise.
-    fn refresh_labels(&mut self) {
+    /// is small, global otherwise. Phase timers fire only for `R::TIMED`
+    /// recorders; under [`NullRecorder`] they compile away.
+    fn refresh_labels<R: Recorder>(&mut self) -> RelabelKind {
         // Fractional fallback (1/REGION_FALLBACK_FRACTION of all pins):
         // beyond it, dissolving and re-unioning the region approaches
         // the cost of the global relabel anyway — without its
         // cache-friendly linear sweeps.
         let threshold = self.labels.len() / REGION_FALLBACK_FRACTION;
         if self.force_global || self.dirty_pins.len() > threshold {
-            self.relabel_global();
-            return;
+            self.relabel_global::<R>();
+            return RelabelKind::Global;
         }
-        self.relabel_region(threshold);
+        self.relabel_region::<R>(threshold)
     }
 
     /// The owner node of pin/partition-set `gid` (binary search over the
@@ -650,8 +698,13 @@ impl World {
     ///
     /// Falls back to [`World::relabel_global`] when the collected region
     /// exceeds `threshold` gids.
-    fn relabel_region(&mut self, threshold: usize) {
+    fn relabel_region<R: Recorder>(&mut self, threshold: usize) -> RelabelKind {
         debug_assert!(!self.affected_mark.any() && !self.in_region.any());
+        let t_dissolve = if R::TIMED {
+            Some(Stopwatch::start())
+        } else {
+            None
+        };
         // 1. Seed: the old circuits of every dirty pin's old and new
         // partition set. (A pin's peer circuits are covered transitively:
         // the old union along the edge put the peer's set in the same old
@@ -680,8 +733,8 @@ impl World {
                 self.affected_mark.clear(self.affected_roots[i] as usize);
             }
             self.affected_roots.clear();
-            self.relabel_global();
-            return;
+            self.relabel_global::<R>();
+            return RelabelKind::Global;
         }
         // 3. Collect the region: every member gid of every affected
         // circuit, its owner nodes, and — dissolving — singleton
@@ -719,6 +772,16 @@ impl World {
                 self.region_nodes.push(cached_node as u32);
             }
         }
+        if let Some(t) = t_dissolve {
+            self.stats
+                .metrics
+                .observe(self.stats.t_dissolve, t.micros());
+        }
+        let t_reunion = if R::TIMED {
+            Some(Stopwatch::start())
+        } else {
+            None
+        };
         // 4. Re-union: only links incident to region nodes, and of those
         // only the ones whose endpoints lie in the region. The stability
         // invariant guarantees a union never crosses the region boundary.
@@ -750,6 +813,14 @@ impl World {
             let root = self.find(gid);
             self.labels[gid as usize] = root;
         }
+        if let Some(t) = t_reunion {
+            self.stats.metrics.observe(self.stats.t_reunion, t.micros());
+        }
+        let t_repack = if R::TIMED {
+            Some(Stopwatch::start())
+        } else {
+            None
+        };
         // 5. Splice the rebuilt buckets into the arena: append-at-end
         // (the displaced old buckets become garbage), with a full repack
         // once the arena would outgrow twice the pin count — amortized
@@ -823,7 +894,11 @@ impl World {
             self.node_mark.clear(self.region_nodes[i] as usize);
         }
         self.region_nodes.clear();
-        self.region_relabels += 1;
+        if let Some(t) = t_repack {
+            self.stats.metrics.observe(self.stats.t_repack, t.micros());
+        }
+        self.stats.metrics.inc(self.stats.relabel_region);
+        RelabelKind::Region
     }
 
     /// Fully repacks the membership arena from `labels`: counting sort
@@ -854,7 +929,12 @@ impl World {
     /// circuit count from scratch. O(total pins · α) with zero
     /// allocations; the escape hatch when the dirty region is large (or
     /// unknown, after [`World::tick_reference`]).
-    fn relabel_global(&mut self) {
+    fn relabel_global<R: Recorder>(&mut self) {
+        let t_global = if R::TIMED {
+            Some(Stopwatch::start())
+        } else {
+            None
+        };
         let total = self.labels.len();
         for i in 0..total {
             self.uf[i] = i as u32;
@@ -901,7 +981,10 @@ impl World {
         }
         self.dirty_pins.clear();
         self.force_global = false;
-        self.global_relabels += 1;
+        if let Some(t) = t_global {
+            self.stats.metrics.observe(self.stats.t_global, t.micros());
+        }
+        self.stats.metrics.inc(self.stats.relabel_global);
     }
 
     /// Executes one synchronous round: circuits are computed from the current
@@ -909,9 +992,53 @@ impl World {
     /// beeps sent via [`World::beep`] are delivered to every partition set of
     /// their circuit, and the round counter advances.
     pub fn tick(&mut self) {
-        if self.relabel_pending() {
-            self.refresh_labels();
+        self.tick_with(&mut NullRecorder);
+    }
+
+    /// [`World::tick`] with a telemetry [`Recorder`] attached. Every
+    /// emission and timing site is gated on the recorder's associated
+    /// consts, so `tick()` (= `tick_with(&mut NullRecorder)`) pays for
+    /// none of it after monomorphization.
+    ///
+    /// With `R::TRACE` the recorder sees, in order: the net pin-config
+    /// deltas since the last relabel (read off the dirty-pin list before
+    /// the refresh consumes it — intermediate writes between ticks are
+    /// not observable, by design), the beeping gids, and a
+    /// [`RoundSummary`] carrying an order-independent delivery digest
+    /// (XOR of [`mix64`] over every delivered gid). Replay recomputes
+    /// the digest from its own labeling, so any divergence in circuit
+    /// structure or delivery surfaces at the exact round.
+    ///
+    /// Recording soundness: the trace captures relabel inputs only at
+    /// tick time, so between recorded ticks the caller must not force
+    /// relabels through diagnostic paths ([`World::circuit_count`],
+    /// [`World::pset_circuit`]) or [`World::tick_reference`] — those
+    /// consume dirty pins without emitting deltas.
+    pub fn tick_with<R: Recorder>(&mut self, rec: &mut R) {
+        let mut digest = 0u64;
+        if R::TRACE {
+            // Net config deltas since the last relabel, captured before
+            // the refresh consumes the dirty-pin list.
+            for i in 0..self.dirty_pins.len() {
+                let gid = self.dirty_pins[i].0;
+                rec.config_delta(gid, self.pin_pset[gid as usize]);
+            }
+            for &gid in &self.sent {
+                rec.beep(gid);
+                digest ^= mix64(gid as u64 ^ BEEP_DIGEST_SALT);
+            }
         }
+        let beeps = self.sent.len() as u32;
+        let relabel = if self.relabel_pending() {
+            self.refresh_labels::<R>()
+        } else {
+            RelabelKind::None
+        };
+        let t_propagate = if R::TIMED {
+            Some(Stopwatch::start())
+        } else {
+            None
+        };
         // Clear last round's deliveries (O(previous deliveries)).
         for &gid in &self.recv_set {
             self.recv.clear(gid as usize);
@@ -937,14 +1064,32 @@ impl World {
                 let gid = self.members[j];
                 self.recv.set(gid as usize);
                 self.recv_set.push(gid);
+                if R::TRACE {
+                    digest ^= mix64(gid as u64);
+                }
             }
         }
         for &root in &self.marked_roots {
             self.root_mark.clear(root as usize);
         }
         self.marked_roots.clear();
+        if let Some(t) = t_propagate {
+            self.stats
+                .metrics
+                .observe(self.stats.t_propagate, t.micros());
+        }
         self.rounds += 1;
         self.simulated += 1;
+        if R::TRACE {
+            rec.round_end(&RoundSummary {
+                round: self.rounds,
+                beeps,
+                delivered: self.recv_set.len() as u64,
+                digest,
+                relabel,
+                circuits: self.cached_circuits as u64,
+            });
+        }
     }
 
     /// The pre-refactor engine: one synchronous round via a full union-find
@@ -1046,7 +1191,7 @@ impl World {
     /// cached labeling; relabels only if the configuration changed.
     pub fn circuit_count(&mut self) -> usize {
         if self.relabel_pending() {
-            self.refresh_labels();
+            self.refresh_labels::<NullRecorder>();
         }
         self.cached_circuits
     }
@@ -1063,7 +1208,7 @@ impl World {
     /// Panics if `pset` is out of range for `v`.
     pub fn pset_circuit(&mut self, v: usize, pset: u16) -> u32 {
         if self.relabel_pending() {
-            self.refresh_labels();
+            self.refresh_labels::<NullRecorder>();
         }
         let gid = self.pset_gid(v, pset);
         self.labels[gid]
@@ -1216,6 +1361,139 @@ impl World {
             }
         }
         self.singleton_pin_config(v);
+    }
+
+    // ---- Recorded structure mutation.
+    //
+    // Pin-configuration changes need no recorder threading (the net
+    // deltas are read off the dirty-pin list at tick time), but structure
+    // edits change the *shape* replay must mirror, so each mutation gets
+    // a `_with` wrapper that emits the edit before applying it. Under
+    // `R::TRACE == false` the wrappers are identity-cost.
+
+    /// [`World::add_node`] with the append recorded.
+    pub fn add_node_with<R: Recorder>(&mut self, ports: usize, rec: &mut R) -> usize {
+        if R::TRACE {
+            rec.add_node(ports as u32);
+        }
+        self.add_node(ports)
+    }
+
+    /// [`World::connect`] with the edge recorded.
+    pub fn connect_with<R: Recorder>(
+        &mut self,
+        v: usize,
+        p: PortId,
+        w: usize,
+        q: PortId,
+        rec: &mut R,
+    ) {
+        if R::TRACE {
+            rec.connect(v as u32, p as u32, w as u32, q as u32);
+        }
+        self.connect(v, p, w, q);
+    }
+
+    /// [`World::disconnect`] with the severed port recorded.
+    pub fn disconnect_with<R: Recorder>(
+        &mut self,
+        v: usize,
+        p: PortId,
+        rec: &mut R,
+    ) -> (usize, PortId) {
+        if R::TRACE {
+            rec.disconnect(v as u32, p as u32);
+        }
+        self.disconnect(v, p)
+    }
+
+    /// [`World::isolate`] with the departure recorded as one event (the
+    /// implied disconnects and the singleton reset are replayed from it).
+    pub fn isolate_with<R: Recorder>(&mut self, v: usize, rec: &mut R) {
+        if R::TRACE {
+            rec.isolate(v as u32);
+        }
+        self.isolate(v);
+    }
+
+    // ---- Replay-side accessors (crate-internal; see `crate::replay`).
+    //
+    // Replay rebuilds a world from a trace header and drives it with the
+    // recorded deltas, so it needs a validated write path by *gid* (the
+    // trace speaks gids, not (node, port, link) triples) and read access
+    // to the cached labeling to recompute delivery digests.
+
+    /// Refreshes the labeling if pending and reports which flavor ran.
+    /// Replay's stand-in for the refresh a recorded tick performed.
+    pub(crate) fn replay_refresh(&mut self) -> RelabelKind {
+        if self.relabel_pending() {
+            self.refresh_labels::<NullRecorder>()
+        } else {
+            RelabelKind::None
+        }
+    }
+
+    /// Total number of pin/partition-set gids.
+    pub(crate) fn gid_count(&self) -> usize {
+        self.pin_pset.len()
+    }
+
+    /// The circuit root of `gid` under the cached labeling (callers must
+    /// refresh first).
+    pub(crate) fn label_of(&self, gid: usize) -> u32 {
+        self.labels[gid]
+    }
+
+    /// The membership bucket of circuit `root` (callers must refresh
+    /// first and pass a current root).
+    pub(crate) fn member_bucket(&self, root: usize) -> &[u32] {
+        &self.members[self.member_off[root] as usize..self.member_end[root] as usize]
+    }
+
+    /// The cached circuit count without triggering a relabel.
+    pub(crate) fn cached_circuit_count(&self) -> usize {
+        self.cached_circuits
+    }
+
+    /// Monotone epoch that advances on every relabel of either flavor —
+    /// replay keys its per-root digest memo on it.
+    pub(crate) fn relabel_epoch(&self) -> u64 {
+        self.global_relabels() + self.region_relabels()
+    }
+
+    /// Validated gid-addressed pin write: the replay-side mirror of
+    /// [`World::set_pin`]. Returns `false` (leaving the world untouched)
+    /// when `gid` is out of range or `pset` exceeds the owner's capacity,
+    /// instead of panicking — a corrupt trace must surface as an error.
+    ///
+    /// The caller holds a node cursor: recorded config deltas arrive in
+    /// near-sorted gid order (the recorder walks nodes in id order), so
+    /// the owner of the next gid is almost always the cursor node or its
+    /// successor — an O(1) check that replaces a binary search per delta
+    /// on the replay hot path. Any cursor value is sound; a stale one
+    /// only costs the fallback search.
+    pub(crate) fn set_pin_gid_hinted(&mut self, gid: u32, pset: u16, hint: &mut usize) -> bool {
+        let g = gid as usize;
+        if g >= self.pin_pset.len() {
+            return false;
+        }
+        let h = (*hint).min(self.base.len() - 2);
+        let v = if self.base[h] <= gid && gid < self.base[h + 1] {
+            h
+        } else if h + 2 < self.base.len() && self.base[h + 1] <= gid && gid < self.base[h + 2] {
+            h + 1
+        } else {
+            self.node_of_gid(gid)
+        };
+        *hint = v;
+        if (pset as usize) >= self.pset_capacity(v) {
+            return false;
+        }
+        if self.pin_pset[g] != pset {
+            self.pin_pset[g] = pset;
+            self.mark_pin_dirty(g, self.base[v]);
+        }
+        true
     }
 }
 

@@ -20,27 +20,62 @@
 //! exactly these hooks.
 
 use amoebot_grid::{AmoebotStructure, NodeId};
+use amoebot_telemetry::{CounterId, Metrics};
 
 use crate::spt::{shortest_path_tree, SptOutcome};
 
 /// Aggregate cost of algorithm restarts across the churn events of one
-/// scenario run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// scenario run, backed by the telemetry registry so a scenario's
+/// restart account folds into its metrics report for free.
+#[derive(Debug, Clone)]
 pub struct RestartCounter {
-    /// Number of restarts absorbed.
-    pub restarts: u64,
-    /// Total simulator rounds across all restarts.
-    pub rounds: u64,
-    /// Total beeps across all restarts.
-    pub beeps: u64,
+    metrics: Metrics,
+    restarts: CounterId,
+    rounds: CounterId,
+    beeps: CounterId,
+}
+
+impl Default for RestartCounter {
+    fn default() -> RestartCounter {
+        let mut metrics = Metrics::new();
+        let restarts = metrics.counter("spt_restarts");
+        let rounds = metrics.counter("spt_restart_rounds");
+        let beeps = metrics.counter("spt_restart_beeps");
+        RestartCounter {
+            metrics,
+            restarts,
+            rounds,
+            beeps,
+        }
+    }
 }
 
 impl RestartCounter {
     /// Folds one restart's cost into the aggregate.
     pub fn absorb(&mut self, rounds: u64, beeps: u64) {
-        self.restarts += 1;
-        self.rounds += rounds;
-        self.beeps += beeps;
+        self.metrics.inc(self.restarts);
+        self.metrics.add(self.rounds, rounds);
+        self.metrics.add(self.beeps, beeps);
+    }
+
+    /// Number of restarts absorbed.
+    pub fn restarts(&self) -> u64 {
+        self.metrics.get(self.restarts)
+    }
+
+    /// Total simulator rounds across all restarts.
+    pub fn rounds(&self) -> u64 {
+        self.metrics.get(self.rounds)
+    }
+
+    /// Total beeps across all restarts.
+    pub fn beeps(&self) -> u64 {
+        self.metrics.get(self.beeps)
+    }
+
+    /// The backing registry, for merging into a scenario report.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 }
 
@@ -127,13 +162,17 @@ mod tests {
         assert_eq!(r.source, NodeId(0));
         assert_eq!(r.dests, dests);
         assert!(validate_forest(&s, &[NodeId(0)], &dests, &r.outcome.parents).is_empty());
-        assert_eq!(counter.restarts, 1);
-        assert_eq!(counter.rounds, r.outcome.rounds);
-        let r1 = counter.rounds;
+        assert_eq!(counter.restarts(), 1);
+        assert_eq!(counter.rounds(), r.outcome.rounds);
+        assert_eq!(
+            counter.metrics().counter_value("spt_restart_rounds"),
+            counter.rounds()
+        );
+        let r1 = counter.rounds();
         // Second restart on the same snapshot accumulates.
         restart_spt(&s, Some(NodeId(0)), &dests, &mut counter);
-        assert_eq!(counter.restarts, 2);
-        assert_eq!(counter.rounds, 2 * r1);
+        assert_eq!(counter.restarts(), 2);
+        assert_eq!(counter.rounds(), 2 * r1);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! [`can_remove`]: amoebot_grid::StructureEditor::can_remove
 
 use amoebot_grid::{NodeId, ALL_DIRECTIONS};
+use amoebot_telemetry::{NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -104,20 +105,44 @@ impl ChurnPlan {
     ///
     /// Panics if `index >= self.events`.
     pub fn apply(&self, dw: &mut DynamicWorld, index: usize) -> AppliedEvent {
+        self.apply_with(dw, index, &mut NullRecorder)
+    }
+
+    /// [`ChurnPlan::apply`] with the structure edits recorded: every
+    /// insert/remove flows through the world's recorded mutation path,
+    /// and the event is tagged with its index and net counts so a trace
+    /// reader can attribute the edits to the schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.events`.
+    pub fn apply_with<R: Recorder>(
+        &self,
+        dw: &mut DynamicWorld,
+        index: usize,
+        rec: &mut R,
+    ) -> AppliedEvent {
         assert!(index < self.events, "event {index} outside the schedule");
         let mut rng = crate::derive_rng(self.seed, index as u64);
         let mut out = AppliedEvent::default();
         match self.family {
-            ChurnFamily::BoundaryGrowth => grow(dw, &mut rng, self.per_event, &mut out),
-            ChurnFamily::RandomDetach => detach(dw, &mut rng, self.per_event, &mut out),
-            ChurnFamily::CrashBursts => crash_burst(dw, &mut rng, self.per_event, &mut out),
+            ChurnFamily::BoundaryGrowth => grow(dw, &mut rng, self.per_event, &mut out, rec),
+            ChurnFamily::RandomDetach => detach(dw, &mut rng, self.per_event, &mut out, rec),
+            ChurnFamily::CrashBursts => crash_burst(dw, &mut rng, self.per_event, &mut out, rec),
             ChurnFamily::GrowShrink => {
                 if index.is_multiple_of(2) {
-                    grow(dw, &mut rng, self.per_event, &mut out)
+                    grow(dw, &mut rng, self.per_event, &mut out, rec)
                 } else {
-                    detach(dw, &mut rng, self.per_event, &mut out)
+                    detach(dw, &mut rng, self.per_event, &mut out, rec)
                 }
             }
+        }
+        if R::TRACE {
+            rec.churn_tag(
+                index as u32,
+                out.inserted.len() as u32,
+                out.removed.len() as u32,
+            );
         }
         out
     }
@@ -125,7 +150,13 @@ impl ChurnPlan {
 
 /// Attaches up to `k` amoebots at random boundary cells (random live
 /// anchor, random direction, retried against the safety gate).
-fn grow(dw: &mut DynamicWorld, rng: &mut StdRng, k: usize, out: &mut AppliedEvent) {
+fn grow<R: Recorder>(
+    dw: &mut DynamicWorld,
+    rng: &mut StdRng,
+    k: usize,
+    out: &mut AppliedEvent,
+    rec: &mut R,
+) {
     let budget = 20 * k.max(1);
     for _ in 0..budget {
         if out.inserted.len() >= k {
@@ -135,13 +166,19 @@ fn grow(dw: &mut DynamicWorld, rng: &mut StdRng, k: usize, out: &mut AppliedEven
         let d = ALL_DIRECTIONS[rng.gen_range(0..6)];
         let cell = dw.editor().coord(NodeId(anchor)).neighbor(d);
         if dw.can_insert(cell) {
-            out.inserted.push(dw.insert(cell));
+            out.inserted.push(dw.insert_with(cell, rec));
         }
     }
 }
 
 /// Detaches up to `k` uniformly random removable amoebots.
-fn detach(dw: &mut DynamicWorld, rng: &mut StdRng, k: usize, out: &mut AppliedEvent) {
+fn detach<R: Recorder>(
+    dw: &mut DynamicWorld,
+    rng: &mut StdRng,
+    k: usize,
+    out: &mut AppliedEvent,
+    rec: &mut R,
+) {
     let budget = 20 * k.max(1);
     for _ in 0..budget {
         if out.removed.len() >= k || dw.len() <= 1 {
@@ -149,7 +186,7 @@ fn detach(dw: &mut DynamicWorld, rng: &mut StdRng, k: usize, out: &mut AppliedEv
         }
         let victim = NodeId(dw.editor().live_ids()[rng.gen_range(0..dw.len())]);
         if dw.can_remove(victim) {
-            dw.remove(victim);
+            dw.remove_with(victim, rec);
             out.removed.push(victim);
         }
     }
@@ -158,7 +195,13 @@ fn detach(dw: &mut DynamicWorld, rng: &mut StdRng, k: usize, out: &mut AppliedEv
 /// Crashes up to `k` amoebots around a random epicenter, nearest-first.
 /// Removability changes as the burst eats inward, so the candidate window
 /// is rescanned a bounded number of passes.
-fn crash_burst(dw: &mut DynamicWorld, rng: &mut StdRng, k: usize, out: &mut AppliedEvent) {
+fn crash_burst<R: Recorder>(
+    dw: &mut DynamicWorld,
+    rng: &mut StdRng,
+    k: usize,
+    out: &mut AppliedEvent,
+    rec: &mut R,
+) {
     let epicenter = {
         let id = dw.editor().live_ids()[rng.gen_range(0..dw.len())];
         dw.editor().coord(NodeId(id))
@@ -181,7 +224,7 @@ fn crash_burst(dw: &mut DynamicWorld, rng: &mut StdRng, k: usize, out: &mut Appl
             }
             let v = NodeId(id);
             if dw.editor().is_alive(v) && dw.can_remove(v) {
-                dw.remove(v);
+                dw.remove_with(v, rec);
                 out.removed.push(v);
             }
         }

@@ -2,6 +2,7 @@
 
 use amoebot_circuits::{Topology, World};
 use amoebot_grid::{AmoebotStructure, Coord, NodeId, StructureEditor, ALL_DIRECTIONS};
+use amoebot_telemetry::{NullRecorder, Recorder};
 use std::collections::HashMap;
 
 /// A simulated world whose structure can churn at runtime.
@@ -85,14 +86,25 @@ impl DynamicWorld {
     ///
     /// Panics if [`DynamicWorld::can_insert`] is false for `coord`.
     pub fn insert(&mut self, coord: Coord) -> NodeId {
+        self.insert_with(coord, &mut NullRecorder)
+    }
+
+    /// [`DynamicWorld::insert`] with the structure edits recorded
+    /// (node append, if any, plus every spliced edge).
+    pub fn insert_with<R: Recorder>(&mut self, coord: Coord, rec: &mut R) -> NodeId {
         let (v, links) = self.editor.insert(coord);
         if v.index() >= self.world.topology().len() {
-            let appended = self.world.add_node(6);
+            let appended = self.world.add_node_with(6, rec);
             debug_assert_eq!(appended, v.index(), "id spaces out of sync");
         }
         for (d, peer) in links {
-            self.world
-                .connect(v.index(), d.index(), peer.index(), d.opposite().index());
+            self.world.connect_with(
+                v.index(),
+                d.index(),
+                peer.index(),
+                d.opposite().index(),
+                rec,
+            );
         }
         v
     }
@@ -105,11 +117,16 @@ impl DynamicWorld {
     ///
     /// Panics if [`DynamicWorld::can_remove`] is false for `v`.
     pub fn remove(&mut self, v: NodeId) {
+        self.remove_with(v, &mut NullRecorder)
+    }
+
+    /// [`DynamicWorld::remove`] with the departure recorded.
+    pub fn remove_with<R: Recorder>(&mut self, v: NodeId, rec: &mut R) {
         assert!(
             self.editor.can_remove(v),
             "node {v} is not removable from the structure"
         );
-        self.world.isolate(v.index());
+        self.world.isolate_with(v.index(), rec);
         self.editor.remove(v);
     }
 

@@ -10,7 +10,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use crate::run::{run_scenario, ScenarioResult};
+use amoebot_telemetry::{NullRecorder, Recorder};
+
+use crate::run::{run_scenario_with, ScenarioResult};
 use crate::spec::Scenario;
 
 /// How many worker threads to use: an explicit count, or one per
@@ -38,6 +40,19 @@ impl Threads {
 /// Runs every scenario, spreading them over `threads` workers, and returns
 /// the results in scenario order.
 pub fn run_batch(scenarios: &[Scenario], threads: Threads) -> Vec<ScenarioResult> {
+    run_batch_with::<NullRecorder>(scenarios, threads)
+}
+
+/// [`run_batch`] with each worker driving its scenarios through a fresh
+/// recorder of type `R` — [`amoebot_telemetry::TimedRecorder`] turns on
+/// the per-phase timers that `--metrics-json` and the timed sweep report
+/// surface. Trace-recording types are deliberately unsupported here: a
+/// batch interleaves scenarios, and a round trace must capture exactly
+/// one world.
+pub fn run_batch_with<R: Recorder + Default>(
+    scenarios: &[Scenario],
+    threads: Threads,
+) -> Vec<ScenarioResult> {
     let workers = threads.resolve().min(scenarios.len()).max(1);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<ScenarioResult>>> =
@@ -50,7 +65,7 @@ pub fn run_batch(scenarios: &[Scenario], threads: Threads) -> Vec<ScenarioResult
                 if i >= scenarios.len() {
                     break;
                 }
-                let result = run_scenario(&scenarios[i]);
+                let result = run_scenario_with(&scenarios[i], &mut R::default());
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }

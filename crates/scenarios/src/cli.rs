@@ -3,8 +3,11 @@
 //!
 //! ```text
 //! scenario-runner --seed 42 --count 20 [--threads N] [--family NAME]...
-//!                 [--out PATH] [--no-timing] [--list] [--quiet]
+//!                 [--out PATH] [--metrics-json PATH] [--no-timing]
+//!                 [--list] [--quiet]
 //! scenario-runner --sweep [--max-nodes N] [--out BENCH_sweep.json] ...
+//! scenario-runner --record-trace PATH [--family NAME] [--size N] [--seed N]
+//! scenario-runner --replay-trace PATH
 //! ```
 //!
 //! Every scenario is derived deterministically from `--seed`, executed in
@@ -18,19 +21,40 @@
 //! across the geometric ladder 1k → 10k → 100k → 1M (clipped by
 //! `--max-nodes` and per-family ceilings) and the report carries
 //! per-(family, size) throughput — the `BENCH_sweep.json` the CI perf
-//! gate diffs against `bench/baseline.json`.
+//! gate diffs against `bench/baseline.json`. Timed sweeps run with the
+//! phase timers on, so every rung additionally carries its engine metric
+//! breakdown (relabel counts, beep totals, per-phase micros).
+//!
+//! `--metrics-json PATH` writes the run's merged engine-metrics document
+//! (schema `spf-metrics-report/v1`) next to the main report; under
+//! `--no-timing` it is canonical (counters and gauges only, timers
+//! stripped).
+//!
+//! `--record-trace PATH` records a single scenario (`--family`, `--size`,
+//! `--seed`; blob-broadcast families only) as a compact binary round
+//! trace; `--replay-trace PATH` re-verifies such a trace against the live
+//! engine, failing loudly with the round and event index of the first
+//! divergence.
 //!
 //! Failures are never silent: per-scenario `FAIL` lines print even under
 //! `--quiet`, a `summary:` line always reports pass/fail counts, and the
-//! exit code is non-zero whenever any scenario fails cross-validation.
+//! exit code is non-zero whenever any scenario fails cross-validation
+//! (or a replay diverges).
 
+use std::io::Write;
 use std::process::ExitCode;
 
-use crate::batch::{run_batch, Threads};
-use crate::registry::default_registry;
-use crate::report::BatchReport;
+use amoebot_telemetry::TimedRecorder;
+
+use crate::batch::{run_batch, run_batch_with, Threads};
+use crate::record::record_scenario;
+use crate::registry::{default_registry, Registry};
+use crate::report::{metrics_report, BatchReport};
 use crate::run::ScenarioResult;
-use crate::sweep::{run_sweep, sweep_suite, SweepPoint, SweepReport, DEFAULT_SIZES};
+use crate::spec::{MicroWorkload, Scenario, Workload};
+use crate::sweep::{
+    run_sweep, run_sweep_with, sweep_suite, SweepPoint, SweepReport, DEFAULT_SIZES,
+};
 
 struct Args {
     seed: u64,
@@ -38,6 +62,11 @@ struct Args {
     threads: Threads,
     families: Vec<String>,
     out: Option<String>,
+    metrics_json: Option<String>,
+    record_trace: Option<String>,
+    replay_trace: Option<String>,
+    size: usize,
+    rounds: Option<usize>,
     timing: bool,
     list: bool,
     quiet: bool,
@@ -46,19 +75,27 @@ struct Args {
 }
 
 const USAGE: &str = "usage: scenario-runner [--seed N] [--count N] [--threads N] \
-     [--family NAME]... [--out PATH] [--no-timing] [--list] [--quiet]\n\
+     [--family NAME]... [--out PATH] [--metrics-json PATH] [--no-timing] [--list] [--quiet]\n\
      \x20      scenario-runner --sweep [--max-nodes N] [common flags]\n\
+     \x20      scenario-runner --record-trace PATH [--family NAME] [--size N] [--seed N]\n\
+     \x20      scenario-runner --replay-trace PATH\n\
      \n\
      --seed N       master seed for the randomized suite (default 42)\n\
      --count N      number of scenarios to run (default 20)\n\
      --threads N    worker threads (default: one per core)\n\
      --family NAME  restrict to a registry family (repeatable; see --list)\n\
      --out PATH     write the JSON report to PATH (default: stdout)\n\
-     --no-timing    canonical report: omit wall-clock fields\n\
+     --metrics-json PATH  write the merged engine-metrics JSON to PATH\n\
+     --no-timing    canonical report: omit wall-clock and timer fields\n\
      --list         list registered scenario families and exit\n\
      --quiet        suppress progress lines (failures still print)\n\
      --sweep        run the size sweep (1k/10k/100k/1M per sweepable family)\n\
-     --max-nodes N  clip the sweep ladder at N nodes (default 1000000)";
+     --max-nodes N  clip the sweep ladder at N nodes (default 1000000)\n\
+     --record-trace PATH  record one scenario as a binary round trace\n\
+     --size N       structure size for --record-trace (default 10000)\n\
+     --rounds N     recorded run length override: broadcast rounds, or churn\n\
+     \x20              events for blob-churn-broadcast (default: family-defined)\n\
+     --replay-trace PATH  re-verify a recorded trace and exit (0 ok, 1 diverged)";
 
 enum ParseOutcome {
     Run(Box<Args>),
@@ -66,13 +103,18 @@ enum ParseOutcome {
     Exit(u8),
 }
 
-fn parse_args(argv: &[String]) -> ParseOutcome {
+fn parse_args(argv: &[String], out: &mut dyn Write) -> ParseOutcome {
     let mut args = Args {
         seed: 42,
         count: 20,
         threads: Threads::Auto,
         families: Vec::new(),
         out: None,
+        metrics_json: None,
+        record_trace: None,
+        replay_trace: None,
+        size: 10_000,
+        rounds: None,
         timing: true,
         list: false,
         quiet: false,
@@ -86,8 +128,8 @@ fn parse_args(argv: &[String]) -> ParseOutcome {
                 match it.next() {
                     Some(v) => v.clone(),
                     None => {
-                        eprintln!("missing value for {}", $name);
-                        eprintln!("{USAGE}");
+                        let _ = writeln!(out, "missing value for {}", $name);
+                        let _ = writeln!(out, "{USAGE}");
                         return ParseOutcome::Exit(2);
                     }
                 }
@@ -101,8 +143,8 @@ fn parse_args(argv: &[String]) -> ParseOutcome {
                 match raw.parse() {
                     Ok(v) => v,
                     Err(_) => {
-                        eprintln!("invalid value for {}: {raw:?}", $name);
-                        eprintln!("{USAGE}");
+                        let _ = writeln!(out, "invalid value for {}: {raw:?}", $name);
+                        let _ = writeln!(out, "{USAGE}");
                         return ParseOutcome::Exit(2);
                     }
                 }
@@ -114,6 +156,11 @@ fn parse_args(argv: &[String]) -> ParseOutcome {
             "--threads" => args.threads = Threads::Count(num!("--threads")),
             "--family" => args.families.push(value!("--family")),
             "--out" => args.out = Some(value!("--out")),
+            "--metrics-json" => args.metrics_json = Some(value!("--metrics-json")),
+            "--record-trace" => args.record_trace = Some(value!("--record-trace")),
+            "--replay-trace" => args.replay_trace = Some(value!("--replay-trace")),
+            "--size" => args.size = num!("--size"),
+            "--rounds" => args.rounds = Some(num!("--rounds")),
             "--no-timing" => args.timing = false,
             "--list" => args.list = true,
             "--quiet" => args.quiet = true,
@@ -125,8 +172,8 @@ fn parse_args(argv: &[String]) -> ParseOutcome {
                 return ParseOutcome::Exit(0);
             }
             other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("{USAGE}");
+                let _ = writeln!(out, "unknown argument: {other}");
+                let _ = writeln!(out, "{USAGE}");
                 return ParseOutcome::Exit(2);
             }
         }
@@ -134,15 +181,20 @@ fn parse_args(argv: &[String]) -> ParseOutcome {
     ParseOutcome::Run(Box::new(args))
 }
 
-fn write_report(rendered: &str, out: &Option<String>, quiet: bool) -> Result<(), u8> {
-    match out {
+fn write_report(
+    rendered: &str,
+    target: &Option<String>,
+    quiet: bool,
+    out: &mut dyn Write,
+) -> Result<(), u8> {
+    match target {
         Some(path) => {
             if let Err(e) = std::fs::write(path, rendered) {
-                eprintln!("cannot write {path}: {e}");
+                let _ = writeln!(out, "cannot write {path}: {e}");
                 return Err(2);
             }
             if !quiet {
-                eprintln!("report written to {path}");
+                let _ = writeln!(out, "report written to {path}");
             }
         }
         None => print!("{rendered}"),
@@ -150,13 +202,41 @@ fn write_report(rendered: &str, out: &Option<String>, quiet: bool) -> Result<(),
     Ok(())
 }
 
+/// Writes the merged `spf-metrics-report/v1` document for `results` to
+/// `path` (canonical under `--no-timing`).
+fn write_metrics_json(
+    path: &str,
+    results: &[ScenarioResult],
+    timing: bool,
+    quiet: bool,
+    out: &mut dyn Write,
+) -> Result<(), u8> {
+    let rendered = metrics_report(results, timing).render_pretty();
+    if let Err(e) = std::fs::write(path, &rendered) {
+        let _ = writeln!(out, "cannot write {path}: {e}");
+        return Err(2);
+    }
+    if !quiet {
+        let _ = writeln!(out, "metrics written to {path}");
+    }
+    Ok(())
+}
+
 /// Runs the CLI against an explicit argument list (everything after the
 /// binary name) and returns the process exit code: `0` all scenarios
-/// passed, `1` at least one failed cross-validation, `2` usage or I/O
-/// error. Extracted from `main` so the exit-code contract is testable —
-/// CI leans on it to catch correctness breaks.
+/// passed (or the replayed trace verified), `1` at least one failure,
+/// `2` usage or I/O error. Diagnostics go to stderr; see
+/// [`run_with_output`] for the testable sink-injected form.
 pub fn run(argv: &[String]) -> u8 {
-    let args = match parse_args(argv) {
+    run_with_output(argv, &mut std::io::stderr())
+}
+
+/// [`run`] with every diagnostic line (progress, FAIL lines, the final
+/// `summary:`) routed to `out` instead of stderr, so tests can assert on
+/// the exact output contract — in particular that `--quiet` never
+/// swallows FAIL lines or the summary, in batch *and* sweep mode.
+pub fn run_with_output(argv: &[String], out: &mut dyn Write) -> u8 {
+    let args = match parse_args(argv, out) {
         ParseOutcome::Run(args) => args,
         ParseOutcome::Exit(code) => return code,
     };
@@ -183,21 +263,30 @@ pub fn run(argv: &[String]) -> u8 {
         return 0;
     }
 
+    if let Some(path) = &args.replay_trace {
+        return run_replay_mode(path, out);
+    }
+
     for name in &args.families {
         if registry.get(name).is_none() {
-            eprintln!("unknown scenario family {name:?} (see --list)");
+            let _ = writeln!(out, "unknown scenario family {name:?} (see --list)");
             return 2;
         }
     }
 
+    if args.record_trace.is_some() {
+        return run_record_mode(&args, &registry, out);
+    }
+
     let threads = args.threads.resolve();
     if args.sweep {
-        return run_sweep_mode(&args, &registry, threads);
+        return run_sweep_mode(&args, &registry, threads, out);
     }
 
     let scenarios = registry.random_suite(args.seed, args.count, &args.families);
     if !args.quiet {
-        eprintln!(
+        let _ = writeln!(
+            out,
             "running {} scenarios (seed {}) on {} threads...",
             scenarios.len(),
             args.seed,
@@ -205,16 +294,23 @@ pub fn run(argv: &[String]) -> u8 {
         );
     }
 
-    let results = run_batch(&scenarios, Threads::Count(threads));
+    // Phase timers cost two clock reads per phase, so they are on only
+    // when a metrics document was asked for (and timing is on at all).
+    let timed = args.timing && args.metrics_json.is_some();
+    let results = if timed {
+        run_batch_with::<TimedRecorder>(&scenarios, Threads::Count(threads))
+    } else {
+        run_batch(&scenarios, Threads::Count(threads))
+    };
     for r in &results {
         // FAIL lines are diagnostics, not progress: they print even under
         // --quiet so a red CI batch always names the broken scenarios.
         if !r.pass || !args.quiet {
-            eprintln!("{}", batch_line(r));
+            let _ = writeln!(out, "{}", batch_line(r));
         }
         if !r.pass {
             for c in r.checks.iter().filter(|c| !c.pass) {
-                eprintln!("       check {}: {}", c.name, c.detail);
+                let _ = writeln!(out, "       check {}: {}", c.name, c.detail);
             }
         }
     }
@@ -224,23 +320,35 @@ pub fn run(argv: &[String]) -> u8 {
         threads,
         results,
     };
-    let rendered = report.to_json(args.timing).render_pretty();
-    if let Err(code) = write_report(&rendered, &args.out, args.quiet) {
-        return code;
-    }
-
     let (passed, failed) = (report.passed(), report.failed());
-    eprintln!(
+    // The summary prints before any report I/O, so even a bad --out path
+    // never swallows the batch verdict.
+    let _ = writeln!(
+        out,
         "summary: {passed}/{} scenarios passed, {failed} failed",
         report.results.len()
     );
+    let rendered = report.to_json(args.timing).render_pretty();
+    if let Err(code) = write_report(&rendered, &args.out, args.quiet, out) {
+        return code;
+    }
+    if let Some(path) = &args.metrics_json {
+        if let Err(code) = write_metrics_json(path, &report.results, args.timing, args.quiet, out) {
+            return code;
+        }
+    }
+
     if failed > 0 {
         return 1;
     }
     if report.results.is_empty() {
-        eprintln!("warning: no scenarios were run (--count 0); nothing was validated");
+        let _ = writeln!(
+            out,
+            "warning: no scenarios were run (--count 0); nothing was validated"
+        );
     } else if !args.quiet {
-        eprintln!(
+        let _ = writeln!(
+            out,
             "all {} scenarios passed cross-validation ({} rounds simulated)",
             report.results.len(),
             report.results.iter().map(|r| r.rounds).sum::<u64>()
@@ -249,7 +357,7 @@ pub fn run(argv: &[String]) -> u8 {
     0
 }
 
-fn run_sweep_mode(args: &Args, registry: &crate::registry::Registry, threads: usize) -> u8 {
+fn run_sweep_mode(args: &Args, registry: &Registry, threads: usize, out: &mut dyn Write) -> u8 {
     let suite = sweep_suite(
         registry,
         args.seed,
@@ -258,28 +366,37 @@ fn run_sweep_mode(args: &Args, registry: &crate::registry::Registry, threads: us
         &args.families,
     );
     if suite.is_empty() {
-        eprintln!(
+        let _ = writeln!(
+            out,
             "no sweep rungs selected (families: {:?}, max-nodes {}); see --list",
             args.families, args.max_nodes
         );
         return 2;
     }
     if !args.quiet {
-        eprintln!(
+        let _ = writeln!(
+            out,
             "sweeping {} (family, size) rungs up to {} nodes (seed {}) on {threads} threads...",
             suite.len(),
             args.max_nodes,
             args.seed
         );
     }
-    let entries = run_sweep(&suite, Threads::Count(threads));
+    // Timed sweeps keep the phase timers on: BENCH_sweep.json is the
+    // perf-gate artifact, and its per-rung metric breakdown is what lets
+    // a regression name the phase that moved.
+    let entries = if args.timing {
+        run_sweep_with::<TimedRecorder>(&suite, Threads::Count(threads))
+    } else {
+        run_sweep(&suite, Threads::Count(threads))
+    };
     for (p, r) in &entries {
         if !r.pass || !args.quiet {
-            eprintln!("{}", sweep_line(p, r));
+            let _ = writeln!(out, "{}", sweep_line(p, r));
         }
         if !r.pass {
             for c in r.checks.iter().filter(|c| !c.pass) {
-                eprintln!("       check {}: {}", c.name, c.detail);
+                let _ = writeln!(out, "       check {}: {}", c.name, c.detail);
             }
         }
     }
@@ -289,19 +406,146 @@ fn run_sweep_mode(args: &Args, registry: &crate::registry::Registry, threads: us
         threads,
         entries,
     };
-    let rendered = report.to_json(args.timing).render_pretty();
-    if let Err(code) = write_report(&rendered, &args.out, args.quiet) {
-        return code;
-    }
     let (passed, failed) = (report.passed(), report.failed());
-    eprintln!(
+    // Like the batch path: the sweep verdict prints before report I/O,
+    // so --quiet plus a bad --out can never swallow it.
+    let _ = writeln!(
+        out,
         "summary: {passed}/{} sweep rungs passed, {failed} failed",
         report.entries.len()
     );
+    let rendered = report.to_json(args.timing).render_pretty();
+    if let Err(code) = write_report(&rendered, &args.out, args.quiet, out) {
+        return code;
+    }
+    if let Some(path) = &args.metrics_json {
+        let results: Vec<ScenarioResult> = report.entries.iter().map(|(_, r)| r.clone()).collect();
+        if let Err(code) = write_metrics_json(path, &results, args.timing, args.quiet, out) {
+            return code;
+        }
+    }
     if failed > 0 {
         return 1;
     }
     0
+}
+
+/// `--record-trace PATH`: run one sized scenario with the trace recorder
+/// attached and persist the binary round trace.
+fn run_record_mode(args: &Args, registry: &Registry, out: &mut dyn Write) -> u8 {
+    let path = args.record_trace.as_deref().expect("record mode");
+    let family = match args.families.as_slice() {
+        [] => "blob-broadcast",
+        [one] => one.as_str(),
+        _ => {
+            let _ = writeln!(
+                out,
+                "--record-trace records a single scenario; pass at most one --family"
+            );
+            return 2;
+        }
+    };
+    let fam = registry.get(family).expect("family validated above");
+    let scenario = fam
+        .build_sized(args.seed, args.size)
+        .unwrap_or_else(|| fam.build(args.seed));
+    // Longer recorded runs are where replay's amortization shows: the
+    // sized builds fix a short sweep-friendly run, so record mode lets
+    // the run length be dialed up independently.
+    let scenario = match (args.rounds, &scenario.workload) {
+        (Some(len), Workload::Micro(MicroWorkload::BlobBroadcast { n, .. })) => Scenario::micro(
+            family,
+            scenario.seed,
+            MicroWorkload::BlobBroadcast { n: *n, rounds: len },
+        ),
+        (Some(len), Workload::Micro(MicroWorkload::BlobChurnBroadcast { n, per_event, .. })) => {
+            Scenario::micro(
+                family,
+                scenario.seed,
+                MicroWorkload::BlobChurnBroadcast {
+                    n: *n,
+                    events: len,
+                    per_event: *per_event,
+                },
+            )
+        }
+        _ => scenario,
+    };
+    let (result, bytes) = match record_scenario(&scenario) {
+        Ok(ok) => ok,
+        Err(msg) => {
+            let _ = writeln!(out, "cannot record: {msg}");
+            return 2;
+        }
+    };
+    if let Err(e) = std::fs::write(path, &bytes) {
+        let _ = writeln!(out, "cannot write {path}: {e}");
+        return 2;
+    }
+    let _ = writeln!(out, "{}", batch_line(&result));
+    if !result.pass {
+        for c in result.checks.iter().filter(|c| !c.pass) {
+            let _ = writeln!(out, "       check {}: {}", c.name, c.detail);
+        }
+    }
+    if !args.quiet {
+        let _ = writeln!(
+            out,
+            "trace written to {path} ({} bytes, {} rounds)",
+            bytes.len(),
+            result.rounds
+        );
+    }
+    if let Some(mpath) = &args.metrics_json {
+        if let Err(code) = write_metrics_json(
+            mpath,
+            std::slice::from_ref(&result),
+            args.timing,
+            args.quiet,
+            out,
+        ) {
+            return code;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "summary: {}/1 scenarios passed, {} failed",
+        u8::from(result.pass),
+        u8::from(!result.pass)
+    );
+    u8::from(!result.pass)
+}
+
+/// `--replay-trace PATH`: re-verify a recorded round trace against the
+/// live engine. Exit 0 on a clean verification, 1 on divergence or a
+/// malformed trace (the message carries the round and event index), 2 on
+/// I/O errors.
+fn run_replay_mode(path: &str, out: &mut dyn Write) -> u8 {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            let _ = writeln!(out, "cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let start = std::time::Instant::now();
+    match amoebot_circuits::replay_trace(&bytes) {
+        Ok(rep) => {
+            let _ = writeln!(
+                out,
+                "replay ok: {path}: {} nodes, {} rounds, {} events verified in {} us",
+                rep.nodes,
+                rep.rounds,
+                rep.events,
+                start.elapsed().as_micros(),
+            );
+            0
+        }
+        Err(e) => {
+            let _ = writeln!(out, "replay FAILED: {path}: {e}");
+            1
+        }
+    }
 }
 
 /// One batch progress/diagnostic line. FAIL lines carry the scenario
@@ -359,6 +603,21 @@ mod tests {
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Runs the CLI with a captured sink and returns `(exit, output)`.
+    fn run_captured(list: &[&str]) -> (u8, String) {
+        let mut sink = Vec::new();
+        let code = run_with_output(&args(list), &mut sink);
+        (
+            code,
+            String::from_utf8(sink).expect("diagnostics are UTF-8"),
+        )
+    }
+
+    /// A collision-free scratch path under the system temp dir.
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("spf-cli-test-{}-{tag}", std::process::id()))
     }
 
     #[test]
@@ -425,6 +684,190 @@ mod tests {
     fn sweep_with_no_rungs_exits_two() {
         let code = run(&args(&["--sweep", "--family", "selftest-fail", "--quiet"]));
         assert_eq!(code, 2);
+    }
+
+    /// Satellite: `--quiet` must never swallow the `summary:` line — in
+    /// sweep mode as much as in batch mode.
+    #[test]
+    fn quiet_sweep_still_prints_the_summary() {
+        let (code, output) = run_captured(&[
+            "--sweep",
+            "--max-nodes",
+            "1000",
+            "--family",
+            "blob-broadcast",
+            "--quiet",
+            "--no-timing",
+            "--out",
+            "/dev/null",
+        ]);
+        assert_eq!(code, 0);
+        assert!(
+            output.contains("summary:"),
+            "quiet sweep swallowed the summary: {output:?}"
+        );
+        assert!(
+            !output.contains("sweeping"),
+            "quiet sweep still printed progress: {output:?}"
+        );
+    }
+
+    /// Satellite: `--quiet` must never swallow FAIL lines either.
+    #[test]
+    fn quiet_batch_still_prints_fail_lines_and_summary() {
+        let (code, output) = run_captured(&[
+            "--family",
+            "selftest-fail",
+            "--count",
+            "1",
+            "--quiet",
+            "--no-timing",
+            "--out",
+            "/dev/null",
+        ]);
+        assert_eq!(code, 1);
+        assert!(
+            output.contains("FAIL"),
+            "no FAIL line under --quiet: {output:?}"
+        );
+        assert!(
+            output.contains("summary:"),
+            "no summary under --quiet: {output:?}"
+        );
+    }
+
+    /// Record → replay round trip through the CLI, plus the corruption
+    /// contract: a flipped byte is rejected with round + event index.
+    #[test]
+    fn record_replay_roundtrip_and_corruption() {
+        let trace = temp_path("trace.bin");
+        let trace_s = trace.to_str().unwrap();
+        let (code, output) = run_captured(&[
+            "--record-trace",
+            trace_s,
+            "--family",
+            "blob-broadcast",
+            "--size",
+            "300",
+            "--seed",
+            "9",
+            "--quiet",
+        ]);
+        assert_eq!(code, 0, "recording failed: {output}");
+        let (code, output) = run_captured(&["--replay-trace", trace_s]);
+        assert_eq!(code, 0, "replay failed: {output}");
+        assert!(output.contains("replay ok"), "{output:?}");
+
+        // Corrupt one byte in the middle of the blob: replay must fail
+        // with an error naming the round and event index.
+        let mut bytes = std::fs::read(&trace).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&trace, &bytes).unwrap();
+        let (code, output) = run_captured(&["--replay-trace", trace_s]);
+        assert_eq!(code, 1, "corrupted trace verified cleanly: {output}");
+        assert!(
+            output.contains("round") && output.contains("event"),
+            "divergence report must carry round + event index: {output:?}"
+        );
+        let _ = std::fs::remove_file(&trace);
+    }
+
+    #[test]
+    fn replaying_a_missing_file_exits_two() {
+        let (code, output) = run_captured(&["--replay-trace", "/no/such/trace.bin"]);
+        assert_eq!(code, 2);
+        assert!(output.contains("cannot read"), "{output:?}");
+    }
+
+    #[test]
+    fn recording_an_unrecordable_family_exits_two() {
+        let trace = temp_path("unrecordable.bin");
+        let (code, output) = run_captured(&[
+            "--record-trace",
+            trace.to_str().unwrap(),
+            "--family",
+            "selftest-fail",
+        ]);
+        assert_eq!(code, 2);
+        assert!(output.contains("not recordable"), "{output:?}");
+    }
+
+    /// `--metrics-json` writes the merged metrics document; canonical
+    /// (no timers) under `--no-timing`, timers present otherwise.
+    #[test]
+    fn metrics_json_is_written_and_respects_timing() {
+        let path = temp_path("metrics.json");
+        let path_s = path.to_str().unwrap();
+        let (code, _) = run_captured(&[
+            "--family",
+            "blob-broadcast",
+            "--count",
+            "2",
+            "--quiet",
+            "--no-timing",
+            "--out",
+            "/dev/null",
+            "--metrics-json",
+            path_s,
+        ]);
+        assert_eq!(code, 0);
+        let canonical = std::fs::read_to_string(&path).unwrap();
+        assert!(canonical.contains(crate::report::METRICS_SCHEMA));
+        assert!(canonical.contains("relabel_global"));
+        assert!(!canonical.contains("timers"));
+
+        let (code, _) = run_captured(&[
+            "--family",
+            "blob-broadcast",
+            "--count",
+            "2",
+            "--quiet",
+            "--out",
+            "/dev/null",
+            "--metrics-json",
+            path_s,
+        ]);
+        assert_eq!(code, 0);
+        let timed = std::fs::read_to_string(&path).unwrap();
+        assert!(timed.contains("timers"));
+        assert!(
+            timed.contains("phase_propagate_micros"),
+            "timed metrics must carry the phase timers: {timed}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite: a canonical metrics document is byte-stable across
+    /// runs and thread counts.
+    #[test]
+    fn canonical_metrics_json_is_deterministic() {
+        let a = temp_path("metrics-a.json");
+        let b = temp_path("metrics-b.json");
+        for (path, threads) in [(&a, "1"), (&b, "4")] {
+            let (code, _) = run_captured(&[
+                "--seed",
+                "21",
+                "--count",
+                "4",
+                "--threads",
+                threads,
+                "--quiet",
+                "--no-timing",
+                "--out",
+                "/dev/null",
+                "--metrics-json",
+                path.to_str().unwrap(),
+            ]);
+            assert_eq!(code, 0);
+        }
+        assert_eq!(
+            std::fs::read_to_string(&a).unwrap(),
+            std::fs::read_to_string(&b).unwrap(),
+            "canonical metrics documents must not depend on thread count"
+        );
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
     }
 
     /// Satellite: FAIL lines carry the seed, in batch and sweep form, so

@@ -37,6 +37,7 @@ pub mod batch;
 pub mod cli;
 pub mod experiments;
 pub mod json;
+pub mod record;
 pub mod registry;
 pub mod report;
 pub mod run;
@@ -44,9 +45,10 @@ pub mod spec;
 pub mod sweep;
 
 pub use batch::{run_batch, Threads};
+pub use record::{record_scenario, recordable};
 pub use registry::{default_registry, Family, Registry};
 pub use report::BatchReport;
-pub use run::{run_scenario, CheckResult, ScenarioResult};
+pub use run::{run_scenario, run_scenario_with, CheckResult, ScenarioResult};
 pub use spec::{
     MicroWorkload, PlacementSpec, Scenario, StructureAlgorithm, StructureSpec, Workload,
 };

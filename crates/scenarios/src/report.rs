@@ -10,11 +10,66 @@
 //! * the **timed** report (`include_timing = true`) adds per-scenario and
 //!   total `wall_micros` for performance tracking.
 
+use amoebot_telemetry::Metrics;
+
 use crate::json::Json;
 use crate::run::ScenarioResult;
 
 /// Schema identifier embedded in every report.
 pub const SCHEMA: &str = "spf-scenario-report/v1";
+
+/// Schema identifier of the standalone `--metrics-json` document.
+pub const METRICS_SCHEMA: &str = "spf-metrics-report/v1";
+
+/// Renders one metrics registry as a JSON object. Counters and gauges are
+/// deterministic and always included (sorted by name); timers are
+/// wall-clock derived and appear only with `include_timing`, so the
+/// no-timing rendering stays byte-stable across runs.
+pub fn metrics_to_json(m: &Metrics, include_timing: bool) -> Json {
+    let mut counters = Json::object();
+    for (name, v) in m.counters_sorted() {
+        counters = counters.field(name, v);
+    }
+    let mut doc = Json::object().field("counters", counters);
+    let gauges = m.gauges_sorted();
+    if !gauges.is_empty() {
+        let mut g = Json::object();
+        for (name, v) in gauges {
+            g = g.field(name, v);
+        }
+        doc = doc.field("gauges", g);
+    }
+    if include_timing {
+        let mut timers = Json::object();
+        for (name, h) in m.timers_sorted() {
+            timers = timers.field(
+                name,
+                Json::object()
+                    .field("count", h.count)
+                    .field("sum", h.sum)
+                    .field("min", h.min)
+                    .field("max", h.max),
+            );
+        }
+        doc = doc.field("timers", timers);
+    }
+    doc
+}
+
+/// Builds the standalone `--metrics-json` document: the merge of every
+/// result's registry, next to the scenario count it aggregates. With
+/// `include_timing` disabled the document is canonical (counters and
+/// gauges only).
+pub fn metrics_report(results: &[ScenarioResult], include_timing: bool) -> Json {
+    let mut merged = Metrics::new();
+    for r in results {
+        merged.merge(&r.metrics);
+    }
+    Json::object()
+        .field("schema", METRICS_SCHEMA)
+        .field("scenarios", results.len())
+        .field("metrics", metrics_to_json(&merged, include_timing))
+}
 
 /// An aggregated batch outcome.
 #[derive(Debug, Clone)]
@@ -72,6 +127,9 @@ impl BatchReport {
                     .field("beeps", r.beeps);
                 if include_timing {
                     doc = doc.field("wall_micros", r.wall_micros);
+                }
+                if !r.metrics.is_empty() {
+                    doc = doc.field("metrics", metrics_to_json(&r.metrics, include_timing));
                 }
                 doc.field("pass", r.pass)
                     .field("checks", Json::Array(checks))

@@ -18,6 +18,7 @@ use amoebot_spf::links::{FWD_PRIMARY, FWD_SECONDARY, LINKS, SYNC};
 use amoebot_spf::primitives::{centroid_decomposition, elect, q_centroids, root_and_prune};
 use amoebot_spf::spt::shortest_path_tree;
 use amoebot_spf::Tree;
+use amoebot_telemetry::{Metrics, NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore};
 
@@ -86,10 +87,25 @@ pub struct ScenarioResult {
     pub checks: Vec<CheckResult>,
     /// Whether all checks passed.
     pub pass: bool,
+    /// Engine telemetry accumulated by the run: relabel counters, SPT
+    /// restart totals and — when the run was driven with a timing
+    /// recorder — per-phase timers. Empty for workloads that own no
+    /// instrumented world.
+    pub metrics: Metrics,
 }
 
 /// Runs one scenario start to finish: materialize, execute, cross-validate.
 pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
+    run_scenario_with(scenario, &mut NullRecorder)
+}
+
+/// [`run_scenario`] with an explicit [`Recorder`] driving the engine's
+/// instrumentation: a timing recorder populates the result's phase
+/// timers, a trace recorder captures a replayable round trace. Event
+/// recording covers the micro workloads that own a circuit world end to
+/// end (the blob broadcast families); structure workloads run their
+/// algorithm-internal simulators and ignore the recorder's trace side.
+pub fn run_scenario_with<R: Recorder>(scenario: &Scenario, rec: &mut R) -> ScenarioResult {
     let start = Instant::now();
     let mut outcome = match &scenario.workload {
         Workload::Structure {
@@ -103,7 +119,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
             let dst = dests.materialize(&s, &mut derive_rng(scenario.seed, 2));
             run_structure_workload(&s, &src, &dst, *algorithm)
         }
-        Workload::Micro(micro) => run_micro(*micro, scenario.seed),
+        Workload::Micro(micro) => run_micro(*micro, scenario.seed, rec),
     };
     outcome.wall_micros = start.elapsed().as_micros() as u64;
     outcome.family = scenario.family.clone();
@@ -125,7 +141,30 @@ fn blank_result() -> ScenarioResult {
         wall_micros: 0,
         checks: Vec::new(),
         pass: false,
+        metrics: Metrics::new(),
     }
+}
+
+/// Feeds `world`'s complete current wiring to a trace recorder (each
+/// edge once, from its lower endpoint); compiles away unless `R::TRACE`.
+pub(crate) fn emit_topology<R: Recorder>(world: &World, rec: &mut R) {
+    if !R::TRACE {
+        return;
+    }
+    let topo = world.topology();
+    let n = topo.len();
+    let node_ports: Vec<u32> = (0..n).map(|v| topo.ports_len(v) as u32).collect();
+    let mut edges: Vec<(u32, u32, u32, u32)> = Vec::new();
+    for v in 0..n {
+        for p in 0..topo.ports_len(v) {
+            if let Some((w, q)) = topo.peer(v, p) {
+                if v < w {
+                    edges.push((v as u32, p as u32, w as u32, q as u32));
+                }
+            }
+        }
+    }
+    rec.topology(world.links_per_edge() as u32, &node_ports, &edges);
 }
 
 /// Cross-validates a parent forest against the centralized BFS ground
@@ -260,6 +299,7 @@ fn execute_structure(
             let forest = line_forest(&mut world, &chain, &is_source);
             r.rounds = world.rounds();
             r.beeps = world.beeps_sent();
+            r.metrics.merge(world.metrics());
             let parents: Vec<Option<NodeId>> = forest
                 .parents
                 .iter()
@@ -305,7 +345,7 @@ pub fn random_tree_and_q(n: usize, q_size: usize, rng: &mut StdRng) -> (World, T
     (world, tree, q)
 }
 
-fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
+fn run_micro<R: Recorder>(micro: MicroWorkload, seed: u64, rec: &mut R) -> ScenarioResult {
     let mut r = blank_result();
     match micro {
         MicroWorkload::PascChain { m } => {
@@ -317,6 +357,7 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
             r.n = m;
             r.rounds = world.rounds();
             r.beeps = world.beeps_sent();
+            r.metrics.merge(world.metrics());
             let ok = values.iter().enumerate().all(|(i, &v)| v == i as u64);
             r.checks = vec![CheckResult::from_bool(
                 "pasc-values-are-distances",
@@ -342,6 +383,7 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
             r.n = n;
             r.rounds = world.rounds();
             r.beeps = world.beeps_sent();
+            r.metrics.merge(world.metrics());
             // Centralized ground truth: depth in the balanced binary tree.
             let mut bad = 0usize;
             for v in 0..n {
@@ -380,6 +422,7 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
             r.k = w.iter().filter(|&&b| b).count().max(1);
             r.rounds = world.rounds();
             r.beeps = world.beeps_sent();
+            r.metrics.merge(world.metrics());
             // Centralized ground truth: inclusive weighted prefix sums.
             let mut acc = 0u64;
             let mut bad = 0usize;
@@ -405,6 +448,7 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
             r.k = qs.iter().filter(|&&b| b).count();
             r.rounds = world.rounds();
             r.beeps = world.beeps_sent();
+            r.metrics.merge(world.metrics());
             // Corollary 29: |A_Q| <= |Q| - 1.
             let a = rp.augmentation_set().len();
             r.checks = vec![
@@ -428,6 +472,7 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
             r.k = qs.iter().filter(|&&b| b).count();
             r.rounds = world.rounds() - before;
             r.beeps = world.beeps_sent();
+            r.metrics.merge(world.metrics());
             // The winner exists and is a member of Q.
             let ok = matches!(winners.first(), Some(Some(w)) if qs[*w]);
             r.checks = vec![CheckResult::from_bool("winner-in-q", ok, || {
@@ -442,6 +487,7 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
             r.k = qs.iter().filter(|&&b| b).count();
             r.rounds = world.rounds();
             r.beeps = world.beeps_sent();
+            r.metrics.merge(world.metrics());
             // Cross-validate against the centralized definition: a Q node is
             // a Q-centroid iff every component of T - u holds at most |Q|/2
             // of Q.
@@ -491,6 +537,7 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
             r.k = qs.iter().filter(|&&b| b).count();
             r.rounds = world.rounds() - before;
             r.beeps = world.beeps_sent();
+            r.metrics.merge(world.metrics());
             // Lemma 31: the decomposition depth is O(log |Q'|); with the
             // exact halving argument it is at most log2(|Q'|) + 1.
             let qp_size = qp.iter().filter(|&&b| b).count();
@@ -509,6 +556,7 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
             for v in 0..n {
                 world.global_pin_config(v);
             }
+            emit_topology(&world, rec);
             // Deterministically spread the broadcast origins over the
             // structure (Fibonacci-hash stride) so consecutive rounds hit
             // different cache-distant nodes.
@@ -516,7 +564,7 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
             for round in 0..rounds {
                 let origin = (round.wrapping_mul(0x9E3779B9)) % n;
                 world.beep(origin, 0);
-                world.tick();
+                world.tick_with(rec);
                 for v in 0..n {
                     missed += usize::from(!world.received(v, 0));
                 }
@@ -524,6 +572,7 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
             r.n = n;
             r.rounds = world.rounds();
             r.beeps = world.beeps_sent();
+            r.metrics.merge(world.metrics());
             r.checks = vec![CheckResult::from_bool(
                 "broadcast-reaches-all",
                 missed == 0,
@@ -545,6 +594,7 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
             for v in 0..n {
                 dw.world_mut().global_pin_config(v);
             }
+            emit_topology(dw.world(), rec);
             let family = *crate::spec::pick(&mut derive_rng(seed, 5), &ALL_CHURN_FAMILIES);
             // An explicit schedule seed, surfaced in every failure detail:
             // together with the event index it reproduces the failing
@@ -555,7 +605,7 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
             let mut broadcast_fail: Option<String> = None;
             let mut holes_fail: Option<String> = None;
             for e in 0..events {
-                let applied = plan.apply(&mut dw, e);
+                let applied = plan.apply_with(&mut dw, e, rec);
                 for v in &applied.inserted {
                     dw.world_mut().global_pin_config(v.index());
                 }
@@ -582,7 +632,7 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
                 // span the churned structure.
                 let origin = dw.editor().live_ids()[0] as usize;
                 dw.world_mut().beep(origin, 0);
-                dw.world_mut().tick();
+                dw.world_mut().tick_with(rec);
                 if broadcast_fail.is_none() {
                     let missed = dw
                         .editor()
@@ -604,6 +654,7 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
             r.l = dw.len();
             r.rounds = dw.world().rounds();
             r.beeps = dw.world().beeps_sent();
+            r.metrics.merge(dw.world().metrics());
             let oracle_ok = oracle_fail.is_none();
             let broadcast_ok = broadcast_fail.is_none();
             let holes_ok = holes_fail.is_none();
@@ -681,8 +732,9 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
             r.n = n;
             r.k = events;
             r.l = l;
-            r.rounds = counter.rounds;
-            r.beeps = counter.beeps;
+            r.rounds = counter.rounds();
+            r.beeps = counter.beeps();
+            r.metrics.merge(counter.metrics());
             let ok = fail.is_none();
             let holes_ok = holes_fail.is_none();
             r.checks = vec![
@@ -706,6 +758,7 @@ fn run_micro(micro: MicroWorkload, seed: u64) -> ScenarioResult {
             r.n = n;
             r.rounds = result.rounds;
             r.beeps = world.beeps_sent();
+            r.metrics.merge(world.metrics());
             r.checks = vec![
                 CheckResult::from_bool(
                     "candidates-nonempty",

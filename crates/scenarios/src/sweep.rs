@@ -11,9 +11,12 @@
 //!
 //! [`Family::sweep_max_n`]: crate::registry::Family::sweep_max_n
 
-use crate::batch::{run_batch, Threads};
+use amoebot_telemetry::{NullRecorder, Recorder};
+
+use crate::batch::{run_batch_with, Threads};
 use crate::json::Json;
 use crate::registry::Registry;
+use crate::report::metrics_to_json;
 use crate::run::ScenarioResult;
 use crate::spec::{derive_rng, Scenario};
 use rand::RngCore;
@@ -83,8 +86,19 @@ pub fn sweep_suite(
 /// Runs a sweep suite over `threads` workers and pairs each point with
 /// its result, in suite order (thread count never affects content).
 pub fn run_sweep(points: &[SweepPoint], threads: Threads) -> Vec<(SweepPoint, ScenarioResult)> {
+    run_sweep_with::<NullRecorder>(points, threads)
+}
+
+/// [`run_sweep`] with an explicit per-worker recorder type, like
+/// [`run_batch_with`] — the timed `BENCH_sweep.json` runs with
+/// [`amoebot_telemetry::TimedRecorder`] so each rung carries its
+/// per-phase micros breakdown.
+pub fn run_sweep_with<R: Recorder + Default>(
+    points: &[SweepPoint],
+    threads: Threads,
+) -> Vec<(SweepPoint, ScenarioResult)> {
     let scenarios: Vec<Scenario> = points.iter().map(|p| p.scenario.clone()).collect();
-    let results = run_batch(&scenarios, threads);
+    let results = run_batch_with::<R>(&scenarios, threads);
     points.iter().cloned().zip(results).collect()
 }
 
@@ -136,6 +150,12 @@ impl SweepReport {
                     doc = doc
                         .field("wall_micros", r.wall_micros)
                         .field("nodes_per_sec", nodes_per_sec(r.n, r.wall_micros));
+                }
+                // The per-rung engine breakdown (relabel counts, beep
+                // totals, phase micros) so a perf-gate regression names
+                // the phase that moved, not just the rung.
+                if !r.metrics.is_empty() {
+                    doc = doc.field("metrics", metrics_to_json(&r.metrics, include_timing));
                 }
                 doc.field("pass", r.pass)
             })

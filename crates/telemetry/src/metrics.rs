@@ -1,0 +1,398 @@
+//! The metrics registry: named counters, gauges and log2-bucket
+//! histograms, plus RAII span timers.
+//!
+//! A [`Metrics`] is owned by one engine and mutated through interior
+//! mutability ([`std::cell::Cell`]), so hot paths can bump a counter or
+//! observe a sample through a shared reference while the engine holds
+//! `&mut self` on its own state — no locks, no borrow contortions. The
+//! registry is `Clone` (a snapshot) and mergeable by name, which is how a
+//! batch runner aggregates per-scenario registries into one report.
+//!
+//! Registration is name-idempotent and returns a dense handle
+//! ([`CounterId`], [`GaugeId`], [`TimerId`]); the hot-path operations are
+//! a single bounds-checked index plus a `Cell` read-modify-write.
+//! Rendering is left to the caller: [`Metrics::counters_sorted`] /
+//! [`Metrics::timers_sorted`] expose deterministic (name-sorted) views.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+/// Handle of a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Handle of a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(u32);
+
+/// Handle of a registered timer (log2-bucket histogram of microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerId(u32);
+
+/// Number of log2 buckets: bucket `b` holds values `v` with
+/// `bit_length(v) == b` (bucket 0 holds only `v == 0`), so `u64::MAX`
+/// lands in bucket 64.
+pub const BUCKETS: usize = 65;
+
+/// One histogram: count / sum / min / max plus log2 buckets.
+#[derive(Debug, Clone)]
+struct Hist {
+    count: Cell<u64>,
+    sum: Cell<u64>,
+    min: Cell<u64>,
+    max: Cell<u64>,
+    buckets: [Cell<u64>; BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist {
+            count: Cell::new(0),
+            sum: Cell::new(0),
+            min: Cell::new(u64::MAX),
+            max: Cell::new(0),
+            buckets: std::array::from_fn(|_| Cell::new(0)),
+        }
+    }
+}
+
+impl Hist {
+    fn observe(&self, v: u64) {
+        self.count.set(self.count.get() + 1);
+        self.sum.set(self.sum.get().saturating_add(v));
+        self.min.set(self.min.get().min(v));
+        self.max.set(self.max.get().max(v));
+        let b = (64 - v.leading_zeros()) as usize;
+        self.buckets[b].set(self.buckets[b].get() + 1);
+    }
+
+    fn absorb(&self, other: &Hist) {
+        if other.count.get() == 0 {
+            return;
+        }
+        self.count.set(self.count.get() + other.count.get());
+        self.sum.set(self.sum.get().saturating_add(other.sum.get()));
+        self.min.set(self.min.get().min(other.min.get()));
+        self.max.set(self.max.get().max(other.max.get()));
+        for b in 0..BUCKETS {
+            self.buckets[b].set(self.buckets[b].get() + other.buckets[b].get());
+        }
+    }
+
+    fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count.get(),
+            sum: self.sum.get(),
+            min: if self.count.get() == 0 {
+                0
+            } else {
+                self.min.get()
+            },
+            max: self.max.get(),
+        }
+    }
+}
+
+/// A rendered histogram snapshot (the buckets stay internal; `min`/`max`
+/// and the log2 distribution are what the reports consume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Saturating sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+/// The per-engine metrics registry. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: Vec<(&'static str, Cell<u64>)>,
+    gauges: Vec<(&'static str, Cell<i64>)>,
+    timers: Vec<(&'static str, Hist)>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Whether nothing was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.timers.is_empty()
+    }
+
+    /// Registers (or finds) the counter `name` and returns its handle.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| *n == name) {
+            return CounterId(i as u32);
+        }
+        self.counters.push((name, Cell::new(0)));
+        CounterId((self.counters.len() - 1) as u32)
+    }
+
+    /// Increments a counter by 1.
+    #[inline]
+    pub fn inc(&self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Increments a counter by `n`.
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        let c = &self.counters[id.0 as usize].1;
+        c.set(c.get() + n);
+    }
+
+    /// Reads a counter by handle.
+    #[inline]
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.counters[id.0 as usize].1.get()
+    }
+
+    /// Registers `name` if needed and adds `n` — the cold-path
+    /// convenience for call sites without a cached handle.
+    pub fn add_named(&mut self, name: &'static str, n: u64) {
+        let id = self.counter(name);
+        self.add(id, n);
+    }
+
+    /// Reads a counter by name (0 when absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, c)| c.get())
+            .unwrap_or(0)
+    }
+
+    /// Registers (or finds) the gauge `name` and returns its handle.
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| *n == name) {
+            return GaugeId(i as u32);
+        }
+        self.gauges.push((name, Cell::new(0)));
+        GaugeId((self.gauges.len() - 1) as u32)
+    }
+
+    /// Sets a gauge to `v`.
+    #[inline]
+    pub fn set_gauge(&self, id: GaugeId, v: i64) {
+        self.gauges[id.0 as usize].1.set(v);
+    }
+
+    /// Reads a gauge by name (0 when absent).
+    pub fn gauge_value(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, g)| g.get())
+            .unwrap_or(0)
+    }
+
+    /// Registers (or finds) the timer `name` and returns its handle.
+    pub fn timer(&mut self, name: &'static str) -> TimerId {
+        if let Some(i) = self.timers.iter().position(|(n, _)| *n == name) {
+            return TimerId(i as u32);
+        }
+        self.timers.push((name, Hist::default()));
+        TimerId((self.timers.len() - 1) as u32)
+    }
+
+    /// Records one observation (e.g. elapsed microseconds) into a timer.
+    #[inline]
+    pub fn observe(&self, id: TimerId, v: u64) {
+        self.timers[id.0 as usize].1.observe(v);
+    }
+
+    /// Starts an RAII span on `id`: when the returned [`Span`] drops, the
+    /// elapsed wall microseconds are observed into the timer. For call
+    /// sites that need `&mut self` of the owning engine inside the timed
+    /// region, use a manual [`Stopwatch`] + [`Metrics::observe`] instead.
+    #[inline]
+    pub fn span(&self, id: TimerId) -> Span<'_> {
+        Span {
+            metrics: self,
+            id,
+            start: Instant::now(),
+        }
+    }
+
+    /// Reads a timer's summary by name (zeros when absent).
+    pub fn timer_summary(&self, name: &str) -> HistSummary {
+        self.timers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h.summary())
+            .unwrap_or_default()
+    }
+
+    /// All counters, sorted by name — the deterministic render order.
+    pub fn counters_sorted(&self) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<(&'static str, u64)> =
+            self.counters.iter().map(|(n, c)| (*n, c.get())).collect();
+        out.sort_unstable_by_key(|&(n, _)| n);
+        out
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges_sorted(&self) -> Vec<(&'static str, i64)> {
+        let mut out: Vec<(&'static str, i64)> =
+            self.gauges.iter().map(|(n, g)| (*n, g.get())).collect();
+        out.sort_unstable_by_key(|&(n, _)| n);
+        out
+    }
+
+    /// All timers, sorted by name.
+    pub fn timers_sorted(&self) -> Vec<(&'static str, HistSummary)> {
+        let mut out: Vec<(&'static str, HistSummary)> =
+            self.timers.iter().map(|(n, h)| (*n, h.summary())).collect();
+        out.sort_unstable_by_key(|&(n, _)| n);
+        out
+    }
+
+    /// Folds `other` into `self`, matching by name: counters add, gauges
+    /// take `other`'s last value, histograms absorb bucket-wise. This is
+    /// how the batch runner aggregates per-scenario registries.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, c) in &other.counters {
+            let id = self.counter(name);
+            self.add(id, c.get());
+        }
+        for (name, g) in &other.gauges {
+            let id = self.gauge(name);
+            self.set_gauge(id, g.get());
+        }
+        for (name, h) in &other.timers {
+            let id = self.timer(name);
+            self.timers[id.0 as usize].1.absorb(h);
+        }
+    }
+}
+
+/// RAII phase timer: observes the elapsed microseconds on drop. Created
+/// by [`Metrics::span`].
+pub struct Span<'a> {
+    metrics: &'a Metrics,
+    id: TimerId,
+    start: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.metrics
+            .observe(self.id, self.start.elapsed().as_micros() as u64);
+    }
+}
+
+/// A manual wall-clock stopwatch for timed regions where an RAII borrow
+/// of the registry is impossible (the engine mutates itself inside the
+/// phase). Pair with [`Metrics::observe`].
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[inline]
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed wall microseconds since [`Stopwatch::start`].
+    #[inline]
+    pub fn micros(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_idempotently_and_accumulate() {
+        let mut m = Metrics::new();
+        let a = m.counter("relabel_region");
+        let b = m.counter("relabel_region");
+        assert_eq!(a, b);
+        m.inc(a);
+        m.add(b, 4);
+        assert_eq!(m.get(a), 5);
+        assert_eq!(m.counter_value("relabel_region"), 5);
+        assert_eq!(m.counter_value("missing"), 0);
+        m.add_named("late", 2);
+        m.add_named("late", 3);
+        assert_eq!(m.counter_value("late"), 5);
+    }
+
+    #[test]
+    fn gauges_hold_the_last_value() {
+        let mut m = Metrics::new();
+        let g = m.gauge("arena_len");
+        m.set_gauge(g, 10);
+        m.set_gauge(g, -3);
+        assert_eq!(m.gauge_value("arena_len"), -3);
+    }
+
+    #[test]
+    fn timers_bucket_by_log2_and_track_extrema() {
+        let mut m = Metrics::new();
+        let t = m.timer("phase");
+        for v in [0u64, 1, 2, 3, 1000, u64::MAX] {
+            m.observe(t, v);
+        }
+        let s = m.timer_summary("phase");
+        assert_eq!(s.count, 6);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.sum, u64::MAX); // saturated
+        assert_eq!(m.timer_summary("missing"), HistSummary::default());
+    }
+
+    #[test]
+    fn span_observes_on_drop() {
+        let mut m = Metrics::new();
+        let t = m.timer("span");
+        {
+            let _s = m.span(t);
+        }
+        assert_eq!(m.timer_summary("span").count, 1);
+    }
+
+    #[test]
+    fn merge_matches_by_name() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.add_named("x", 1);
+        b.add_named("x", 2);
+        b.add_named("y", 7);
+        let tb = b.timer("t");
+        b.observe(tb, 10);
+        a.merge(&b);
+        assert_eq!(a.counter_value("x"), 3);
+        assert_eq!(a.counter_value("y"), 7);
+        assert_eq!(a.timer_summary("t").sum, 10);
+        // Render order is name-sorted, deterministic.
+        let names: Vec<&str> = a.counters_sorted().iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn clone_is_a_snapshot() {
+        let mut m = Metrics::new();
+        let c = m.counter("c");
+        m.inc(c);
+        let snap = m.clone();
+        m.inc(c);
+        assert_eq!(snap.counter_value("c"), 1);
+        assert_eq!(m.counter_value("c"), 2);
+    }
+}

@@ -1,0 +1,702 @@
+//! The compact binary round-trace format.
+//!
+//! A trace is **self-contained**: the header carries everything needed to
+//! rebuild the starting world (links per edge plus the full port
+//! topology), so replay needs no scenario generator, no RNG, and no
+//! algorithm logic — only the circuit engine itself.
+//!
+//! ## Wire format (version 1)
+//!
+//! All integers are unsigned LEB128 varints unless noted. Multi-byte
+//! fixed fields are little-endian.
+//!
+//! ```text
+//! header  := magic "SPFT" (4 bytes) | version | c
+//!          | node_count | ports[node_count]
+//!          | edge_count | (v p w q)[edge_count]
+//! event   := tag (1 byte) | payload
+//!   1 ConfigDelta  gid pset
+//!   2 Beep         gid
+//!   3 AddNode      ports
+//!   4 Connect      v p w q
+//!   5 Disconnect   v p
+//!   6 Isolate      v
+//!   7 ChurnTag     index inserted removed
+//!   8 RoundEnd     round beeps delivered digest(8 bytes LE) relabel(1 byte) circuits
+//! footer  := tag 0 | rounds | wall_micros
+//! ```
+//!
+//! The footer is mandatory; decoding reports truncation, unknown tags
+//! and trailing garbage with exact byte offsets, so a single flipped bit
+//! is rejected loudly rather than silently mis-replayed.
+
+use crate::recorder::{Recorder, RelabelKind, RoundSummary};
+
+/// The four magic bytes every trace starts with.
+pub const TRACE_MAGIC: [u8; 4] = *b"SPFT";
+
+/// The current wire-format version.
+pub const TRACE_VERSION: u16 = 1;
+
+const TAG_END: u8 = 0;
+const TAG_CONFIG_DELTA: u8 = 1;
+const TAG_BEEP: u8 = 2;
+const TAG_ADD_NODE: u8 = 3;
+const TAG_CONNECT: u8 = 4;
+const TAG_DISCONNECT: u8 = 5;
+const TAG_ISOLATE: u8 = 6;
+const TAG_CHURN_TAG: u8 = 7;
+const TAG_ROUND_END: u8 = 8;
+
+/// A decoded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Pin `gid` moved to partition set `pset`.
+    ConfigDelta {
+        /// Global pin index.
+        gid: u32,
+        /// New local partition set.
+        pset: u16,
+    },
+    /// Partition-set `gid` beeped into the upcoming tick.
+    Beep {
+        /// Global partition-set index.
+        gid: u32,
+    },
+    /// A node with `ports` port slots was appended.
+    AddNode {
+        /// Port slot count.
+        ports: u32,
+    },
+    /// Edge `(v, p)`–`(w, q)` was wired.
+    Connect {
+        /// First endpoint node.
+        v: u32,
+        /// First endpoint port.
+        p: u32,
+        /// Second endpoint node.
+        w: u32,
+        /// Second endpoint port.
+        q: u32,
+    },
+    /// The edge behind port `p` of `v` was severed.
+    Disconnect {
+        /// Endpoint node.
+        v: u32,
+        /// Endpoint port.
+        p: u32,
+    },
+    /// Node `v` was isolated.
+    Isolate {
+        /// The isolated node.
+        v: u32,
+    },
+    /// Churn event `index` applied `inserted` joins and `removed` leaves.
+    ChurnTag {
+        /// Schedule event index.
+        index: u32,
+        /// Amoebots that joined.
+        inserted: u32,
+        /// Amoebots that left.
+        removed: u32,
+    },
+    /// One tick completed.
+    RoundEnd(RoundSummary),
+}
+
+/// The decoded trace header: enough to rebuild the starting world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Wire-format version (always [`TRACE_VERSION`] after a successful
+    /// open).
+    pub version: u16,
+    /// External links per edge.
+    pub c: u32,
+    /// Port slot count per node, in node-id order.
+    pub node_ports: Vec<u32>,
+    /// Every starting edge as `(v, p, w, q)`.
+    pub edges: Vec<(u32, u32, u32, u32)>,
+}
+
+/// The decoded trace footer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceFooter {
+    /// Rounds recorded.
+    pub rounds: u64,
+    /// Wall-clock microseconds of the recorded run (0 if unknown).
+    pub wall_micros: u64,
+}
+
+/// A decoding failure, with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The blob does not start with [`TRACE_MAGIC`].
+    BadMagic,
+    /// The version tag is not [`TRACE_VERSION`].
+    BadVersion(u16),
+    /// The blob ended mid-field.
+    Truncated {
+        /// Byte offset of the incomplete field.
+        offset: usize,
+    },
+    /// A varint ran past 10 bytes (not a valid LEB128 u64).
+    Overlong {
+        /// Byte offset of the varint.
+        offset: usize,
+    },
+    /// An unknown event tag.
+    BadTag {
+        /// The offending tag byte.
+        tag: u8,
+        /// Its byte offset.
+        offset: usize,
+    },
+    /// A field decoded to a value outside its domain (e.g. an unknown
+    /// relabel code, or a pset over `u16::MAX`).
+    BadValue {
+        /// What was being decoded.
+        what: &'static str,
+        /// Byte offset of the field.
+        offset: usize,
+    },
+    /// Bytes remain after the footer.
+    TrailingBytes {
+        /// Offset of the first surplus byte.
+        offset: usize,
+    },
+    /// The event stream continued past the footer tag position — i.e.
+    /// the footer was never found before the blob ended.
+    MissingFooter,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a trace: bad magic bytes"),
+            TraceError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace version {v} (expected {TRACE_VERSION})"
+                )
+            }
+            TraceError::Truncated { offset } => write!(f, "truncated at byte {offset}"),
+            TraceError::Overlong { offset } => write!(f, "overlong varint at byte {offset}"),
+            TraceError::BadTag { tag, offset } => {
+                write!(f, "unknown event tag {tag} at byte {offset}")
+            }
+            TraceError::BadValue { what, offset } => {
+                write!(f, "invalid {what} at byte {offset}")
+            }
+            TraceError::TrailingBytes { offset } => {
+                write!(f, "trailing bytes after the footer at byte {offset}")
+            }
+            TraceError::MissingFooter => write!(f, "trace ended without a footer"),
+        }
+    }
+}
+
+fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// The recording side: implements [`Recorder`] by appending wire events.
+/// [`TraceWriter::finish`] seals the blob with the footer.
+#[derive(Debug, Clone, Default)]
+pub struct TraceWriter {
+    buf: Vec<u8>,
+    rounds: u64,
+    attached: bool,
+}
+
+impl TraceWriter {
+    /// An empty writer; the header is written by the first (mandatory)
+    /// [`Recorder::topology`] emission.
+    pub fn new() -> TraceWriter {
+        TraceWriter::default()
+    }
+
+    /// Rounds recorded so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Encoded bytes so far (header + events, no footer).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Seals the trace: appends the footer (round count and the recorded
+    /// run's wall microseconds) and returns the blob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no topology was ever attached — such a trace could not
+    /// be replayed.
+    pub fn finish(mut self, wall_micros: u64) -> Vec<u8> {
+        assert!(self.attached, "trace has no topology header");
+        self.buf.push(TAG_END);
+        push_varint(&mut self.buf, self.rounds);
+        push_varint(&mut self.buf, wall_micros);
+        self.buf
+    }
+}
+
+impl Recorder for TraceWriter {
+    const TRACE: bool = true;
+    const TIMED: bool = true;
+
+    fn topology(&mut self, c: u32, node_ports: &[u32], edges: &[(u32, u32, u32, u32)]) {
+        assert!(!self.attached, "topology attached twice");
+        self.attached = true;
+        self.buf.extend_from_slice(&TRACE_MAGIC);
+        push_varint(&mut self.buf, TRACE_VERSION as u64);
+        push_varint(&mut self.buf, c as u64);
+        push_varint(&mut self.buf, node_ports.len() as u64);
+        for &ports in node_ports {
+            push_varint(&mut self.buf, ports as u64);
+        }
+        push_varint(&mut self.buf, edges.len() as u64);
+        for &(v, p, w, q) in edges {
+            push_varint(&mut self.buf, v as u64);
+            push_varint(&mut self.buf, p as u64);
+            push_varint(&mut self.buf, w as u64);
+            push_varint(&mut self.buf, q as u64);
+        }
+    }
+
+    fn config_delta(&mut self, gid: u32, pset: u16) {
+        self.buf.push(TAG_CONFIG_DELTA);
+        push_varint(&mut self.buf, gid as u64);
+        push_varint(&mut self.buf, pset as u64);
+    }
+
+    fn beep(&mut self, gid: u32) {
+        self.buf.push(TAG_BEEP);
+        push_varint(&mut self.buf, gid as u64);
+    }
+
+    fn add_node(&mut self, ports: u32) {
+        self.buf.push(TAG_ADD_NODE);
+        push_varint(&mut self.buf, ports as u64);
+    }
+
+    fn connect(&mut self, v: u32, p: u32, w: u32, q: u32) {
+        self.buf.push(TAG_CONNECT);
+        push_varint(&mut self.buf, v as u64);
+        push_varint(&mut self.buf, p as u64);
+        push_varint(&mut self.buf, w as u64);
+        push_varint(&mut self.buf, q as u64);
+    }
+
+    fn disconnect(&mut self, v: u32, p: u32) {
+        self.buf.push(TAG_DISCONNECT);
+        push_varint(&mut self.buf, v as u64);
+        push_varint(&mut self.buf, p as u64);
+    }
+
+    fn isolate(&mut self, v: u32) {
+        self.buf.push(TAG_ISOLATE);
+        push_varint(&mut self.buf, v as u64);
+    }
+
+    fn churn_tag(&mut self, index: u32, inserted: u32, removed: u32) {
+        self.buf.push(TAG_CHURN_TAG);
+        push_varint(&mut self.buf, index as u64);
+        push_varint(&mut self.buf, inserted as u64);
+        push_varint(&mut self.buf, removed as u64);
+    }
+
+    fn round_end(&mut self, s: &RoundSummary) {
+        self.buf.push(TAG_ROUND_END);
+        push_varint(&mut self.buf, s.round);
+        push_varint(&mut self.buf, s.beeps as u64);
+        push_varint(&mut self.buf, s.delivered);
+        self.buf.extend_from_slice(&s.digest.to_le_bytes());
+        self.buf.push(s.relabel.code());
+        push_varint(&mut self.buf, s.circuits);
+        self.rounds += 1;
+    }
+}
+
+/// The decoding side: [`TraceReader::open`] validates the header, then
+/// [`TraceReader::next_event`] streams events until the footer.
+#[derive(Debug, Clone)]
+pub struct TraceReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    header: TraceHeader,
+    footer: Option<TraceFooter>,
+}
+
+impl<'a> TraceReader<'a> {
+    /// Validates magic + version and decodes the header.
+    pub fn open(buf: &'a [u8]) -> Result<TraceReader<'a>, TraceError> {
+        if buf.len() < 4 {
+            return Err(TraceError::Truncated { offset: buf.len() });
+        }
+        if buf[..4] != TRACE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut pos = 4usize;
+        let version = read_varint(buf, &mut pos)?;
+        if version != TRACE_VERSION as u64 {
+            return Err(TraceError::BadVersion(version.min(u16::MAX as u64) as u16));
+        }
+        let c = read_u32(buf, &mut pos, "links per edge")?;
+        let n = read_u32(buf, &mut pos, "node count")? as usize;
+        let mut node_ports = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            node_ports.push(read_u32(buf, &mut pos, "port count")?);
+        }
+        let m = read_u32(buf, &mut pos, "edge count")? as usize;
+        let mut edges = Vec::with_capacity(m.min(1 << 20));
+        for _ in 0..m {
+            let v = read_u32(buf, &mut pos, "edge endpoint")?;
+            let p = read_u32(buf, &mut pos, "edge port")?;
+            let w = read_u32(buf, &mut pos, "edge endpoint")?;
+            let q = read_u32(buf, &mut pos, "edge port")?;
+            edges.push((v, p, w, q));
+        }
+        Ok(TraceReader {
+            buf,
+            pos,
+            header: TraceHeader {
+                version: version as u16,
+                c,
+                node_ports,
+                edges,
+            },
+            footer: None,
+        })
+    }
+
+    /// The decoded header.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// The footer; populated once [`TraceReader::next_event`] has
+    /// returned `Ok(None)`.
+    pub fn footer(&self) -> Option<TraceFooter> {
+        self.footer
+    }
+
+    /// Byte offset of the next undecoded byte (for diagnostics).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Decodes the next event; `Ok(None)` after the footer was reached
+    /// (and the blob verified to end there).
+    pub fn next_event(&mut self) -> Result<Option<TraceEvent>, TraceError> {
+        if self.footer.is_some() {
+            return Ok(None);
+        }
+        if self.pos >= self.buf.len() {
+            return Err(TraceError::MissingFooter);
+        }
+        let tag_offset = self.pos;
+        let tag = self.buf[self.pos];
+        self.pos += 1;
+        let buf = self.buf;
+        let pos = &mut self.pos;
+        let ev = match tag {
+            TAG_END => {
+                let rounds = read_varint(buf, pos)?;
+                let wall_micros = read_varint(buf, pos)?;
+                if *pos != buf.len() {
+                    return Err(TraceError::TrailingBytes { offset: *pos });
+                }
+                self.footer = Some(TraceFooter {
+                    rounds,
+                    wall_micros,
+                });
+                return Ok(None);
+            }
+            TAG_CONFIG_DELTA => {
+                let gid = read_u32(buf, pos, "pin gid")?;
+                let pset_offset = *pos;
+                let pset = read_varint(buf, pos)?;
+                if pset > u16::MAX as u64 {
+                    return Err(TraceError::BadValue {
+                        what: "partition set",
+                        offset: pset_offset,
+                    });
+                }
+                TraceEvent::ConfigDelta {
+                    gid,
+                    pset: pset as u16,
+                }
+            }
+            TAG_BEEP => TraceEvent::Beep {
+                gid: read_u32(buf, pos, "beep gid")?,
+            },
+            TAG_ADD_NODE => TraceEvent::AddNode {
+                ports: read_u32(buf, pos, "port count")?,
+            },
+            TAG_CONNECT => TraceEvent::Connect {
+                v: read_u32(buf, pos, "edge endpoint")?,
+                p: read_u32(buf, pos, "edge port")?,
+                w: read_u32(buf, pos, "edge endpoint")?,
+                q: read_u32(buf, pos, "edge port")?,
+            },
+            TAG_DISCONNECT => TraceEvent::Disconnect {
+                v: read_u32(buf, pos, "edge endpoint")?,
+                p: read_u32(buf, pos, "edge port")?,
+            },
+            TAG_ISOLATE => TraceEvent::Isolate {
+                v: read_u32(buf, pos, "node id")?,
+            },
+            TAG_CHURN_TAG => TraceEvent::ChurnTag {
+                index: read_u32(buf, pos, "churn index")?,
+                inserted: read_u32(buf, pos, "churn insert count")?,
+                removed: read_u32(buf, pos, "churn remove count")?,
+            },
+            TAG_ROUND_END => {
+                let round = read_varint(buf, pos)?;
+                let beeps_offset = *pos;
+                let beeps = read_varint(buf, pos)?;
+                if beeps > u32::MAX as u64 {
+                    return Err(TraceError::BadValue {
+                        what: "beep count",
+                        offset: beeps_offset,
+                    });
+                }
+                let delivered = read_varint(buf, pos)?;
+                if *pos + 8 > buf.len() {
+                    return Err(TraceError::Truncated { offset: *pos });
+                }
+                let digest = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap());
+                *pos += 8;
+                if *pos >= buf.len() {
+                    return Err(TraceError::Truncated { offset: *pos });
+                }
+                let relabel_offset = *pos;
+                let relabel = RelabelKind::from_code(buf[*pos]).ok_or(TraceError::BadValue {
+                    what: "relabel kind",
+                    offset: relabel_offset,
+                })?;
+                *pos += 1;
+                let circuits = read_varint(buf, pos)?;
+                TraceEvent::RoundEnd(RoundSummary {
+                    round,
+                    beeps: beeps as u32,
+                    delivered,
+                    digest,
+                    relabel,
+                    circuits,
+                })
+            }
+            other => {
+                return Err(TraceError::BadTag {
+                    tag: other,
+                    offset: tag_offset,
+                })
+            }
+        };
+        Ok(Some(ev))
+    }
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let start = *pos;
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if *pos >= buf.len() {
+            return Err(TraceError::Truncated { offset: start });
+        }
+        let byte = buf[*pos];
+        *pos += 1;
+        if shift >= 63 && byte > 1 {
+            return Err(TraceError::Overlong { offset: start });
+        }
+        out |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(TraceError::Overlong { offset: start });
+        }
+    }
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u32, TraceError> {
+    let offset = *pos;
+    let v = read_varint(buf, pos)?;
+    if v > u32::MAX as u64 {
+        return Err(TraceError::BadValue { what, offset });
+    }
+    Ok(v as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Vec<u8> {
+        let mut w = TraceWriter::new();
+        w.topology(2, &[6, 6, 6], &[(0, 0, 1, 3), (1, 1, 2, 4)]);
+        w.add_node(6);
+        w.connect(2, 0, 3, 3);
+        w.config_delta(7, 0);
+        w.config_delta(13, 2);
+        w.beep(0);
+        w.round_end(&RoundSummary {
+            round: 1,
+            beeps: 1,
+            delivered: 5,
+            digest: 0xDEAD_BEEF_0BAD_F00D,
+            relabel: RelabelKind::Global,
+            circuits: 3,
+        });
+        w.disconnect(2, 0);
+        w.isolate(3);
+        w.churn_tag(0, 1, 1);
+        w.beep(4);
+        w.round_end(&RoundSummary {
+            round: 2,
+            beeps: 1,
+            delivered: 2,
+            digest: 42,
+            relabel: RelabelKind::Region,
+            circuits: 4,
+        });
+        w.finish(123_456)
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let blob = sample_trace();
+        let mut r = TraceReader::open(&blob).unwrap();
+        assert_eq!(r.header().c, 2);
+        assert_eq!(r.header().node_ports, vec![6, 6, 6]);
+        assert_eq!(r.header().edges.len(), 2);
+        let mut events = Vec::new();
+        while let Some(ev) = r.next_event().unwrap() {
+            events.push(ev);
+        }
+        assert_eq!(events.len(), 11);
+        assert_eq!(events[0], TraceEvent::AddNode { ports: 6 });
+        assert!(matches!(events[5], TraceEvent::RoundEnd(s) if s.delivered == 5));
+        assert_eq!(
+            r.footer(),
+            Some(TraceFooter {
+                rounds: 2,
+                wall_micros: 123_456
+            })
+        );
+        // Idempotent after the footer.
+        assert_eq!(r.next_event().unwrap(), None);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut blob = sample_trace();
+        blob[0] ^= 0x40;
+        assert_eq!(TraceReader::open(&blob).unwrap_err(), TraceError::BadMagic);
+        let mut blob = sample_trace();
+        blob[4] = 9; // version varint
+        assert_eq!(
+            TraceReader::open(&blob).unwrap_err(),
+            TraceError::BadVersion(9)
+        );
+    }
+
+    #[test]
+    fn every_truncation_errors_not_panics() {
+        let blob = sample_trace();
+        for len in 0..blob.len() {
+            let cut = &blob[..len];
+            let outcome = match TraceReader::open(cut) {
+                Err(_) => Err(()),
+                Ok(mut r) => loop {
+                    match r.next_event() {
+                        Err(_) => break Err(()),
+                        Ok(None) => break Ok(()),
+                        Ok(Some(_)) => {}
+                    }
+                },
+            };
+            assert_eq!(outcome, Err(()), "prefix of {len} bytes decoded cleanly");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut blob = sample_trace();
+        blob.push(0);
+        let mut r = TraceReader::open(&blob).unwrap();
+        let err = loop {
+            match r.next_event() {
+                Err(e) => break e,
+                Ok(None) => panic!("trailing byte accepted"),
+                Ok(Some(_)) => {}
+            }
+        };
+        assert!(matches!(err, TraceError::TrailingBytes { .. }));
+    }
+
+    #[test]
+    fn unknown_tags_carry_their_offset() {
+        let mut w = TraceWriter::new();
+        w.topology(1, &[2], &[]);
+        let header_len = w.len();
+        let mut blob = w.finish(0);
+        blob[header_len] = 0x7F; // clobber the footer tag
+        let mut r = TraceReader::open(&blob).unwrap();
+        assert_eq!(
+            r.next_event().unwrap_err(),
+            TraceError::BadTag {
+                tag: 0x7F,
+                offset: header_len
+            }
+        );
+    }
+
+    #[test]
+    fn writer_without_topology_cannot_finish() {
+        let result = std::panic::catch_unwind(|| TraceWriter::new().finish(0));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn varints_cover_the_u64_range() {
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            buf.clear();
+            push_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+        // An 11-byte varint is overlong.
+        let overlong = [0x80u8; 10];
+        let mut pos = 0;
+        assert!(matches!(
+            read_varint(&overlong, &mut pos),
+            Err(TraceError::Truncated { .. }) | Err(TraceError::Overlong { .. })
+        ));
+        let mut too_big = vec![0xFFu8; 9];
+        too_big.push(0x7F);
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&too_big, &mut pos).unwrap_err(),
+            TraceError::Overlong { offset: 0 }
+        );
+    }
+}

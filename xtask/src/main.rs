@@ -38,6 +38,36 @@ struct Rung {
     nodes_per_sec: u64,
     wall_micros: u64,
     pass: bool,
+    /// Engine metric breakdown (`counters` plus per-phase timer sums),
+    /// flattened to `(name, value)` pairs. Empty for reports written
+    /// before the telemetry layer - the gate works without them.
+    metrics: Vec<(String, u64)>,
+}
+
+/// Flattens a rung's `metrics` object into sorted `(name, value)` pairs:
+/// every counter by name, every timer by `<name>` with its `sum` field
+/// (total micros spent in the phase across the rung).
+fn flatten_metrics(entry: &Json) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let Some(metrics) = entry.get("metrics") else {
+        return out;
+    };
+    if let Some(Json::Object(counters)) = metrics.get("counters") {
+        for (name, v) in counters {
+            if let Some(v) = v.as_u64() {
+                out.push((name.clone(), v));
+            }
+        }
+    }
+    if let Some(Json::Object(timers)) = metrics.get("timers") {
+        for (name, h) in timers {
+            if let Some(sum) = h.get("sum").and_then(Json::as_u64) {
+                out.push((name.clone(), sum));
+            }
+        }
+    }
+    out.sort();
+    out
 }
 
 fn load_rungs(path: &str) -> Result<Vec<Rung>, String> {
@@ -72,6 +102,7 @@ fn rungs_from_doc(doc: &Json, path: &str) -> Result<Vec<Rung>, String> {
             })?,
             wall_micros: field("wall_micros").unwrap_or(0),
             pass: e.get("pass").and_then(Json::as_bool).unwrap_or(false),
+            metrics: flatten_metrics(e),
         });
     }
     Ok(out)
@@ -187,6 +218,29 @@ fn bench_refresh() -> Result<u8, String> {
     Ok(0)
 }
 
+/// Prints the per-metric breakdown of a matched rung - relabel counts,
+/// beep totals and per-phase micros side by side - so a SLOW verdict
+/// names the phase that moved. Prints nothing unless *both* sides carry
+/// metrics (older reports predate the telemetry layer).
+fn print_metric_deltas(baseline: &Rung, fresh: &Rung) {
+    if baseline.metrics.is_empty() || fresh.metrics.is_empty() {
+        return;
+    }
+    for (name, new) in &fresh.metrics {
+        let Some((_, old)) = baseline.metrics.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        if *old == 0 && *new == 0 {
+            continue;
+        }
+        let d = delta_pct(*old, *new);
+        println!(
+            "        {name:<32} {old:>12} -> {new:>12} ({}{d:.1}%)",
+            if d >= 0.0 { "+" } else { "" },
+        );
+    }
+}
+
 fn bench_compare(
     baseline_path: &str,
     fresh_path: &str,
@@ -238,6 +292,7 @@ fn bench_compare(
                     d,
                     f.wall_micros,
                 );
+                print_metric_deltas(b, f);
             }
             None => println!(
                 "new   {:<24} size={:<8} {:>12} nodes/s (no baseline; not gated)",
@@ -418,6 +473,36 @@ mod tests {
         assert_eq!(bench_compare(&base, &grown, 25.0, 20_000).unwrap().0, 1);
         // And a floor of zero gates everything.
         assert_eq!(bench_compare(&base, &slow, 25.0, 0).unwrap().0, 1);
+    }
+
+    /// Rungs written by the telemetry-aware sweep carry a metrics
+    /// breakdown; the loader flattens counters and timer sums, and
+    /// pre-telemetry reports simply load with no metrics.
+    #[test]
+    fn metric_breakdowns_are_flattened_when_present() {
+        let dir = tmpdir("metrics");
+        let with_metrics = report(1_000_000, true).replace(
+            r#""pass": true}"#,
+            r#""metrics": {"counters": {"relabel_global": 3, "relabel_region": 40},
+                           "timers": {"phase_propagate_micros":
+                                      {"count": 8, "sum": 1234, "min": 100, "max": 300}}},
+               "pass": true}"#,
+        );
+        let path = write(&dir, "with.json", &with_metrics);
+        let rungs = load_rungs(&path).unwrap();
+        assert_eq!(
+            rungs[0].metrics,
+            vec![
+                ("phase_propagate_micros".to_string(), 1234),
+                ("relabel_global".to_string(), 3),
+                ("relabel_region".to_string(), 40),
+            ]
+        );
+        // Pre-telemetry reports load fine with no metrics.
+        let bare = write(&dir, "bare.json", &report(1_000_000, true));
+        assert!(load_rungs(&bare).unwrap()[0].metrics.is_empty());
+        // And the gate still runs over the mixed pair.
+        assert_eq!(bench_compare(&bare, &path, 25.0, 20_000).unwrap().0, 0);
     }
 
     #[test]
