@@ -66,6 +66,7 @@ pub fn elect_leader_with_budget<R: Rng>(
         for v in 0..n {
             if candidate[v] {
                 any_candidate = true;
+                // spf-lint: allow(float-in-engine) — 0.5 is exactly representable and feeds a seeded RNG coin flip, not report arithmetic
                 heads[v] = rng.gen_bool(0.5);
                 // An isolated node (n = 1) has no pins; it is trivially the
                 // unique candidate and has nobody to signal.

@@ -23,7 +23,8 @@
 //! keeps full verification well under the recorded simulation's wall
 //! time on broadcast-heavy workloads.
 
-use std::collections::HashMap;
+use std::collections::HashMap; // spf-lint: allow(nondet-collections) — keyed memo lookups only; never iterated
+
 use std::fmt;
 
 use amoebot_telemetry::{mix64, TraceError, TraceEvent, TraceReader, BEEP_DIGEST_SALT};
@@ -205,6 +206,7 @@ pub fn replay_trace(bytes: &[u8]) -> Result<ReplayReport, ReplayError> {
     // Node cursor for gid-ordered config deltas (see `set_pin_gid_hinted`).
     let mut pin_hint = 0usize;
     // Per-root delivery digests, valid for the current labeling only.
+    // spf-lint: allow(nondet-collections) — keyed get/insert memo; iteration order never observed
     let mut memo: HashMap<u32, (u64, u64)> = HashMap::new();
     let mut memo_epoch = u64::MAX;
     let mut roots: Vec<u32> = Vec::new();

@@ -233,7 +233,7 @@ fn sources_forest(
     let (regions, splits) =
         build_regions(structure, &ap, leader_portal, &prp.portal_in_vq, &q_prime);
     for r in &regions {
-        let b: std::collections::HashSet<u32> = r.boundaries.iter().map(|&(p, _)| p).collect();
+        let b: std::collections::BTreeSet<u32> = r.boundaries.iter().map(|&(p, _)| p).collect();
         assert!(
             (1..=2).contains(&b.len()),
             "Lemma 52: regions meet one or two Q' portals"
@@ -382,7 +382,7 @@ fn portal_depths(ap: &AxisPortals, root: u32) -> Vec<u32> {
     depth
 }
 
-type Splits = std::collections::HashMap<u32, [Vec<usize>; 2]>;
+type Splits = std::collections::BTreeMap<u32, [Vec<usize>; 2]>;
 
 /// Builds the regions of Lemma 52 and returns them together with the split
 /// positions (member indices of the marked amoebots) per `(portal, side)`.
@@ -433,7 +433,7 @@ fn build_regions(
 
     // Split positions per (Q' portal, side): the T_Q connectors minus the
     // westernmost (Lemma 52).
-    let mut splits: Splits = std::collections::HashMap::new();
+    let mut splits: Splits = Splits::new();
     for p in 0..ap.portals.len() as u32 {
         if !q_prime[p as usize] {
             continue;
@@ -457,12 +457,12 @@ fn build_regions(
     // (Q' portal, side, interval); interval j spans member indices
     // [split_{j-1} ..= split_j] (endpoints shared: marked amoebots belong
     // to both neighboring regions).
-    #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
     enum QNode {
         Portal(u32),
         Sub(u32, usize, usize),
     }
-    fn find(dsu: &mut std::collections::HashMap<QNode, QNode>, x: QNode) -> QNode {
+    fn find(dsu: &mut std::collections::BTreeMap<QNode, QNode>, x: QNode) -> QNode {
         let p = *dsu.entry(x).or_insert(x);
         if p == x {
             x
@@ -486,7 +486,7 @@ fn build_regions(
             QNode::Portal(p)
         }
     };
-    let mut dsu: std::collections::HashMap<QNode, QNode> = std::collections::HashMap::new();
+    let mut dsu: std::collections::BTreeMap<QNode, QNode> = std::collections::BTreeMap::new();
     for p in 0..ap.portals.len() as u32 {
         for &(q, c) in &adj[p as usize] {
             if p < q {
@@ -645,7 +645,7 @@ fn merge_around_portal(
             // the portal over M (2 rounds), §5.4.3 steps 1-2.
             world.charge_rounds(3, "merge pairing: termination check + PASC parity");
             // Odd prefix parity selects every second mark (1-based odd).
-            let selected: std::collections::HashSet<usize> =
+            let selected: std::collections::BTreeSet<usize> =
                 marks.iter().copied().step_by(2).collect();
             let mut spans = Vec::new();
             let mut new_order = Vec::new();

@@ -3,7 +3,7 @@
 use amoebot_circuits::{Topology, World};
 use amoebot_grid::{AmoebotStructure, Coord, NodeId, StructureEditor, ALL_DIRECTIONS};
 use amoebot_telemetry::{NullRecorder, Recorder};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A simulated world whose structure can churn at runtime.
 ///
@@ -205,8 +205,8 @@ pub fn verify_against_rebuild(dw: &DynamicWorld) -> Result<(), String> {
 
     // 2. Circuit partition up to relabeling: the label pairs over every
     // live pin must form a bijection.
-    let mut fwd: HashMap<u32, u32> = HashMap::new();
-    let mut bwd: HashMap<u32, u32> = HashMap::new();
+    let mut fwd: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut bwd: BTreeMap<u32, u32> = BTreeMap::new();
     for &old in dw.editor.live_ids() {
         let dense = map[old as usize].expect("live id maps densely").index();
         for port in 0..6 {

@@ -16,6 +16,9 @@
 //! get deterministic, mostly-sorted output without materializing any
 //! intermediate set.
 
+// spf-lint: allow-file(nondet-collections) — the chunk map is only ever
+// iterated through `iter()`/`into_sorted_vec()`, which sort the chunk keys
+// first; every other access is keyed lookup, so hash order never escapes.
 use std::collections::HashMap;
 
 use crate::coord::Coord;

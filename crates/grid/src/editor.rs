@@ -51,7 +51,7 @@
 //! churn driver probes first and the structure can never leave the
 //! algorithms' supported class.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::chunkgrid::ChunkGrid;
 use crate::coord::{Coord, Direction, ALL_DIRECTIONS};
@@ -92,7 +92,7 @@ pub struct StructureEditor {
     /// One-bit-per-cell occupancy mirror.
     occupancy: ChunkGrid,
     /// Chunk keys touched since the last revalidation.
-    edited: HashSet<(i32, i32)>,
+    edited: BTreeSet<(i32, i32)>,
 }
 
 impl StructureEditor {
@@ -124,7 +124,7 @@ impl StructureEditor {
             stale: 0,
             neighbors,
             coords,
-            edited: HashSet::new(),
+            edited: BTreeSet::new(),
         }
     }
 

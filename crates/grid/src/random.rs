@@ -13,7 +13,7 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::chunkgrid::ChunkGrid;
 use crate::coord::{Coord, Direction, ALL_DIRECTIONS};
@@ -232,7 +232,7 @@ pub fn random_placement<R: Rng>(
             boundary.shuffle(rng);
             boundary.truncate(k);
             if boundary.len() < k {
-                let have: HashSet<NodeId> = boundary.iter().copied().collect();
+                let have: BTreeSet<NodeId> = boundary.iter().copied().collect();
                 let mut rest: Vec<NodeId> =
                     structure.nodes().filter(|v| !have.contains(v)).collect();
                 rest.shuffle(rng);

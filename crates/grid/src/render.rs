@@ -1,7 +1,7 @@
 //! ASCII rendering of amoebot structures, used to regenerate the paper's
 //! worked figures (experiment E19) and by the example binaries.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::coord::Coord;
 use crate::structure::{AmoebotStructure, NodeId};
@@ -38,7 +38,7 @@ pub fn render_structure(
 }
 
 /// Renders a structure with per-node labels from a map, defaulting to `'.'`.
-pub fn render_labels(structure: &AmoebotStructure, labels: &HashMap<NodeId, char>) -> String {
+pub fn render_labels(structure: &AmoebotStructure, labels: &BTreeMap<NodeId, char>) -> String {
     render_structure(structure, |v| *labels.get(&v).unwrap_or(&'.'))
 }
 

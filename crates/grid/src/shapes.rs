@@ -7,7 +7,7 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::chunkgrid::ChunkGrid;
 use crate::coord::{Coord, ALL_DIRECTIONS};
@@ -92,7 +92,9 @@ pub fn staircase(steps: usize, step_len: usize) -> Vec<Coord> {
 /// An "L" shape: a `long × thick` horizontal arm and a `thick × long`
 /// vertical arm sharing a corner.
 pub fn l_shape(long: usize, thick: usize) -> Vec<Coord> {
-    let mut set = HashSet::new();
+    // BTreeSet, not HashSet: generators feed `AmoebotStructure::new`, which
+    // assigns node ids in input order — the output order must be stable.
+    let mut set = BTreeSet::new();
     for r in 0..thick as i32 {
         for q in 0..long as i32 {
             set.insert(Coord::new(q, r));
@@ -222,7 +224,7 @@ pub fn zigzag(segments: usize, len: usize) -> Vec<Coord> {
 /// with spacing 2 between arms (hole-free by construction: the spiral is a
 /// simple path thickened on the triangular grid).
 pub fn spiral(turns: usize) -> Vec<Coord> {
-    let mut out = HashSet::new();
+    let mut out = BTreeSet::new();
     let mut cur = Coord::origin();
     out.insert(cur);
     let mut len = 2usize;
@@ -248,7 +250,7 @@ pub fn spiral(turns: usize) -> Vec<Coord> {
 /// northern edge removed — concave boundary, still hole-free. Stresses the
 /// implicit-portal local rules and the propagation visibility analysis.
 pub fn bitten_hexagon(radius: usize) -> Vec<Coord> {
-    let mut cells: HashSet<Coord> = hexagon(radius).into_iter().collect();
+    let mut cells: BTreeSet<Coord> = hexagon(radius).into_iter().collect();
     let r = radius as i32;
     let mut q = -r + 1;
     while q <= -1 {

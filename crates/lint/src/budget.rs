@@ -1,0 +1,292 @@
+//! The audit-tier budget ratchet over `lint/budget.json`.
+//!
+//! Deny rules must be clean; audit rules (today: `panic-surface`) are
+//! instead *counted* per crate and compared against a committed budget —
+//! the same shape as the perf gate's `bench/baseline.json`. A count
+//! above budget fails the run ("you added panic sites — handle the error
+//! or pragma it with a reason"); a count below budget passes with a
+//! nagging note to tighten the budget, which `cargo xtask lint
+//! --write-budget` does in place. The ratchet only ever turns one way.
+//!
+//! The file format is a tiny fixed-shape JSON document parsed by the
+//! handwritten reader below (the linter is zero-dependency, so it cannot
+//! borrow the scenario crate's JSON parser):
+//!
+//! ```json
+//! {
+//!   "schema": "spf-lint-budget/v1",
+//!   "panic-surface": {
+//!     "crates/circuits": 12,
+//!     "src": 0
+//!   }
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Schema tag the budget file must carry.
+pub const BUDGET_SCHEMA: &str = "spf-lint-budget/v1";
+
+/// Per-rule, per-bucket allowed counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// rule name → (budget bucket → allowed count).
+    pub rules: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+/// One ratchet verdict line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RatchetLine {
+    /// Count grew past budget: `(rule, bucket, budgeted, actual)`.
+    Over(String, String, u64, u64),
+    /// Count shrank below budget: `(rule, bucket, budgeted, actual)` —
+    /// passes, but the budget should be re-tightened.
+    Under(String, String, u64, u64),
+    /// Count matches budget exactly.
+    Exact(String, String, u64),
+    /// A bucket with findings but no budget entry (treated as budget 0,
+    /// so any count is growth): `(rule, bucket, actual)`.
+    Unbudgeted(String, String, u64),
+}
+
+impl Budget {
+    /// Compares `actual` counts for `rule` against the budget. Buckets
+    /// present only in the budget (count dropped to zero) come back as
+    /// [`RatchetLine::Under`] with `actual = 0`.
+    pub fn ratchet(&self, rule: &str, actual: &BTreeMap<String, u64>) -> Vec<RatchetLine> {
+        let empty = BTreeMap::new();
+        let budgeted = self.rules.get(rule).unwrap_or(&empty);
+        let mut out = Vec::new();
+        let mut buckets: Vec<&String> = budgeted.keys().chain(actual.keys()).collect();
+        buckets.sort();
+        buckets.dedup();
+        for bucket in buckets {
+            let have = actual.get(bucket).copied().unwrap_or(0);
+            match budgeted.get(bucket).copied() {
+                None if have > 0 => {
+                    out.push(RatchetLine::Unbudgeted(
+                        rule.to_string(),
+                        bucket.clone(),
+                        have,
+                    ));
+                }
+                None => {}
+                Some(b) if have > b => {
+                    out.push(RatchetLine::Over(rule.to_string(), bucket.clone(), b, have));
+                }
+                Some(b) if have < b => {
+                    out.push(RatchetLine::Under(
+                        rule.to_string(),
+                        bucket.clone(),
+                        b,
+                        have,
+                    ));
+                }
+                Some(b) => out.push(RatchetLine::Exact(rule.to_string(), bucket.clone(), b)),
+            }
+        }
+        out
+    }
+
+    /// Whether any line in `lines` fails the ratchet.
+    pub fn failed(lines: &[RatchetLine]) -> bool {
+        lines
+            .iter()
+            .any(|l| matches!(l, RatchetLine::Over(..) | RatchetLine::Unbudgeted(..)))
+    }
+
+    /// Renders the budget as the canonical committed JSON document
+    /// (sorted keys, two-space indent, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{BUDGET_SCHEMA}\""));
+        for (rule, buckets) in &self.rules {
+            out.push_str(",\n");
+            out.push_str(&format!("  \"{rule}\": {{\n"));
+            let mut first = true;
+            for (bucket, count) in buckets {
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                out.push_str(&format!("    \"{bucket}\": {count}"));
+            }
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses the canonical budget document. Accepts any whitespace but
+    /// only the fixed two-level shape: top-level object of string →
+    /// (string | object of string → integer).
+    pub fn parse(text: &str) -> Result<Budget, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        p.ws();
+        p.eat(b'{')?;
+        let mut budget = Budget::default();
+        let mut schema_seen = false;
+        loop {
+            p.ws();
+            if p.peek() == Some(b'}') {
+                p.eat(b'}')?;
+                break;
+            }
+            let key = p.string()?;
+            p.ws();
+            p.eat(b':')?;
+            p.ws();
+            if key == "schema" {
+                let v = p.string()?;
+                if v != BUDGET_SCHEMA {
+                    return Err(format!("budget schema {v:?} is not {BUDGET_SCHEMA:?}"));
+                }
+                schema_seen = true;
+            } else {
+                p.eat(b'{')?;
+                let mut buckets = BTreeMap::new();
+                loop {
+                    p.ws();
+                    if p.peek() == Some(b'}') {
+                        p.i += 1;
+                        break;
+                    }
+                    let bucket = p.string()?;
+                    p.ws();
+                    p.eat(b':')?;
+                    p.ws();
+                    let n = p.integer()?;
+                    buckets.insert(bucket, n);
+                    p.ws();
+                    if p.peek() == Some(b',') {
+                        p.i += 1;
+                    }
+                }
+                budget.rules.insert(key, buckets);
+            }
+            p.ws();
+            if p.peek() == Some(b',') {
+                p.i += 1;
+            }
+        }
+        if !schema_seen {
+            return Err(format!(
+                "budget file carries no \"schema\": {BUDGET_SCHEMA:?} tag"
+            ));
+        }
+        Ok(budget)
+    }
+}
+
+struct Parser<'b> {
+    b: &'b [u8],
+    i: usize,
+}
+
+impl<'b> Parser<'b> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+    fn ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "budget parse error at byte {}: expected {:?}",
+                self.i, c as char
+            ))
+        }
+    }
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let start = self.i;
+        while self.peek().is_some_and(|c| c != b'"') {
+            self.i += 1;
+        }
+        let s = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.eat(b'"')?;
+        Ok(s)
+    }
+    fn integer(&mut self) -> Result<u64, String> {
+        let start = self.i;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(format!(
+                "budget parse error at byte {}: expected integer",
+                self.i
+            ));
+        }
+        String::from_utf8_lossy(&self.b[start..self.i])
+            .parse()
+            .map_err(|e| format!("budget parse error: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let mut b = Budget::default();
+        b.rules.insert(
+            "panic-surface".into(),
+            counts(&[("crates/grid", 7), ("src", 0)]),
+        );
+        let text = b.render();
+        let back = Budget::parse(&text).unwrap();
+        assert_eq!(b, back);
+        // And the canonical form is stable.
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn ratchet_trips_on_growth_only() {
+        let mut b = Budget::default();
+        b.rules
+            .insert("panic-surface".into(), counts(&[("crates/grid", 5)]));
+
+        let over = b.ratchet("panic-surface", &counts(&[("crates/grid", 6)]));
+        assert!(Budget::failed(&over));
+        assert!(matches!(&over[0], RatchetLine::Over(_, _, 5, 6)));
+
+        let under = b.ratchet("panic-surface", &counts(&[("crates/grid", 4)]));
+        assert!(!Budget::failed(&under));
+        assert!(matches!(&under[0], RatchetLine::Under(_, _, 5, 4)));
+
+        let exact = b.ratchet("panic-surface", &counts(&[("crates/grid", 5)]));
+        assert!(!Budget::failed(&exact));
+    }
+
+    #[test]
+    fn unbudgeted_buckets_count_as_growth() {
+        let b = Budget::default();
+        let lines = b.ratchet("panic-surface", &counts(&[("crates/new", 1)]));
+        assert!(Budget::failed(&lines));
+        assert!(matches!(&lines[0], RatchetLine::Unbudgeted(_, _, 1)));
+        // …but an all-zero new bucket is fine.
+        let lines = b.ratchet("panic-surface", &counts(&[("crates/new", 0)]));
+        assert!(!Budget::failed(&lines));
+    }
+
+    #[test]
+    fn missing_schema_is_rejected() {
+        assert!(Budget::parse("{}").is_err());
+        assert!(Budget::parse("{\"schema\": \"wrong/v9\"}").is_err());
+    }
+}

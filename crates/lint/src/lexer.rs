@@ -1,0 +1,515 @@
+//! A small handwritten Rust lexer — just enough syntax awareness to tell
+//! code from non-code.
+//!
+//! The rule engine must never fire on the word `HashMap` inside a doc
+//! comment or a string literal, so the lexer's whole job is classifying
+//! every byte of a source file into comments, string/char literals, and
+//! code tokens (identifiers, numbers, punctuation). It is deliberately
+//! *not* a parser: no AST, no precedence, no macro expansion — rules
+//! pattern-match over the token stream instead. The tricky corners it
+//! does handle in full:
+//!
+//! * nested block comments (`/* a /* b */ c */`);
+//! * cooked strings with escapes, including `\"`;
+//! * raw strings `r"…"`, `r#"…"#`, … with any number of hashes, plus the
+//!   byte/C-string prefixes `b` / `br` / `c` / `cr`;
+//! * the `'a` lifetime vs `'a'` char-literal ambiguity (one token of
+//!   lookahead past the identifier decides);
+//! * numeric literals with suffixes and exponents, so `1e9_f64` is one
+//!   token and [`Tok::is_float_literal`] can recognize it.
+
+/// What a token is. Comments and literals are first-class so rules can
+/// skip or target them precisely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`World`, `unsafe`, `r#match` …).
+    Ident,
+    /// Numeric literal, suffix included (`42`, `1.5e3`, `0xff_u32`).
+    Number,
+    /// `// …` to end of line (`///` and `//!` included).
+    LineComment,
+    /// `/* … */`, nesting respected.
+    BlockComment,
+    /// String literal of any flavor: cooked, raw, byte, C.
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// Any other non-whitespace byte run (one operator char per token).
+    Punct,
+}
+
+/// One lexed token: a byte span into the source plus its starting line
+/// (1-based).
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether a [`TokKind::Number`] token is a floating-point literal:
+    /// it has a fractional part, a decimal exponent, or an `f32`/`f64`
+    /// suffix. Integer literals (hex included) return `false`.
+    pub fn is_float_literal(&self, src: &str) -> bool {
+        if self.kind != TokKind::Number {
+            return false;
+        }
+        let t = self.text(src);
+        if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
+            return false;
+        }
+        if t.contains('.') || t.ends_with("f32") || t.ends_with("f64") {
+            return true;
+        }
+        // A decimal exponent is a digit-adjacent `e`/`E` (so `0usize` and
+        // `3u64` — integer suffixes that merely contain an `e` — don't
+        // read as floats).
+        let b = t.as_bytes();
+        b.iter().enumerate().any(|(i, &c)| {
+            (c == b'e' || c == b'E')
+                && i > 0
+                && b[i - 1].is_ascii_digit()
+                && b.get(i + 1)
+                    .is_some_and(|&n| n.is_ascii_digit() || n == b'+' || n == b'-')
+        })
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated literals
+/// and comments extend to end-of-file, which is the useful behavior for
+/// a linter (the compiler will reject the file anyway; the linter must
+/// not panic on it).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.cooked_string(),
+                b'\'' => self.char_or_lifetime(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
+                _ => {
+                    let start = self.pos;
+                    self.pos += 1;
+                    self.push(TokKind::Punct, start);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize) {
+        // Tokens report the line they *start* on; `line` has already been
+        // advanced past any newlines the token body contains, so count
+        // them back out.
+        let newlines = self.src[start..self.pos]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count() as u32;
+        self.out.push(Tok {
+            kind,
+            start,
+            end: self.pos,
+            line: self.line - newlines,
+        });
+    }
+
+    fn advance_counting_lines(&mut self, to: usize) {
+        for &b in &self.src[self.pos..to] {
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        self.pos = to;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokKind::LineComment, start);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let mut depth = 0usize;
+        let mut i = self.pos;
+        while i < self.src.len() {
+            if self.src[i] == b'/' && self.src.get(i + 1) == Some(&b'*') {
+                depth += 1;
+                i += 2;
+            } else if self.src[i] == b'*' && self.src.get(i + 1) == Some(&b'/') {
+                depth -= 1;
+                i += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        self.advance_counting_lines(i);
+        self.push(TokKind::BlockComment, start);
+    }
+
+    /// A `"`-delimited string with `\` escapes, starting at `self.pos`.
+    fn cooked_string(&mut self) {
+        let start = self.pos;
+        let mut i = self.pos + 1;
+        while i < self.src.len() {
+            match self.src[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        self.advance_counting_lines(i.min(self.src.len()));
+        self.push(TokKind::Str, start);
+    }
+
+    /// A raw string starting at `self.pos` on the `r` of `r"` / `r#"` …
+    /// (prefix byte(s) already included via `start`). Scans for the
+    /// closing quote followed by the same number of hashes.
+    fn raw_string(&mut self, start: usize) {
+        let mut i = self.pos;
+        // self.pos sits on the first `#` or the opening quote.
+        let mut hashes = 0usize;
+        while self.src.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        debug_assert_eq!(self.src.get(i), Some(&b'"'), "caller checked");
+        i += 1;
+        'scan: while i < self.src.len() {
+            if self.src[i] == b'"' {
+                let mut j = 0;
+                while j < hashes {
+                    if self.src.get(i + 1 + j) != Some(&b'#') {
+                        i += 1;
+                        continue 'scan;
+                    }
+                    j += 1;
+                }
+                i += 1 + hashes;
+                break;
+            }
+            i += 1;
+        }
+        self.advance_counting_lines(i.min(self.src.len()));
+        self.push(TokKind::Str, start);
+    }
+
+    /// `'` begins either a char literal or a lifetime. Disambiguation:
+    /// `'\…` or `'x'` (a closing quote right after one "character") is a
+    /// char literal; `'ident` *not* followed by another `'` is a
+    /// lifetime.
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: scan to the closing quote.
+                let mut i = self.pos + 2;
+                while i < self.src.len() && self.src[i] != b'\'' {
+                    if self.src[i] == b'\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                self.pos = (i + 1).min(self.src.len());
+                self.push(TokKind::Char, start);
+            }
+            Some(b) if is_ident_continue(b) => {
+                // `'a…`: lifetime unless the identifier run is closed by
+                // another quote (`'a'`, `'rust'`? — only one char is
+                // legal, but the linter need not enforce that).
+                let mut i = self.pos + 1;
+                while i < self.src.len() && is_ident_continue(self.src[i]) {
+                    i += 1;
+                }
+                if self.src.get(i) == Some(&b'\'') {
+                    self.pos = i + 1;
+                    self.push(TokKind::Char, start);
+                } else {
+                    self.pos = i;
+                    self.push(TokKind::Lifetime, start);
+                }
+            }
+            Some(_) => {
+                // `'('` and friends: a one-symbol char literal.
+                let mut i = self.pos + 1;
+                while i < self.src.len() && self.src[i] != b'\'' && self.src[i] != b'\n' {
+                    i += 1;
+                }
+                self.pos = if self.src.get(i) == Some(&b'\'') {
+                    i + 1
+                } else {
+                    i
+                };
+                self.push(TokKind::Char, start);
+            }
+            None => {
+                self.pos += 1;
+                self.push(TokKind::Punct, start);
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut i = self.pos;
+        // Integer part plus any alphanumeric suffix/exponent characters
+        // (`0xff`, `1e9`, `3u64`, `1_000`).
+        while i < self.src.len() && (is_ident_continue(self.src[i])) {
+            i += 1;
+        }
+        // Fractional part only when a digit follows the dot, so `0..6`
+        // and `1.max(x)` don't swallow the dot.
+        if self.src.get(i) == Some(&b'.') && self.src.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+        {
+            i += 1;
+            while i < self.src.len() && is_ident_continue(self.src[i]) {
+                i += 1;
+            }
+        }
+        self.pos = i;
+        self.push(TokKind::Number, start);
+    }
+
+    /// An identifier — or, when the identifier is a literal prefix (`r`,
+    /// `b`, `br`, `c`, `cr`) glued to a quote, the literal it prefixes.
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.pos;
+        let mut i = self.pos;
+        while i < self.src.len() && is_ident_continue(self.src[i]) {
+            i += 1;
+        }
+        let text = &self.src[start..i];
+        let next = self.src.get(i).copied();
+        let raw_capable = matches!(text, b"r" | b"br" | b"cr");
+        let cooked_capable = matches!(text, b"b" | b"c" | b"br" | b"cr");
+        match next {
+            Some(b'"') if raw_capable => {
+                // `r"…"`, `br"…"`, `cr"…"` with zero hashes.
+                self.pos = i;
+                self.raw_string(start);
+            }
+            Some(b'"') if cooked_capable => {
+                // `b"…"` / `c"…"`: a cooked string body after the prefix.
+                self.cooked_string_from(start, i);
+            }
+            Some(b'#') if raw_capable && self.hash_run_then_quote(i) => {
+                self.pos = i;
+                self.raw_string(start);
+            }
+            Some(b'\'') if text == b"b" => {
+                // Byte-char literal `b'x'`: rewind onto the quote and let
+                // the char lexer finish, then widen the span.
+                self.pos = i;
+                let before = self.out.len();
+                self.char_or_lifetime();
+                if self.out.len() > before {
+                    self.out.last_mut().expect("just pushed").start = start;
+                }
+            }
+            _ if text == b"r" && next == Some(b'#') => {
+                // `r#ident` raw identifier (the hash-run-then-quote case
+                // was handled above): skip `#` and lex the identifier.
+                self.pos = i + 1;
+                let mut j = self.pos;
+                while j < self.src.len() && is_ident_continue(self.src[j]) {
+                    j += 1;
+                }
+                self.pos = j;
+                self.push(TokKind::Ident, start);
+            }
+            _ => {
+                self.pos = i;
+                self.push(TokKind::Ident, start);
+            }
+        }
+    }
+
+    /// Whether `#`s starting at `i` lead to a `"` (raw-string opener, as
+    /// opposed to `r#ident`).
+    fn hash_run_then_quote(&self, mut i: usize) -> bool {
+        while self.src.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        self.src.get(i) == Some(&b'"')
+    }
+
+    /// Cooked-string scan for prefixed literals: the span starts at
+    /// `start` (the prefix), the opening quote sits at `quote`.
+    fn cooked_string_from(&mut self, start: usize, quote: usize) {
+        self.pos = quote;
+        let before = self.out.len();
+        self.cooked_string();
+        if self.out.len() > before {
+            self.out.last_mut().expect("just pushed").start = start;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_code_are_separated() {
+        let toks = kinds("let x = 1; // trailing HashMap\n/* block\nHashSet */ let y;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::LineComment && t.contains("HashMap")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::BlockComment && t.contains("HashSet")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && (t == "HashMap" || t == "HashSet")));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let toks = kinds("/* a /* b */ still comment */ code");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "code".to_string()));
+    }
+
+    #[test]
+    fn strings_mask_their_contents() {
+        for src in [
+            r#"let s = "HashMap::new()";"#,
+            r##"let s = r#"HashMap " inside"#;"##,
+            r#"let s = r"HashMap";"#,
+            r#"let s = b"HashMap";"#,
+            r##"let s = br#"HashMap"#;"##,
+        ] {
+            let toks = kinds(src);
+            assert!(
+                !toks
+                    .iter()
+                    .any(|(k, t)| *k == TokKind::Ident && t == "HashMap"),
+                "literal leaked an identifier in {src:?}: {toks:?}"
+            );
+            assert!(toks.iter().any(|(k, _)| *k == TokKind::Str), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_the_string() {
+        let toks = kinds(r#"let s = "a\"HashMap"; let t = 1;"#);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; 'outer: loop {} }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'outer"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, ["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn float_literal_detection() {
+        let src = "1.5 1e9 2f64 0x1f 10 0..6 3.0f32 1_000";
+        let toks = lex(src);
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|t| t.is_float_literal(src))
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(floats, ["1.5", "1e9", "2f64", "3.0f32"]);
+        // `0..6` stays two integers and a range.
+        assert!(toks.iter().any(|t| t.text(src) == "0" && t.line == 1));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_tokens() {
+        let src = "/* one\ntwo */\nHashMap\n\"a\nb\"\nHashSet";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.text(src) == name).unwrap().line;
+        assert_eq!(find("HashMap"), 3);
+        assert_eq!(find("HashSet"), 6);
+    }
+
+    #[test]
+    fn byte_char_literal_is_one_token() {
+        let toks = kinds("let b = b'x'; let l = 'l;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "b'x'"));
+    }
+}

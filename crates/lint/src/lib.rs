@@ -1,0 +1,185 @@
+//! `spf-lint` — the workspace's zero-dependency determinism & safety
+//! static analyzer (DESIGN.md §1f), driven by `cargo xtask lint`.
+//!
+//! The repo's load-bearing invariant is that canonical `--no-timing`
+//! reports and round traces are byte-identical across runs and thread
+//! counts. End-to-end tests enforce that invariant *after* the fact;
+//! this crate makes the *sources* of nondeterminism visible before they
+//! flip a byte: unordered `HashMap`/`HashSet` iteration, wall-clock
+//! reads outside the timing layer, floats in engine arithmetic, and —
+//! on the safety side — undocumented `unsafe` and unbounded growth of
+//! the `unwrap`/`expect` panic surface.
+//!
+//! Pipeline: [`lexer`] tokenizes (string/char/comment/raw-string
+//! aware, no `syn`), [`source`] pre-analyzes each file (pragmas,
+//! `#[cfg(test)]` spans), [`rules`] pattern-matches the token streams,
+//! and [`budget`] ratchets the audit-tier counts against the committed
+//! `lint/budget.json`. Everything is deterministic: files are walked in
+//! sorted order and every map in sight is a `BTreeMap` — the linter
+//! practices what it preaches.
+
+pub mod budget;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use budget::{Budget, RatchetLine};
+use rules::{check_file, Diagnostic};
+use source::SourceFile;
+
+/// Workspace-relative path of the committed budget file.
+pub const BUDGET_PATH: &str = "lint/budget.json";
+
+/// Directories under the workspace root that are scanned for `.rs`
+/// files. `crates/vendor` is excluded below: the vendored shims stand in
+/// for external dependencies, which the linter has no mandate over.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "xtask", "examples", "tests"];
+
+/// The result of linting a set of sources.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Deny-tier findings (fails the run if non-empty).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Audit counts: rule → bucket → count (post-suppression).
+    pub counts: BTreeMap<String, BTreeMap<String, u64>>,
+    /// Pragmas seen, keyed by rule → count.
+    pub pragmas: BTreeMap<String, u64>,
+    /// Pragmas that never suppressed anything: `(path, line, rule)`.
+    pub unused_pragmas: Vec<(String, u32, String)>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+impl LintReport {
+    /// Whether the deny tier is clean (ratcheting is the caller's job —
+    /// see [`Budget::ratchet`]).
+    pub fn deny_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Lints a set of pre-parsed sources. This is the pure core both the
+/// xtask driver and the fixture tests call; file discovery is
+/// [`workspace_sources`].
+pub fn lint_sources(files: &[SourceFile]) -> LintReport {
+    let mut report = LintReport {
+        files: files.len(),
+        ..LintReport::default()
+    };
+    for f in files {
+        let findings = check_file(f);
+        report.diagnostics.extend(findings.diagnostics);
+        if findings.panic_sites > 0 {
+            *report
+                .counts
+                .entry("panic-surface".to_string())
+                .or_default()
+                .entry(f.budget_key())
+                .or_default() += findings.panic_sites;
+        }
+        for p in &f.pragmas {
+            *report.pragmas.entry(p.rule.clone()).or_default() += 1;
+            if !findings.used_pragma_lines.contains(&p.line) {
+                report
+                    .unused_pragmas
+                    .push((f.path.clone(), p.line, p.rule.clone()));
+            }
+        }
+    }
+    // Make sure every scanned bucket appears in the panic-surface counts
+    // even at zero, so the ratchet sees disappearing buckets.
+    let panic_counts = report
+        .counts
+        .entry("panic-surface".to_string())
+        .or_default();
+    for f in files {
+        if !f.is_test_path() {
+            panic_counts.entry(f.budget_key()).or_default();
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report
+}
+
+/// Walks the workspace at `root` and parses every non-vendored `.rs`
+/// file, in sorted path order.
+pub fn workspace_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for p in paths {
+        let rel = p
+            .strip_prefix(root)
+            .map_err(|_| format!("{} escapes the workspace root", p.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel.starts_with("crates/vendor/") {
+            continue;
+        }
+        let text =
+            std::fs::read_to_string(&p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        out.push(SourceFile::parse(&rel, text));
+    }
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Convenience driver: walk `root`, lint, and ratchet against the budget
+/// text (if any). Returns the report plus the ratchet lines.
+pub fn lint_workspace(
+    root: &Path,
+    budget_text: Option<&str>,
+) -> Result<(LintReport, Vec<RatchetLine>), String> {
+    let sources = workspace_sources(root)?;
+    let report = lint_sources(&sources);
+    let ratchet = match budget_text {
+        Some(text) => {
+            let budget = Budget::parse(text)?;
+            let empty = BTreeMap::new();
+            let actual = report.counts.get("panic-surface").unwrap_or(&empty);
+            budget.ratchet("panic-surface", actual)
+        }
+        None => Vec::new(),
+    };
+    Ok((report, ratchet))
+}
+
+/// Builds the budget document matching the current counts (for
+/// `--write-budget`).
+pub fn budget_from_counts(report: &LintReport) -> Budget {
+    let mut b = Budget::default();
+    if let Some(counts) = report.counts.get("panic-surface") {
+        b.rules.insert("panic-surface".to_string(), counts.clone());
+    }
+    b
+}

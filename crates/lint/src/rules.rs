@@ -1,0 +1,483 @@
+//! The rule set: four deny-tier determinism/safety rules and one
+//! audit-tier ratchet.
+//!
+//! | rule | tier | what it catches |
+//! |---|---|---|
+//! | `nondet-collections` | deny | `HashMap`/`HashSet` in non-test library code — unordered iteration is the workspace's #1 source of report nondeterminism |
+//! | `wall-clock` | deny | `Instant::now` / `SystemTime` outside the allowlisted timing modules — clock reads must never feed canonical output |
+//! | `float-in-engine` | deny | `f32`/`f64` types or float literals in the engine hot-path crates — floats round differently under reassociation, so they are banned where circuits are computed |
+//! | `unsafe-without-safety-comment` | deny | an `unsafe` token with no `// SAFETY:` comment in the three lines above it (applies to test code too) |
+//! | `panic-surface` | audit | `.unwrap()` / `.expect(` / `panic!` in non-test library code, counted per crate and ratcheted against `lint/budget.json` |
+//!
+//! Rules are token-pattern matchers over [`SourceFile`]s — no AST. That
+//! makes them over-approximate by design: a false positive costs one
+//! explicit pragma with a written justification; a false negative costs
+//! a byte-flipped canonical report three PRs later.
+
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// Rule severity: deny fails the run outright; audit feeds the budget
+/// ratchet and fails only on growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    Deny,
+    Audit,
+}
+
+/// Every rule name, in display order. `pragma` is the meta-rule for
+/// malformed suppressions; it cannot itself be suppressed.
+pub const RULES: &[(&str, Tier)] = &[
+    ("nondet-collections", Tier::Deny),
+    ("wall-clock", Tier::Deny),
+    ("float-in-engine", Tier::Deny),
+    ("unsafe-without-safety-comment", Tier::Deny),
+    ("pragma", Tier::Deny),
+    ("panic-surface", Tier::Audit),
+];
+
+/// Whether `name` is a rule a pragma may legitimately allow.
+pub fn is_allowable_rule(name: &str) -> bool {
+    RULES.iter().any(|&(r, _)| r == name && r != "pragma")
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Everything one file contributes: deny findings plus audit counts.
+#[derive(Debug, Default)]
+pub struct FileFindings {
+    pub diagnostics: Vec<Diagnostic>,
+    /// `panic-surface` occurrences in this file (post-suppression).
+    pub panic_sites: u64,
+    /// Pragmas that suppressed at least one finding / count.
+    pub used_pragma_lines: Vec<u32>,
+}
+
+/// The timing modules where wall-clock reads are legitimate: the
+/// telemetry stopwatch layer itself, plus the scenario runner's
+/// wall-time measurement (stripped from canonical `--no-timing` output).
+const WALL_CLOCK_ALLOWLIST: &[&str] = &["crates/telemetry/src/metrics.rs"];
+
+/// The hot-path crates where floats are banned outright. Everything the
+/// circuit engine, the grid, the paper algorithms and the churn layer
+/// compute must stay integral.
+const FLOAT_SCOPE: &[&str] = &[
+    "crates/circuits/src/",
+    "crates/core/src/",
+    "crates/grid/src/",
+    "crates/pasc/src/",
+    "crates/dynamics/src/",
+];
+
+/// Runs every rule over one file.
+pub fn check_file(f: &SourceFile) -> FileFindings {
+    let mut out = FileFindings::default();
+    check_pragmas(f, &mut out);
+    let library_code = !f.is_test_path();
+
+    let text = &f.text;
+    // Walk the code view with a 2-token lookahead/lookbehind window.
+    for (pos, &ti) in f.code.iter().enumerate() {
+        let t = &f.toks[ti];
+        let word = t.text(text);
+        let in_test = f.in_test_span(ti);
+        let runtime_scope = library_code && !in_test;
+
+        // nondet-collections: any HashMap/HashSet identifier in runtime
+        // library code. `use` statements count — importing one is the
+        // first step to iterating one.
+        if runtime_scope
+            && t.kind == crate::lexer::TokKind::Ident
+            && (word == "HashMap" || word == "HashSet")
+        {
+            push_unless_suppressed(
+                f,
+                &mut out,
+                "nondet-collections",
+                t.line,
+                format!(
+                    "{word} iterates in hash order, which is not stable across runs; \
+                     use BTreeMap/BTreeSet or a sorted Vec, or pragma with an \
+                     order-independence justification"
+                ),
+            );
+        }
+
+        // wall-clock: `Instant::now` call chains and any `SystemTime`
+        // mention, outside the allowlisted timing modules.
+        if runtime_scope && !WALL_CLOCK_ALLOWLIST.contains(&f.path.as_str()) {
+            let next_is = |k: usize, s: &str| {
+                f.code
+                    .get(pos + k)
+                    .is_some_and(|&tj| f.toks[tj].text(text) == s)
+            };
+            let instant_now =
+                word == "Instant" && next_is(1, ":") && next_is(2, ":") && next_is(3, "now");
+            if instant_now || word == "SystemTime" {
+                push_unless_suppressed(
+                    f,
+                    &mut out,
+                    "wall-clock",
+                    t.line,
+                    format!(
+                        "{} outside a timing module: clock reads must never \
+                         influence canonical (--no-timing) output",
+                        if instant_now {
+                            "Instant::now"
+                        } else {
+                            "SystemTime"
+                        }
+                    ),
+                );
+            }
+        }
+
+        // float-in-engine: f32/f64 idents or float literals in hot-path
+        // crates.
+        if runtime_scope && FLOAT_SCOPE.iter().any(|p| f.path.starts_with(p)) {
+            let is_float_ident =
+                t.kind == crate::lexer::TokKind::Ident && (word == "f32" || word == "f64");
+            if is_float_ident || t.is_float_literal(text) {
+                push_unless_suppressed(
+                    f,
+                    &mut out,
+                    "float-in-engine",
+                    t.line,
+                    format!(
+                        "floating point ({word}) in an engine hot-path crate: \
+                         rounding is not associative, so floats can break \
+                         byte-identical reports; keep engine arithmetic integral"
+                    ),
+                );
+            }
+        }
+
+        // unsafe-without-safety-comment: applies everywhere, tests
+        // included.
+        if t.kind == crate::lexer::TokKind::Ident && word == "unsafe" && !has_safety_comment(f, ti)
+        {
+            push_unless_suppressed(
+                f,
+                &mut out,
+                "unsafe-without-safety-comment",
+                t.line,
+                "unsafe block without a `// SAFETY:` comment in the three \
+                 preceding lines"
+                    .to_string(),
+            );
+        }
+
+        // panic-surface (audit): `.unwrap(` / `.expect(` / `panic!` in
+        // runtime library code.
+        if runtime_scope {
+            let prev_is = |s: &str| pos > 0 && f.toks[f.code[pos - 1]].text(text) == s;
+            let next_is = |s: &str| {
+                f.code
+                    .get(pos + 1)
+                    .is_some_and(|&tj| f.toks[tj].text(text) == s)
+            };
+            let method_panic =
+                (word == "unwrap" || word == "expect") && prev_is(".") && next_is("(");
+            let macro_panic = word == "panic" && next_is("!");
+            if method_panic || macro_panic {
+                if f.suppressed("panic-surface", t.line) {
+                    mark_used(f, &mut out, "panic-surface", t.line);
+                } else {
+                    out.panic_sites += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether a `// SAFETY:` (or `/* SAFETY: */`) comment ends within the
+/// three lines above the token at `ti`.
+fn has_safety_comment(f: &SourceFile, ti: usize) -> bool {
+    let line = f.toks[ti].line;
+    f.toks[..ti].iter().rev().take(16).any(|t| {
+        matches!(
+            t.kind,
+            crate::lexer::TokKind::LineComment | crate::lexer::TokKind::BlockComment
+        ) && t.text(&f.text).contains("SAFETY:")
+            && t.line + 3 >= line
+    })
+}
+
+/// Validates the pragmas themselves: unknown rules and missing reasons
+/// are deny findings under the `pragma` meta-rule.
+fn check_pragmas(f: &SourceFile, out: &mut FileFindings) {
+    for p in &f.pragmas {
+        if !is_allowable_rule(&p.rule) {
+            out.diagnostics.push(Diagnostic {
+                rule: "pragma",
+                path: f.path.clone(),
+                line: p.line,
+                msg: format!(
+                    "pragma names unknown rule {:?}; known rules: {}",
+                    p.rule,
+                    RULES
+                        .iter()
+                        .filter(|&&(r, _)| r != "pragma")
+                        .map(|&(r, _)| r)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        } else if !p.has_reason {
+            out.diagnostics.push(Diagnostic {
+                rule: "pragma",
+                path: f.path.clone(),
+                line: p.line,
+                msg: format!(
+                    "pragma allow({}) has no reason; write \
+                     `// spf-lint: allow({}) — <why this is sound>`",
+                    p.rule, p.rule
+                ),
+            });
+        }
+    }
+}
+
+fn push_unless_suppressed(
+    f: &SourceFile,
+    out: &mut FileFindings,
+    rule: &'static str,
+    line: u32,
+    msg: String,
+) {
+    if f.suppressed(rule, line) {
+        mark_used(f, out, rule, line);
+    } else {
+        out.diagnostics.push(Diagnostic {
+            rule,
+            path: f.path.clone(),
+            line,
+            msg,
+        });
+    }
+}
+
+/// Records which pragma lines earned their keep (for the unused-pragma
+/// report).
+fn mark_used(f: &SourceFile, out: &mut FileFindings, rule: &str, line: u32) {
+    for p in &f.pragmas {
+        if p.rule == rule && (p.file_level || p.line == line || p.line + 1 == line) {
+            out.used_pragma_lines.push(p.line);
+        }
+    }
+}
+
+/// Aggregated `panic-surface` counts, keyed by budget bucket
+/// (`crates/<name>`, `src`, `xtask`).
+pub type PanicCounts = BTreeMap<String, u64>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> FileFindings {
+        check_file(&SourceFile::parse(path, src.to_string()))
+    }
+
+    fn rules_of(f: &FileFindings) -> Vec<&'static str> {
+        f.diagnostics.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn hashmap_in_library_code_is_denied() {
+        let f = check(
+            "crates/circuits/src/world.rs",
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n",
+        );
+        assert_eq!(rules_of(&f), ["nondet-collections"; 3]);
+        assert_eq!(f.diagnostics[0].line, 1);
+        assert_eq!(f.diagnostics[1].line, 2);
+    }
+
+    #[test]
+    fn hashmap_in_comments_strings_and_tests_is_fine() {
+        let f = check(
+            "crates/circuits/src/world.rs",
+            "// a HashMap would be wrong here\nfn f() { let s = \"HashSet\"; }\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { let m = std::collections::HashMap::<u8, u8>::new(); }\n}\n",
+        );
+        assert!(f.diagnostics.is_empty(), "{:?}", f.diagnostics);
+    }
+
+    #[test]
+    fn hashmap_in_tests_dir_is_fine() {
+        let f = check(
+            "crates/circuits/tests/differential.rs",
+            "fn t() { let m = std::collections::HashMap::<u8, u8>::new(); }\n",
+        );
+        assert!(f.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses_and_is_counted_used() {
+        let f = check(
+            "crates/circuits/src/world.rs",
+            "// spf-lint: allow(nondet-collections) — probed by key only, never iterated\n\
+             use std::collections::HashMap;\n",
+        );
+        assert!(f.diagnostics.is_empty(), "{:?}", f.diagnostics);
+        assert_eq!(f.used_pragma_lines, [1]);
+    }
+
+    #[test]
+    fn file_level_pragma_suppresses_everywhere() {
+        let f = check(
+            "crates/circuits/src/world.rs",
+            "// spf-lint: allow-file(nondet-collections) — all iteration sorts first\n\
+             use std::collections::HashMap;\nfn f() {}\nfn g(m: HashMap<u8, u8>) {}\n",
+        );
+        assert!(f.diagnostics.is_empty(), "{:?}", f.diagnostics);
+    }
+
+    #[test]
+    fn pragma_without_reason_is_a_finding() {
+        let f = check(
+            "crates/circuits/src/world.rs",
+            "// spf-lint: allow(nondet-collections)\nuse std::collections::HashMap;\n",
+        );
+        // The bare pragma still suppresses (so one fix, not two), but is
+        // itself reported.
+        assert_eq!(rules_of(&f), ["pragma"]);
+    }
+
+    #[test]
+    fn pragma_with_unknown_rule_is_a_finding() {
+        let f = check(
+            "crates/circuits/src/world.rs",
+            "// spf-lint: allow(no-such-rule) — whatever\n",
+        );
+        assert_eq!(rules_of(&f), ["pragma"]);
+        assert!(f.diagnostics[0].msg.contains("unknown rule"));
+    }
+
+    #[test]
+    fn wall_clock_outside_timing_modules_is_denied() {
+        let f = check(
+            "crates/scenarios/src/run.rs",
+            "fn f() { let t = std::time::Instant::now(); }\n",
+        );
+        assert_eq!(rules_of(&f), ["wall-clock"]);
+        let f = check(
+            "crates/scenarios/src/run.rs",
+            "use std::time::SystemTime;\n",
+        );
+        assert_eq!(rules_of(&f), ["wall-clock"]);
+    }
+
+    #[test]
+    fn wall_clock_in_the_timing_module_is_fine() {
+        let f = check(
+            "crates/telemetry/src/metrics.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        );
+        assert!(f.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn instant_import_alone_is_not_flagged() {
+        // Importing Instant is fine (the timing-gated call sites pragma
+        // themselves); only `Instant::now` chains and SystemTime fire.
+        let f = check("crates/scenarios/src/run.rs", "use std::time::Instant;\n");
+        assert!(f.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn floats_in_engine_crates_are_denied() {
+        let f = check(
+            "crates/core/src/spt.rs",
+            "fn f(x: f64) -> f32 { (x * 0.5) as f32 }\n",
+        );
+        let r = rules_of(&f);
+        assert!(r.iter().all(|&x| x == "float-in-engine"));
+        assert_eq!(r.len(), 4, "{:?}", f.diagnostics);
+    }
+
+    #[test]
+    fn floats_outside_the_engine_scope_are_fine() {
+        let f = check("xtask/src/main.rs", "fn f() -> f64 { 0.25 }\n");
+        assert!(f.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_a_safety_comment() {
+        let f = check(
+            "crates/telemetry/src/metrics.rs",
+            "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n",
+        );
+        assert_eq!(rules_of(&f), ["unsafe-without-safety-comment"]);
+        let f = check(
+            "crates/telemetry/src/metrics.rs",
+            "// SAFETY: the caller proved the invariant above.\n\
+             fn f() { unsafe { core::hint::unreachable_unchecked() } }\n",
+        );
+        assert!(f.diagnostics.is_empty(), "{:?}", f.diagnostics);
+    }
+
+    #[test]
+    fn unsafe_in_tests_is_still_checked() {
+        let f = check(
+            "crates/circuits/tests/differential.rs",
+            "fn t() { unsafe { std::mem::zeroed::<u8>() }; }\n",
+        );
+        assert_eq!(rules_of(&f), ["unsafe-without-safety-comment"]);
+    }
+
+    #[test]
+    fn safety_comment_too_far_above_does_not_count() {
+        let f = check(
+            "crates/circuits/src/world.rs",
+            "// SAFETY: stale comment\n\n\n\n\nfn f() { unsafe {} }\n",
+        );
+        assert_eq!(rules_of(&f), ["unsafe-without-safety-comment"]);
+    }
+
+    #[test]
+    fn panic_surface_counts_unwrap_expect_panic() {
+        let f = check(
+            "crates/grid/src/lib.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+             fn g(x: Option<u8>) -> u8 { x.expect(\"msg\") }\n\
+             fn h() { panic!(\"boom\"); }\n\
+             fn ok() { let unwrap = 3; let _ = unwrap; }\n",
+        );
+        assert!(f.diagnostics.is_empty());
+        assert_eq!(f.panic_sites, 3);
+    }
+
+    #[test]
+    fn panic_surface_skips_tests_and_suppressed_sites() {
+        let f = check(
+            "crates/grid/src/lib.rs",
+            "fn f(x: Option<u8>) -> u8 {\n\
+             \x20   // spf-lint: allow(panic-surface) — invariant: caller checked is_some\n\
+             \x20   x.unwrap()\n\
+             }\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { None::<u8>.unwrap(); }\n}\n",
+        );
+        assert_eq!(f.panic_sites, 0);
+        assert_eq!(f.used_pragma_lines, [2]);
+    }
+}

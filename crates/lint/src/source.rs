@@ -1,0 +1,356 @@
+//! Per-file analysis shared by every rule: the token stream, the
+//! in-source suppression pragmas, and which token ranges are test code.
+//!
+//! # Pragmas
+//!
+//! Suppressions are explicit, in-source, and must carry a reason:
+//!
+//! ```text
+//! // spf-lint: allow(nondet-collections) — keys are sorted before every iteration
+//! // spf-lint: allow-file(wall-clock) — this whole module is the timing layer
+//! ```
+//!
+//! A plain `allow(rule)` applies to findings on the pragma's own line or
+//! the line directly below it (so it works both trailing a statement and
+//! on its own line above one). `allow-file(rule)` applies to the whole
+//! file. A pragma with no reason text after the closing parenthesis, or
+//! naming an unknown rule, is itself a deny-tier finding — suppressions
+//! that don't explain themselves are how ratchets rot.
+//!
+//! # Test code
+//!
+//! Three things make a token "test code": living under a `tests/`,
+//! `benches/` or `examples/` directory; living in a file's
+//! `#[cfg(test)] mod … { … }` span (found by brace matching after the
+//! attribute); or being part of the attribute itself. Deny rules about
+//! runtime determinism skip test code — a test may freely hash, time and
+//! unwrap — while `unsafe-without-safety-comment` deliberately does not.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One parsed suppression pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// The rule name inside `allow(…)`.
+    pub rule: String,
+    /// Line the pragma comment starts on (1-based).
+    pub line: u32,
+    /// `allow-file` form: suppresses the rule anywhere in the file.
+    pub file_level: bool,
+    /// Whether reason text follows the closing parenthesis.
+    pub has_reason: bool,
+}
+
+/// A lexed and pre-analyzed source file, the unit every rule runs over.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (used for scoping).
+    pub path: String,
+    /// The raw source text.
+    pub text: String,
+    /// Every token, comments included, in source order.
+    pub toks: Vec<Tok>,
+    /// Indices into `toks` of non-comment tokens ("code view").
+    pub code: Vec<usize>,
+    /// Parsed suppression pragmas, in source order.
+    pub pragmas: Vec<Pragma>,
+    /// `toks` index ranges (half-open) covered by `#[cfg(test)]` items.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes `text` under the given workspace-relative
+    /// `path` (the path only matters for scoping, not I/O).
+    pub fn parse(path: &str, text: String) -> SourceFile {
+        let toks = lex(&text);
+        let code: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let pragmas = collect_pragmas(&text, &toks);
+        let test_spans = collect_test_spans(&text, &toks, &code);
+        SourceFile {
+            path: path.to_string(),
+            text,
+            toks,
+            code,
+            pragmas,
+            test_spans,
+        }
+    }
+
+    /// Whether the file lives in a directory whose contents are test or
+    /// demo code as a whole.
+    pub fn is_test_path(&self) -> bool {
+        let p = &self.path;
+        p.contains("/tests/")
+            || p.contains("/benches/")
+            || p.starts_with("tests/")
+            || p.starts_with("benches/")
+            || p.contains("/examples/")
+            || p.starts_with("examples/")
+            || p.ends_with("build.rs")
+    }
+
+    /// Whether token index `ti` (into `toks`) is inside a
+    /// `#[cfg(test)]` span.
+    pub fn in_test_span(&self, ti: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= ti && ti < b)
+    }
+
+    /// Whether a finding of `rule` at `line` is suppressed by a pragma
+    /// (file-level, same line, or the line directly above).
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.pragmas
+            .iter()
+            .any(|p| p.rule == rule && (p.file_level || p.line == line || p.line + 1 == line))
+    }
+
+    /// The crate-ish component of the path used for budget bucketing:
+    /// `crates/<name>` stays `crates/<name>`; anything else keeps its
+    /// first component (`src`, `xtask`, `tests`, …).
+    pub fn budget_key(&self) -> String {
+        let mut parts = self.path.split('/');
+        match (parts.next(), parts.next()) {
+            (Some("crates"), Some(name)) => format!("crates/{name}"),
+            (Some(first), _) => first.to_string(),
+            (None, _) => self.path.clone(),
+        }
+    }
+}
+
+/// Scans line comments for `spf-lint:` pragmas.
+fn collect_pragmas(text: &str, toks: &[Tok]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = t
+            .text(text)
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim_start();
+        let Some(rest) = body.strip_prefix("spf-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (file_level, rest) = match rest.strip_prefix("allow-file(") {
+            Some(r) => (true, r),
+            None => match rest.strip_prefix("allow(") {
+                Some(r) => (false, r),
+                // `spf-lint:` followed by anything else is a malformed
+                // pragma; surface it as an unknown rule.
+                None => (false, rest),
+            },
+        };
+        let (rule, reason) = match rest.split_once(')') {
+            Some((rule, reason)) => (rule.trim().to_string(), reason),
+            None => (String::new(), ""),
+        };
+        // The reason must be real text, not just dash decoration.
+        let reason_text: String = reason
+            .trim()
+            .trim_start_matches(['—', '-', ':', ' '])
+            .trim()
+            .to_string();
+        out.push(Pragma {
+            rule,
+            line: t.line,
+            file_level,
+            has_reason: !reason_text.is_empty(),
+        });
+    }
+    out
+}
+
+/// Finds `#[cfg(test)]` attributes and the token span of the item each
+/// one gates (brace-matched, or up to the terminating `;`).
+fn collect_test_spans(text: &str, toks: &[Tok], code: &[usize]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let ident = |ci: usize, s: &str| {
+        code.get(ci)
+            .is_some_and(|&ti| toks[ti].kind == TokKind::Ident && toks[ti].text(text) == s)
+    };
+    let punct = |ci: usize, s: &str| {
+        code.get(ci)
+            .is_some_and(|&ti| toks[ti].kind == TokKind::Punct && toks[ti].text(text) == s)
+    };
+    let mut ci = 0;
+    while ci + 6 < code.len() {
+        // Match `# [ cfg ( test ) ]` over the code view. `cfg(any(test,…))`
+        // and friends are out of scope: the workspace writes the plain
+        // form, and a miss only makes the linter stricter, never looser.
+        let is_cfg_test = punct(ci, "#")
+            && punct(ci + 1, "[")
+            && ident(ci + 2, "cfg")
+            && punct(ci + 3, "(")
+            && ident(ci + 4, "test")
+            && punct(ci + 5, ")")
+            && punct(ci + 6, "]");
+        if !is_cfg_test {
+            ci += 1;
+            continue;
+        }
+        let attr_start_ti = code[ci];
+        let mut j = ci + 7;
+        // Skip any further attributes between the cfg and the item.
+        while punct(j, "#") && punct(j + 1, "[") {
+            let mut depth = 0usize;
+            j += 1;
+            while j < code.len() {
+                if punct(j, "[") {
+                    depth += 1;
+                } else if punct(j, "]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Scan to the item's body: the first `{` at nesting depth 0
+        // opens it (brace-match to its close); a `;` first means a
+        // body-less item (e.g. `mod tests;`).
+        let mut depth = 0i64;
+        let mut end = None;
+        while j < code.len() {
+            if punct(j, "(") || punct(j, "[") {
+                depth += 1;
+            } else if punct(j, ")") || punct(j, "]") {
+                depth -= 1;
+            } else if punct(j, ";") && depth == 0 {
+                end = Some(j + 1);
+                break;
+            } else if punct(j, "{") && depth == 0 {
+                let mut braces = 0i64;
+                while j < code.len() {
+                    if punct(j, "{") {
+                        braces += 1;
+                    } else if punct(j, "}") {
+                        braces -= 1;
+                        if braces == 0 {
+                            end = Some(j + 1);
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                break;
+            }
+            j += 1;
+        }
+        let end_ci = end.unwrap_or(code.len());
+        let end_ti = code
+            .get(end_ci.saturating_sub(1))
+            .map(|&ti| ti + 1)
+            .unwrap_or(toks.len());
+        spans.push((attr_start_ti, end_ti));
+        ci = end_ci.max(ci + 1);
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pragma_forms_parse() {
+        let src = "\
+// spf-lint: allow(nondet-collections) — sorted before iteration\n\
+let x = 1; // spf-lint: allow(wall-clock) measured, not reported\n\
+// spf-lint: allow-file(panic-surface) — CLI tool, panics are diagnostics\n\
+// spf-lint: allow(float-in-engine)\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src.to_string());
+        assert_eq!(f.pragmas.len(), 4);
+        assert!(f.pragmas[0].has_reason && !f.pragmas[0].file_level);
+        assert_eq!(f.pragmas[0].rule, "nondet-collections");
+        assert_eq!(f.pragmas[1].line, 2);
+        assert!(f.pragmas[2].file_level);
+        assert!(!f.pragmas[3].has_reason, "bare pragma must lack a reason");
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let src = "// spf-lint: allow(wall-clock) — r\nInstant::now();\nInstant::now();\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src.to_string());
+        assert!(f.suppressed("wall-clock", 1));
+        assert!(f.suppressed("wall-clock", 2));
+        assert!(!f.suppressed("wall-clock", 3));
+        assert!(!f.suppressed("nondet-collections", 2));
+    }
+
+    #[test]
+    fn cfg_test_mod_span_is_detected() {
+        let src = "\
+fn real() { let m = HashMap::new(); }\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t() { let s = HashSet::new(); }\n\
+}\n\
+fn after() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src.to_string());
+        assert_eq!(f.test_spans.len(), 1);
+        let in_test: Vec<&str> = f
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|&(i, t)| t.kind == TokKind::Ident && f.in_test_span(i))
+            .map(|(_, t)| t.text(&f.text))
+            .collect();
+        assert!(in_test.contains(&"HashSet"));
+        assert!(!in_test.contains(&"HashMap"));
+        assert!(!in_test.contains(&"after"));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attribute_and_fn() {
+        let src = "\
+#[cfg(test)]\n\
+#[allow(dead_code)]\n\
+fn helper(x: (u8, u8)) -> u8 { x.0 }\n\
+fn live() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src.to_string());
+        assert_eq!(f.test_spans.len(), 1);
+        let live_ti = f
+            .toks
+            .iter()
+            .position(|t| t.text(&f.text) == "live")
+            .unwrap();
+        assert!(!f.in_test_span(live_ti));
+        let helper_ti = f
+            .toks
+            .iter()
+            .position(|t| t.text(&f.text) == "helper")
+            .unwrap();
+        assert!(f.in_test_span(helper_ti));
+    }
+
+    #[test]
+    fn path_classification() {
+        for p in [
+            "crates/circuits/tests/differential.rs",
+            "crates/bench/benches/engine.rs",
+            "examples/demo.rs",
+            "tests/smoke.rs",
+        ] {
+            assert!(
+                SourceFile::parse(p, String::new()).is_test_path(),
+                "{p} should be test-ish"
+            );
+        }
+        assert!(!SourceFile::parse("crates/circuits/src/world.rs", String::new()).is_test_path());
+        assert_eq!(
+            SourceFile::parse("crates/circuits/src/world.rs", String::new()).budget_key(),
+            "crates/circuits"
+        );
+        assert_eq!(
+            SourceFile::parse("src/bin/scenario_runner.rs", String::new()).budget_key(),
+            "src"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! The self-application gate: the workspace must lint clean against its
+//! own committed budget, and an injected violation must actually trip
+//! the linter — a gate that cannot fail is not a gate.
+
+use std::path::Path;
+
+use spf_lint::budget::Budget;
+use spf_lint::source::SourceFile;
+use spf_lint::{lint_sources, lint_workspace, BUDGET_PATH};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+/// The committed tree is deny-clean and within its audit budget — the
+/// same check CI runs via `cargo xtask lint`.
+#[test]
+fn workspace_lints_clean_against_committed_budget() {
+    let root = workspace_root();
+    let budget_text = std::fs::read_to_string(root.join(BUDGET_PATH))
+        .expect("lint/budget.json is committed; reseed with `cargo xtask lint --write-budget`");
+    let (report, ratchet) = lint_workspace(root, Some(&budget_text)).expect("workspace walks");
+    assert!(report.files > 50, "the walk found the workspace");
+    assert!(
+        report.deny_clean(),
+        "deny findings in the committed tree:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        !Budget::failed(&ratchet),
+        "panic-surface counts grew past lint/budget.json: {ratchet:?}"
+    );
+    assert!(
+        report.unused_pragmas.is_empty(),
+        "stale pragmas (suppress nothing): {:?}",
+        report.unused_pragmas
+    );
+}
+
+/// Injecting each class of violation into an engine-scoped path trips
+/// the corresponding deny rule.
+#[test]
+fn injected_violations_trip_the_gate() {
+    let cases: &[(&str, &str)] = &[
+        (
+            "use std::collections::HashMap;\nfn f() -> HashMap<u32, u32> { HashMap::new() }\n",
+            "nondet-collections",
+        ),
+        (
+            "fn f() -> u128 { std::time::Instant::now().elapsed().as_micros() }\n",
+            "wall-clock",
+        ),
+        ("fn f(x: f64) -> f64 { x * 0.5 }\n", "float-in-engine"),
+        (
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+            "unsafe-without-safety-comment",
+        ),
+    ];
+    for (src, rule) in cases {
+        let f = SourceFile::parse("crates/core/src/injected.rs", src.to_string());
+        let report = lint_sources(std::slice::from_ref(&f));
+        assert!(
+            report.diagnostics.iter().any(|d| d.rule == *rule),
+            "injected {rule} violation was not caught: {:?}",
+            report.diagnostics
+        );
+    }
+}
+
+/// The budget ratchet trips when a crate's panic count grows past the
+/// committed number, and passes when it shrinks below it.
+#[test]
+fn budget_ratchet_direction_is_one_way() {
+    let root = workspace_root();
+    let budget_text = std::fs::read_to_string(root.join(BUDGET_PATH)).unwrap();
+    let budget = Budget::parse(&budget_text).unwrap();
+    let committed = budget.rules["panic-surface"].clone();
+
+    let mut grown = committed.clone();
+    *grown.entry("crates/core".to_string()).or_default() += 1;
+    assert!(Budget::failed(&budget.ratchet("panic-surface", &grown)));
+
+    let mut shrunk = committed.clone();
+    let c = shrunk
+        .get_mut("crates/core")
+        .expect("crates/core has a panic budget");
+    *c = c.saturating_sub(1);
+    assert!(!Budget::failed(&budget.ratchet("panic-surface", &shrunk)));
+}

@@ -178,6 +178,14 @@ fn parse_args(argv: &[String], out: &mut dyn Write) -> ParseOutcome {
             }
         }
     }
+    // Sized builds feed `--size` straight into the blob generators, whose
+    // smallest structure is one amoebot; reject the bad input here with a
+    // usage diagnostic instead of panicking deep inside a generator.
+    if args.size == 0 {
+        let _ = writeln!(out, "invalid value for --size: must be at least 1");
+        let _ = writeln!(out, "{USAGE}");
+        return ParseOutcome::Exit(2);
+    }
     ParseOutcome::Run(Box::new(args))
 }
 
@@ -528,6 +536,7 @@ fn run_replay_mode(path: &str, out: &mut dyn Write) -> u8 {
             return 2;
         }
     };
+    // spf-lint: allow(wall-clock) — verification wall time is human-facing progress info, never part of canonical output
     let start = std::time::Instant::now();
     match amoebot_circuits::replay_trace(&bytes) {
         Ok(rep) => {
@@ -771,6 +780,22 @@ mod tests {
             "divergence report must carry round + event index: {output:?}"
         );
         let _ = std::fs::remove_file(&trace);
+    }
+
+    /// Regression: `--record-trace … --size 0` used to reach
+    /// `random_blob`'s `assert!(n >= 1)` and panic; user input must come
+    /// back as a usage diagnostic under the 0/1/2 exit-code contract.
+    #[test]
+    fn size_zero_is_a_usage_error_not_a_panic() {
+        let trace = temp_path("size-zero.bin");
+        let (code, output) =
+            run_captured(&["--record-trace", trace.to_str().unwrap(), "--size", "0"]);
+        assert_eq!(code, 2);
+        assert!(
+            output.contains("--size") && output.contains("at least 1"),
+            "diagnostic must name the flag and the constraint: {output:?}"
+        );
+        assert!(!trace.exists(), "no trace may be written on a usage error");
     }
 
     #[test]

@@ -106,6 +106,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
 /// end (the blob broadcast families); structure workloads run their
 /// algorithm-internal simulators and ignore the recorder's trace side.
 pub fn run_scenario_with<R: Recorder>(scenario: &Scenario, rec: &mut R) -> ScenarioResult {
+    // spf-lint: allow(wall-clock) — feeds `elapsed`, which --no-timing strips from canonical reports
     let start = Instant::now();
     let mut outcome = match &scenario.workload {
         Workload::Structure {

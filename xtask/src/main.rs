@@ -326,13 +326,115 @@ fn bench_compare(
     Ok((0, improvements))
 }
 
+/// `cargo xtask lint [--write-budget]`: run the spf-lint determinism &
+/// safety analyzer over the workspace (see `crates/lint` and DESIGN.md
+/// §1f) and ratchet the audit-tier counts against `lint/budget.json`.
+///
+/// Exit codes: 0 clean, 1 findings or ratchet growth, 2 I/O trouble
+/// (via the `Err` path). With `--write-budget` the budget file is
+/// rewritten to the current counts — the one-way ratchet's manual
+/// release valve, for when a PR deliberately adds or (better) removes
+/// panic sites.
+fn lint(write_budget: bool) -> Result<u8, String> {
+    // spf-lint: allow(wall-clock) — progress reporting for a human-run tool; never in canonical output
+    let started = std::time::Instant::now();
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .ok_or("xtask manifest has no parent directory")?
+        .to_path_buf();
+    let budget_path = root.join(spf_lint::BUDGET_PATH);
+    let budget_text = std::fs::read_to_string(&budget_path).ok();
+    if budget_text.is_none() && !write_budget {
+        eprintln!(
+            "note: no {} found; every audit count will read as growth \
+             (run `cargo xtask lint --write-budget` to seed it)",
+            spf_lint::BUDGET_PATH
+        );
+    }
+    let (report, ratchet) = spf_lint::lint_workspace(&root, budget_text.as_deref())?;
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    let mut ratchet_failed = false;
+    for line in &ratchet {
+        use spf_lint::budget::RatchetLine::*;
+        match line {
+            Over(rule, bucket, budgeted, actual) => {
+                ratchet_failed = true;
+                println!(
+                    "OVER  [{rule}] {bucket}: {actual} sites (budget {budgeted}) — handle the \
+                     error, pragma it with a reason, or re-budget deliberately \
+                     (`cargo xtask lint --write-budget`)"
+                );
+            }
+            Unbudgeted(rule, bucket, actual) => {
+                ratchet_failed = true;
+                println!(
+                    "OVER  [{rule}] {bucket}: {actual} sites but no budget entry \
+                     (`cargo xtask lint --write-budget` to admit them)"
+                );
+            }
+            Under(rule, bucket, budgeted, actual) => {
+                println!(
+                    "note: [{rule}] {bucket}: {actual} sites, budget {budgeted} — tighten \
+                     with `cargo xtask lint --write-budget`"
+                );
+            }
+            Exact(..) => {}
+        }
+    }
+    for (path, line, rule) in &report.unused_pragmas {
+        println!("note: unused pragma allow({rule}) at {path}:{line} — remove it?");
+    }
+    let pragma_summary: Vec<String> = report
+        .pragmas
+        .iter()
+        .map(|(rule, n)| format!("{rule} x{n}"))
+        .collect();
+    let verdict_failed = !report.deny_clean() || ratchet_failed;
+    println!(
+        "lint: {} — {} files, {} finding(s), {} pragma(s){}{} in {} ms",
+        if verdict_failed { "FAILED" } else { "clean" },
+        report.files,
+        report.diagnostics.len(),
+        report.pragmas.values().sum::<u64>(),
+        if pragma_summary.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", pragma_summary.join(", "))
+        },
+        if ratchet_failed {
+            ", audit budget exceeded"
+        } else {
+            ""
+        },
+        started.elapsed().as_millis(),
+    );
+    if write_budget {
+        let budget = spf_lint::budget_from_counts(&report);
+        std::fs::create_dir_all(budget_path.parent().expect("budget path has a parent"))
+            .map_err(|e| format!("cannot create lint/: {e}"))?;
+        std::fs::write(&budget_path, budget.render())
+            .map_err(|e| format!("cannot write {}: {e}", budget_path.display()))?;
+        println!("wrote {}", budget_path.display());
+    }
+    Ok(u8::from(verdict_failed))
+}
+
 const USAGE: &str = "usage: cargo xtask bench-report OLD.json NEW.json\n\
      \x20      cargo xtask bench-compare BASELINE.json FRESH.json \
      [--threshold PCT] [--min-wall-micros N]\n\
-     \x20      cargo xtask bench-refresh";
+     \x20      cargo xtask bench-refresh\n\
+     \x20      cargo xtask lint [--write-budget]";
 
 fn run(argv: &[String]) -> Result<u8, String> {
     match argv.first().map(String::as_str) {
+        Some("lint") => match &argv[1..] {
+            [] => lint(false),
+            [flag] if flag == "--write-budget" => lint(true),
+            _ => Err(USAGE.to_string()),
+        },
         Some("bench-report") => {
             let [old, new] = &argv[1..] else {
                 return Err(USAGE.to_string());
