@@ -38,6 +38,7 @@ pub mod bitset;
 pub mod leader;
 pub mod replay;
 pub mod report;
+pub mod snapshot;
 pub mod topology;
 pub mod world;
 

@@ -15,7 +15,7 @@ use amoebot_grid::{AmoebotStructure, Direction, ALL_DIRECTIONS};
 pub type PortId = usize;
 
 /// Vacant-port sentinel in the flat slot arrays.
-const NONE: u32 = u32::MAX;
+pub(crate) const NONE: u32 = u32::MAX;
 
 /// An undirected, port-labelled multigraph-free topology.
 ///
@@ -28,12 +28,12 @@ const NONE: u32 = u32::MAX;
 #[derive(Debug, Clone)]
 pub struct Topology {
     /// CSR row offsets: node `v` owns slots `offsets[v]..offsets[v + 1]`.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Peer node id per slot ([`NONE`] = vacant).
-    peer_node: Vec<u32>,
+    pub(crate) peer_node: Vec<u32>,
     /// Peer-side port per slot (undefined for vacant slots).
-    peer_port: Vec<u32>,
-    edge_count: usize,
+    pub(crate) peer_port: Vec<u32>,
+    pub(crate) edge_count: usize,
 }
 
 impl Topology {

@@ -74,11 +74,11 @@ pub type Pin = (PortId, usize);
 pub const REGION_FALLBACK_FRACTION: usize = 8;
 
 /// Vacant-slot sentinel of the per-port edge table.
-const NO_EDGE: u32 = u32::MAX;
+pub(crate) const NO_EDGE: u32 = u32::MAX;
 
 /// Tombstone of a removed `links` entry (`a0 == u32::MAX` never occurs on
 /// a live entry: it would exceed the pin id space).
-const DEAD_LINK: (u32, u32, u32, u32) = (u32::MAX, 0, 0, 0);
+pub(crate) const DEAD_LINK: (u32, u32, u32, u32) = (u32::MAX, 0, 0, 0);
 
 /// The engine's telemetry registry plus pre-registered handles for the
 /// hot-path counters and phase timers, so instrumented code never pays a
@@ -87,19 +87,19 @@ const DEAD_LINK: (u32, u32, u32, u32) = (u32::MAX, 0, 0, 0);
 /// when a run drives the engine through a [`Recorder`] with
 /// `TIMED = true` — under [`NullRecorder`] the timing code compiles away.
 #[derive(Debug, Clone)]
-struct EngineStats {
-    metrics: Metrics,
-    relabel_global: CounterId,
-    relabel_region: CounterId,
-    t_propagate: TimerId,
-    t_dissolve: TimerId,
-    t_reunion: TimerId,
-    t_repack: TimerId,
-    t_global: TimerId,
+pub(crate) struct EngineStats {
+    pub(crate) metrics: Metrics,
+    pub(crate) relabel_global: CounterId,
+    pub(crate) relabel_region: CounterId,
+    pub(crate) t_propagate: TimerId,
+    pub(crate) t_dissolve: TimerId,
+    pub(crate) t_reunion: TimerId,
+    pub(crate) t_repack: TimerId,
+    pub(crate) t_global: TimerId,
 }
 
 impl EngineStats {
-    fn new() -> EngineStats {
+    pub(crate) fn new() -> EngineStats {
         let mut m = Metrics::new();
         EngineStats {
             relabel_global: m.counter("relabel_global"),
@@ -123,12 +123,12 @@ impl EngineStats {
 /// exactly as specified in §1.2 of the paper.
 #[derive(Debug, Clone)]
 pub struct World {
-    topo: Topology,
-    c: usize,
+    pub(crate) topo: Topology,
+    pub(crate) c: usize,
     /// Base index of node `v`'s pins/partition-set ids in the global arrays.
-    base: Vec<u32>,
+    pub(crate) base: Vec<u32>,
     /// Global pin index -> local partition set id of the owning node.
-    pin_pset: Vec<u16>,
+    pub(crate) pin_pset: Vec<u16>,
     /// Link table, one entry per *edge*: `(a0, base_a, b0, base_b)` where
     /// `a0`/`b0` are the global pin indices of the edge's link-0 pins
     /// (links `0..c` are the `c` consecutive pins from there) and
@@ -136,84 +136,84 @@ pub struct World {
     /// needs no per-pin node lookup. [`World::disconnect`] tombstones an
     /// entry ([`DEAD_LINK`]) and recycles its slot through `free_links`,
     /// so the table never grows past the historical edge maximum.
-    links: Vec<(u32, u32, u32, u32)>,
+    pub(crate) links: Vec<(u32, u32, u32, u32)>,
     /// Recycled slots of tombstoned `links` entries.
-    free_links: Vec<u32>,
+    pub(crate) free_links: Vec<u32>,
     /// Partition sets (by global id) that beep this round (bit-packed;
     /// the set bits are always a subset of the dense `sent` list).
-    send: BitSet,
+    pub(crate) send: BitSet,
     /// Dense list of the gids set in `send` (clears in O(beeps)).
-    sent: Vec<u32>,
+    pub(crate) sent: Vec<u32>,
     /// Partition sets (by global id) that received a beep last round
     /// (bit-packed; set bits ⊆ `recv_set`).
-    recv: BitSet,
+    pub(crate) recv: BitSet,
     /// Dense list of the gids set in `recv` (clears in O(deliveries)).
-    recv_set: Vec<u32>,
+    pub(crate) recv_set: Vec<u32>,
     /// Union-find scratch (parents over global partition-set ids).
-    uf: Vec<u32>,
+    pub(crate) uf: Vec<u32>,
     /// Cached circuit labeling: partition-set gid -> root gid (= minimum
     /// gid) of its circuit. Valid iff no relabel is pending.
-    labels: Vec<u32>,
+    pub(crate) labels: Vec<u32>,
     /// Membership arena: each current circuit root `r` owns the bucket
     /// `members[member_off[r]..member_end[r]]` (its member gids in
     /// ascending order). The global rebuild packs buckets contiguously;
     /// region relabels append fresh buckets at the end (the displaced old
     /// buckets become garbage) and a full repack reclaims the arena when
     /// it would outgrow twice the pin count.
-    members: Vec<u32>,
+    pub(crate) members: Vec<u32>,
     /// Bucket start per root gid (valid only for current roots).
-    member_off: Vec<u32>,
+    pub(crate) member_off: Vec<u32>,
     /// Bucket end per root gid (valid only for current roots).
-    member_end: Vec<u32>,
+    pub(crate) member_end: Vec<u32>,
     /// Root dedup scratch; always all-clear between uses (bit-packed).
-    root_mark: BitSet,
+    pub(crate) root_mark: BitSet,
     /// Dense list of roots currently marked in `root_mark`.
-    marked_roots: Vec<u32>,
+    pub(crate) marked_roots: Vec<u32>,
     /// Pins whose partition set changed since the last relabel, as
     /// `(pin gid, owning node's base offset)`; deduped via `dirty_pin`.
-    dirty_pins: Vec<(u32, u32)>,
+    pub(crate) dirty_pins: Vec<(u32, u32)>,
     /// Bit per pin: whether it is in `dirty_pins`.
-    dirty_pin: BitSet,
+    pub(crate) dirty_pin: BitSet,
     /// The pin configuration as of the last relabel — the "old" partition
     /// sets that seed the affected region of the next region relabel.
-    pset_at_relabel: Vec<u16>,
+    pub(crate) pset_at_relabel: Vec<u16>,
     /// Whether the next relabel must be global (set at construction and
     /// by `tick_reference`, which clobbers the union-find scratch).
-    force_global: bool,
+    pub(crate) force_global: bool,
     /// Persistent marks of the counted circuit roots (a root is counted
     /// iff some pin references a partition set in its bucket); maintained
     /// incrementally by the region relabel.
-    circuit_roots: BitSet,
+    pub(crate) circuit_roots: BitSet,
     /// Edge index (into `links`) behind each *port slot* (slot of
     /// `(v, p)` = `base[v] / c + p`; [`NO_EDGE`] = vacant). Replaces the
     /// old per-node edge CSR: same O(incident edges) walk during region
     /// relabels, but splice-editable in O(1) per edge — prefix-offset
     /// CSRs cannot absorb an insertion without rebuilding every row
     /// behind it.
-    port_edge: Vec<u32>,
+    pub(crate) port_edge: Vec<u32>,
     /// Region-relabel scratch: old roots touching a dirty pin.
-    affected_mark: BitSet,
-    affected_roots: Vec<u32>,
+    pub(crate) affected_mark: BitSet,
+    pub(crate) affected_roots: Vec<u32>,
     /// Region-relabel scratch: all gids of the affected circuits.
-    in_region: BitSet,
-    region: Vec<u32>,
+    pub(crate) in_region: BitSet,
+    pub(crate) region: Vec<u32>,
     /// Region-relabel scratch: nodes owning a region gid.
-    node_mark: BitSet,
-    region_nodes: Vec<u32>,
+    pub(crate) node_mark: BitSet,
+    pub(crate) region_nodes: Vec<u32>,
     /// Number of distinct circuits under the cached labeling.
-    cached_circuits: usize,
+    pub(crate) cached_circuits: usize,
     /// Telemetry registry + cached handles. Holds the relabel-path
     /// counters (diagnostics; pinned by tests so the region path cannot
     /// silently degrade into always-global) and the phase timers.
-    stats: EngineStats,
-    rounds: u64,
+    pub(crate) stats: EngineStats,
+    pub(crate) rounds: u64,
     /// Rounds executed by `tick`/`tick_reference` (excludes charges).
-    simulated: u64,
+    pub(crate) simulated: u64,
     /// Audited rounds charged without simulation (see [`World::charge_rounds`]).
-    charged: u64,
-    charge_log: Vec<(String, i64)>,
+    pub(crate) charged: u64,
+    pub(crate) charge_log: Vec<(String, i64)>,
     /// Total beeps sent (diagnostic; the model itself never counts beeps).
-    beeps_sent: u64,
+    pub(crate) beeps_sent: u64,
 }
 
 impl World {
@@ -1231,6 +1231,16 @@ impl World {
     /// already labelled (one counted singleton circuit per pin), so the
     /// cached labeling stays valid and no relabel is triggered.
     pub fn add_node(&mut self, ports: usize) -> usize {
+        self.add_node_with(ports, &mut NullRecorder)
+    }
+
+    /// [`World::add_node`] with the append recorded. This is the single
+    /// implementation; the plain form is a [`NullRecorder`] wrapper, so
+    /// the emission gate below compiles away there.
+    pub fn add_node_with<R: Recorder>(&mut self, ports: usize, rec: &mut R) -> usize {
+        if R::TRACE {
+            rec.add_node(ports as u32);
+        }
         let v = self.topo.push_node(ports);
         let old_total = *self.base.last().expect("base always non-empty") as usize;
         let added = ports * self.c;
@@ -1291,6 +1301,22 @@ impl World {
     /// Panics on self-loops, duplicate edges, or occupied ports (see
     /// [`Topology::connect`]).
     pub fn connect(&mut self, v: usize, p: PortId, w: usize, q: PortId) {
+        self.connect_with(v, p, w, q, &mut NullRecorder)
+    }
+
+    /// [`World::connect`] with the edge recorded (the single
+    /// implementation; see [`World::add_node_with`]).
+    pub fn connect_with<R: Recorder>(
+        &mut self,
+        v: usize,
+        p: PortId,
+        w: usize,
+        q: PortId,
+        rec: &mut R,
+    ) {
+        if R::TRACE {
+            rec.connect(v as u32, p as u32, w as u32, q as u32);
+        }
         self.topo.connect(v, p, w, q);
         let a0 = self.base[v] + (p * self.c) as u32;
         let b0 = self.base[w] + (q * self.c) as u32;
@@ -1325,6 +1351,20 @@ impl World {
     ///
     /// Panics if the port carries no edge.
     pub fn disconnect(&mut self, v: usize, p: PortId) -> (usize, PortId) {
+        self.disconnect_with(v, p, &mut NullRecorder)
+    }
+
+    /// [`World::disconnect`] with the severed port recorded (the single
+    /// implementation; see [`World::add_node_with`]).
+    pub fn disconnect_with<R: Recorder>(
+        &mut self,
+        v: usize,
+        p: PortId,
+        rec: &mut R,
+    ) -> (usize, PortId) {
+        if R::TRACE {
+            rec.disconnect(v as u32, p as u32);
+        }
         let (w, q) = self
             .topo
             .peer(v, p)
@@ -1355,6 +1395,17 @@ impl World {
     /// single-pin circuits, exactly like any other isolated node's.
     /// O(deg · c).
     pub fn isolate(&mut self, v: usize) {
+        self.isolate_with(v, &mut NullRecorder)
+    }
+
+    /// [`World::isolate`] with the departure recorded as one event (the
+    /// implied disconnects and the singleton reset are replayed from it,
+    /// so the inner disconnects deliberately go unrecorded). The single
+    /// implementation; see [`World::add_node_with`].
+    pub fn isolate_with<R: Recorder>(&mut self, v: usize, rec: &mut R) {
+        if R::TRACE {
+            rec.isolate(v as u32);
+        }
         for p in 0..self.topo.ports_len(v) {
             if self.topo.peer(v, p).is_some() {
                 self.disconnect(v, p);
@@ -1367,54 +1418,11 @@ impl World {
     //
     // Pin-configuration changes need no recorder threading (the net
     // deltas are read off the dirty-pin list at tick time), but structure
-    // edits change the *shape* replay must mirror, so each mutation gets
-    // a `_with` wrapper that emits the edit before applying it. Under
-    // `R::TRACE == false` the wrappers are identity-cost.
-
-    /// [`World::add_node`] with the append recorded.
-    pub fn add_node_with<R: Recorder>(&mut self, ports: usize, rec: &mut R) -> usize {
-        if R::TRACE {
-            rec.add_node(ports as u32);
-        }
-        self.add_node(ports)
-    }
-
-    /// [`World::connect`] with the edge recorded.
-    pub fn connect_with<R: Recorder>(
-        &mut self,
-        v: usize,
-        p: PortId,
-        w: usize,
-        q: PortId,
-        rec: &mut R,
-    ) {
-        if R::TRACE {
-            rec.connect(v as u32, p as u32, w as u32, q as u32);
-        }
-        self.connect(v, p, w, q);
-    }
-
-    /// [`World::disconnect`] with the severed port recorded.
-    pub fn disconnect_with<R: Recorder>(
-        &mut self,
-        v: usize,
-        p: PortId,
-        rec: &mut R,
-    ) -> (usize, PortId) {
-        if R::TRACE {
-            rec.disconnect(v as u32, p as u32);
-        }
-        self.disconnect(v, p)
-    }
-
-    /// [`World::isolate`] with the departure recorded as one event (the
-    /// implied disconnects and the singleton reset are replayed from it).
-    pub fn isolate_with<R: Recorder>(&mut self, v: usize, rec: &mut R) {
-        if R::TRACE {
-            rec.isolate(v as u32);
-        }
-        self.isolate(v);
-    }
+    // edits change the *shape* replay must mirror, so each mutation's
+    // recorder-generic `_with` form emits the edit before applying it and
+    // *is* the implementation — the plain spellings above are one-line
+    // `NullRecorder` wrappers, under which the emission gates compile
+    // away.
 
     // ---- Replay-side accessors (crate-internal; see `crate::replay`).
     //

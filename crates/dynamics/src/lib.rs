@@ -23,6 +23,7 @@
 //!   delivery. The scenario layer runs it after *every* event.
 
 pub mod plan;
+pub mod snapshot;
 pub mod world;
 
 pub use plan::{AppliedEvent, ChurnFamily, ChurnPlan, ALL_CHURN_FAMILIES};

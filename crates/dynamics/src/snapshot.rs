@@ -1,0 +1,190 @@
+//! The `SPFS` snapshot codec for [`DynamicWorld`] — the editor/engine
+//! pair as one blob.
+//!
+//! The two halves are serialized with their own payload codecs
+//! ([`StructureEditor::encode_snapshot`], [`World::encode_payload`])
+//! and the composition re-checks the one cross-invariant the pair
+//! maintains: the halves share a single id space, so the editor's id
+//! capacity must equal the world's node count. Everything that makes
+//! churn deterministic survives verbatim — the live-list order (uniform
+//! sampling), the free-list order (id recycling), and the engine's
+//! cached labeling — so a [`crate::ChurnPlan`] applied after a restore
+//! makes byte-for-byte the same edits an uninterrupted run would make.
+//! A mid-plan snapshot therefore needs nothing beyond the next event
+//! index: the plan itself is stateless by construction.
+
+use amoebot_circuits::World;
+use amoebot_grid::StructureEditor;
+use amoebot_telemetry::wire::{self, SnapshotReader, SnapshotWriter, WireError};
+
+use crate::world::DynamicWorld;
+
+impl DynamicWorld {
+    /// Writes the dynamic-world payload (no envelope) into `w` — the
+    /// composable form the scenario-server's session codec embeds.
+    pub fn encode_payload(&self, w: &mut SnapshotWriter) {
+        w.varint(self.c as u64);
+        self.editor.encode_snapshot(w);
+        self.world.encode_payload(w);
+    }
+
+    /// Decodes a payload written by [`DynamicWorld::encode_payload`].
+    pub fn decode_payload(r: &mut SnapshotReader<'_>) -> Result<DynamicWorld, WireError> {
+        let c_offset = r.offset();
+        let c = r.len("dynamic-world links per edge")?;
+        let editor = StructureEditor::decode_snapshot(r)?;
+        let world = World::decode_payload(r)?;
+        if world.links_per_edge() != c {
+            return Err(WireError::BadValue {
+                what: "dynamic-world links per edge",
+                offset: c_offset,
+            });
+        }
+        if editor.capacity() != world.topology().len() {
+            return Err(WireError::BadValue {
+                what: "dynamic-world id space",
+                offset: c_offset,
+            });
+        }
+        Ok(DynamicWorld { editor, world, c })
+    }
+
+    /// The pair as a sealed `SPFS` blob (kind `DYNAMIC_WORLD`).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(wire::kind::DYNAMIC_WORLD);
+        self.encode_payload(&mut w);
+        w.finish()
+    }
+
+    /// Restores a pair from [`DynamicWorld::snapshot_bytes`] output.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<DynamicWorld, WireError> {
+        let mut r = SnapshotReader::open(bytes, wire::kind::DYNAMIC_WORLD)?;
+        let dw = DynamicWorld::decode_payload(&mut r)?;
+        r.finish()?;
+        Ok(dw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ChurnFamily, ChurnPlan, ALL_CHURN_FAMILIES};
+    use crate::world::verify_against_rebuild;
+    use amoebot_grid::{shapes, AmoebotStructure};
+    use amoebot_telemetry::{Recorder, RoundSummary};
+
+    #[derive(Default)]
+    struct Summaries(Vec<RoundSummary>);
+
+    impl Recorder for Summaries {
+        const TRACE: bool = true;
+        const TIMED: bool = false;
+        fn round_end(&mut self, s: &RoundSummary) {
+            self.0.push(*s);
+        }
+    }
+
+    fn churny_world(n: usize, seed: u64) -> DynamicWorld {
+        let s = AmoebotStructure::new(shapes::random_blob(n, &mut crate::derive_rng(seed, 0)))
+            .unwrap();
+        let mut dw = DynamicWorld::new(&s, 2);
+        for v in 0..n {
+            dw.world_mut().global_pin_config(v);
+        }
+        dw
+    }
+
+    /// Drives one broadcast round the way the churn scenario family
+    /// does: beep from the first live amoebot, tick, note the summary.
+    fn broadcast_round(dw: &mut DynamicWorld, rec: &mut Summaries) {
+        let origin = dw.editor().live_ids()[0] as usize;
+        dw.world_mut().beep(origin, 0);
+        dw.world_mut().tick_with(rec);
+    }
+
+    /// The headline differential test: snapshot mid-`ChurnPlan`, restore,
+    /// and run the remaining events — the restored run must be
+    /// *byte-identical* to the uninterrupted one (same round summaries
+    /// with the same digests, and the same final snapshot bytes).
+    #[test]
+    fn mid_churn_restore_matches_uninterrupted_run() {
+        for (i, &family) in ALL_CHURN_FAMILIES.iter().enumerate() {
+            let plan = ChurnPlan::new(0xC0FFEE + i as u64, family, 6, 3);
+            let mut uninterrupted = churny_world(30, 17 + i as u64);
+            let mut rec_a = Summaries::default();
+            // First half of the schedule.
+            for event in 0..3 {
+                let applied = plan.apply(&mut uninterrupted, event);
+                for v in &applied.inserted {
+                    uninterrupted.world_mut().global_pin_config(v.index());
+                }
+                assert!(uninterrupted.revalidate_edited_chunks());
+                broadcast_round(&mut uninterrupted, &mut rec_a);
+            }
+            // Interrupt here: snapshot, restore, and let both worlds run
+            // the second half independently.
+            let blob = uninterrupted.snapshot_bytes();
+            let mut restored = DynamicWorld::from_snapshot_bytes(&blob).unwrap();
+            let mut rec_b = Summaries(rec_a.0.clone());
+            for event in 3..6 {
+                for (dw, rec) in [
+                    (&mut uninterrupted, &mut rec_a),
+                    (&mut restored, &mut rec_b),
+                ] {
+                    let applied = plan.apply(dw, event);
+                    for v in &applied.inserted {
+                        dw.world_mut().global_pin_config(v.index());
+                    }
+                    assert!(dw.revalidate_edited_chunks());
+                    broadcast_round(dw, rec);
+                }
+            }
+            assert_eq!(rec_a.0, rec_b.0, "family {family:?} diverged after restore");
+            verify_against_rebuild(&restored)
+                .unwrap_or_else(|e| panic!("restored world fails the oracle: {e}"));
+            assert_eq!(
+                uninterrupted.snapshot_bytes(),
+                restored.snapshot_bytes(),
+                "family {family:?}: final states differ byte-for-byte"
+            );
+        }
+    }
+
+    #[test]
+    fn re_encoding_a_restored_world_is_byte_identical() {
+        let mut dw = churny_world(24, 5);
+        let plan = ChurnPlan::new(99, ChurnFamily::GrowShrink, 4, 4);
+        for event in 0..4 {
+            let applied = plan.apply(&mut dw, event);
+            for v in &applied.inserted {
+                dw.world_mut().global_pin_config(v.index());
+            }
+            broadcast_round(&mut dw, &mut Summaries::default());
+        }
+        let blob = dw.snapshot_bytes();
+        let restored = DynamicWorld::from_snapshot_bytes(&blob).unwrap();
+        assert_eq!(restored.snapshot_bytes(), blob);
+        assert_eq!(restored.len(), dw.len());
+    }
+
+    #[test]
+    fn every_single_bit_corruption_is_rejected() {
+        let mut dw = churny_world(10, 3);
+        let plan = ChurnPlan::new(7, ChurnFamily::CrashBursts, 2, 2);
+        for event in 0..2 {
+            plan.apply(&mut dw, event);
+            broadcast_round(&mut dw, &mut Summaries::default());
+        }
+        let blob = dw.snapshot_bytes();
+        for byte in 0..blob.len() {
+            for bit in 0..8 {
+                let mut bad = blob.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    DynamicWorld::from_snapshot_bytes(&bad).is_err(),
+                    "flip at byte {byte} bit {bit} was accepted"
+                );
+            }
+        }
+    }
+}

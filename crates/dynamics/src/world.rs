@@ -15,9 +15,9 @@ use std::collections::BTreeMap;
 /// renumber and the engine's cached labeling survives every event.
 #[derive(Debug, Clone)]
 pub struct DynamicWorld {
-    editor: StructureEditor,
-    world: World,
-    c: usize,
+    pub(crate) editor: StructureEditor,
+    pub(crate) world: World,
+    pub(crate) c: usize,
 }
 
 impl DynamicWorld {

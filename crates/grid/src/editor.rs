@@ -53,6 +53,8 @@
 
 use std::collections::BTreeSet;
 
+use amoebot_telemetry::wire::{SnapshotReader, SnapshotWriter, WireError};
+
 use crate::chunkgrid::ChunkGrid;
 use crate::coord::{Coord, Direction, ALL_DIRECTIONS};
 use crate::structure::{AmoebotStructure, NodeId};
@@ -503,6 +505,203 @@ impl StructureEditor {
         let structure = AmoebotStructure::new(coords)
             .expect("editor invariants keep the structure connected and non-empty");
         (structure, map)
+    }
+}
+
+// ---- The `SPFS` snapshot codec (see DESIGN.md §1g).
+//
+// Everything semantic is serialized verbatim: the id space with its
+// tombstones and free-list (recycling order decides which ids future
+// insertions get), the dense live list (its order drives churn
+// sampling), the split coordinate index with its stale count (a merge
+// is an observable O(n) event, so restore must not force or forget
+// one), the flat neighbor table, and the edited-chunk set. Only the
+// occupancy mirror is rebuilt — its content is exactly the live
+// coordinate set, and [`ChunkGrid`]'s iteration order is content-
+// determined, not insertion-determined.
+impl StructureEditor {
+    /// Writes the editor payload (no envelope) into `w`.
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        w.varint(self.coords.len() as u64);
+        for c in &self.coords {
+            w.signed(c.q as i64);
+            w.signed(c.r as i64);
+        }
+        for chunk in self.alive.chunks(8) {
+            let mut byte = 0u8;
+            for (i, &a) in chunk.iter().enumerate() {
+                if a {
+                    byte |= 1 << i;
+                }
+            }
+            w.byte(byte);
+        }
+        w.varint(self.free.len() as u64);
+        for &id in &self.free {
+            w.varint(id as u64);
+        }
+        w.varint(self.live_ids.len() as u64);
+        for &id in &self.live_ids {
+            w.varint(id as u64);
+        }
+        w.varint(self.base_index.len() as u64);
+        for &(c, id) in &self.base_index {
+            w.signed(c.q as i64);
+            w.signed(c.r as i64);
+            w.varint(id as u64);
+        }
+        w.varint(self.overlay.len() as u64);
+        for &(c, id) in &self.overlay {
+            w.signed(c.q as i64);
+            w.signed(c.r as i64);
+            w.varint(id as u64);
+        }
+        w.varint(self.stale as u64);
+        for &nb in &self.neighbors {
+            w.varint(nb as u64);
+        }
+        w.varint(self.edited.len() as u64);
+        for &(q, r) in &self.edited {
+            w.signed(q as i64);
+            w.signed(r as i64);
+        }
+    }
+
+    /// Decodes an editor payload written by
+    /// [`StructureEditor::encode_snapshot`]. O(bytes) plus the occupancy
+    /// rebuild over the live cells.
+    pub fn decode_snapshot(r: &mut SnapshotReader<'_>) -> Result<StructureEditor, WireError> {
+        let capacity = r.len("editor capacity")?;
+        let mut coords = Vec::with_capacity(capacity);
+        for _ in 0..capacity {
+            let q = r.i32("editor coordinate")?;
+            let rr = r.i32("editor coordinate")?;
+            coords.push(Coord::new(q, rr));
+        }
+        let mut alive = Vec::with_capacity(capacity);
+        for _ in 0..capacity.div_ceil(8) {
+            let offset = r.offset();
+            let byte = r.byte()?;
+            for i in 0..8 {
+                if alive.len() < capacity {
+                    alive.push(byte & (1 << i) != 0);
+                } else if byte & (1 << i) != 0 {
+                    return Err(WireError::BadValue {
+                        what: "editor liveness padding",
+                        offset,
+                    });
+                }
+            }
+        }
+        let free_count = r.len("editor free list")?;
+        let mut free = Vec::with_capacity(free_count);
+        let mut seen = vec![false; capacity];
+        for _ in 0..free_count {
+            let offset = r.offset();
+            let id = r.u32("editor free id")?;
+            if id as usize >= capacity || alive[id as usize] || seen[id as usize] {
+                return Err(WireError::BadValue {
+                    what: "editor free id",
+                    offset,
+                });
+            }
+            seen[id as usize] = true;
+            free.push(id);
+        }
+        let live_count = r.len("editor live list")?;
+        let mut live_ids = Vec::with_capacity(live_count);
+        let mut live_pos = vec![0u32; capacity];
+        for pos in 0..live_count {
+            let offset = r.offset();
+            let id = r.u32("editor live id")?;
+            if id as usize >= capacity || !alive[id as usize] || seen[id as usize] {
+                return Err(WireError::BadValue {
+                    what: "editor live id",
+                    offset,
+                });
+            }
+            seen[id as usize] = true;
+            live_pos[id as usize] = pos as u32;
+            live_ids.push(id);
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err(WireError::BadValue {
+                what: "editor id partition",
+                offset: r.offset(),
+            });
+        }
+
+        let decode_index = |r: &mut SnapshotReader<'_>,
+                            what: &'static str|
+         -> Result<Vec<(Coord, u32)>, WireError> {
+            let count = r.len(what)?;
+            let mut index = Vec::with_capacity(count);
+            let mut prev: Option<Coord> = None;
+            for _ in 0..count {
+                let offset = r.offset();
+                let q = r.i32(what)?;
+                let rr = r.i32(what)?;
+                let id = r.u32(what)?;
+                let c = Coord::new(q, rr);
+                // Both index halves are strictly sorted by coordinate —
+                // binary search depends on it.
+                if id as usize >= capacity || prev.is_some_and(|p| c <= p) {
+                    return Err(WireError::BadValue { what, offset });
+                }
+                prev = Some(c);
+                index.push((c, id));
+            }
+            Ok(index)
+        };
+        let base_index = decode_index(r, "editor base index")?;
+        let overlay = decode_index(r, "editor overlay index")?;
+        let stale_offset = r.offset();
+        let stale = r.len("editor stale count")?;
+        if stale > base_index.len() {
+            return Err(WireError::BadValue {
+                what: "editor stale count",
+                offset: stale_offset,
+            });
+        }
+        let mut neighbors = Vec::with_capacity(capacity * 6);
+        for _ in 0..capacity * 6 {
+            let offset = r.offset();
+            let nb = r.u32("editor neighbor")?;
+            if nb != NONE && nb as usize >= capacity {
+                return Err(WireError::BadValue {
+                    what: "editor neighbor",
+                    offset,
+                });
+            }
+            neighbors.push(nb);
+        }
+        let edited_count = r.len("editor edited-chunk set")?;
+        let mut edited = BTreeSet::new();
+        for _ in 0..edited_count {
+            let offset = r.offset();
+            let q = r.i32("editor edited chunk")?;
+            let rr = r.i32("editor edited chunk")?;
+            if !edited.insert((q, rr)) {
+                return Err(WireError::BadValue {
+                    what: "editor edited chunk",
+                    offset,
+                });
+            }
+        }
+        let occupancy: ChunkGrid = live_ids.iter().map(|&id| coords[id as usize]).collect();
+        Ok(StructureEditor {
+            coords,
+            alive,
+            free,
+            live_ids,
+            live_pos,
+            base_index,
+            overlay,
+            stale,
+            neighbors,
+            occupancy,
+            edited,
+        })
     }
 }
 

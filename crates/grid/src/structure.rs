@@ -132,6 +132,43 @@ impl AmoebotStructure {
         Ok(s)
     }
 
+    /// The structure as a sealed `SPFS` blob (kind `STRUCTURE`): the
+    /// coordinate list in node-id order. Everything else (sorted index,
+    /// neighbor table) is derived, so the blob is minimal and restore
+    /// re-validates connectedness for free.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = amoebot_telemetry::SnapshotWriter::new(amoebot_telemetry::wire::kind::STRUCTURE);
+        w.varint(self.len() as u64);
+        for c in &self.coords {
+            w.signed(c.q as i64);
+            w.signed(c.r as i64);
+        }
+        w.finish()
+    }
+
+    /// Restores a structure from [`AmoebotStructure::snapshot_bytes`]
+    /// output, rejecting corruption and disconnected/duplicated inputs
+    /// with an offset-carrying error.
+    pub fn from_snapshot_bytes(
+        bytes: &[u8],
+    ) -> Result<AmoebotStructure, amoebot_telemetry::WireError> {
+        use amoebot_telemetry::{wire, SnapshotReader, WireError};
+        let mut r = SnapshotReader::open(bytes, wire::kind::STRUCTURE)?;
+        let n = r.len("structure size")?;
+        let payload_start = r.offset();
+        let mut coords = Vec::with_capacity(n);
+        for _ in 0..n {
+            let q = r.i32("structure coordinate")?;
+            let rr = r.i32("structure coordinate")?;
+            coords.push(Coord::new(q, rr));
+        }
+        r.finish()?;
+        AmoebotStructure::new(coords).map_err(|_| WireError::BadValue {
+            what: "structure coordinates",
+            offset: payload_start,
+        })
+    }
+
     /// Number of amoebots `n = |X|`.
     #[inline]
     pub fn len(&self) -> usize {

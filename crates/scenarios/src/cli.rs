@@ -2,13 +2,21 @@
 //! report.
 //!
 //! ```text
-//! scenario-runner --seed 42 --count 20 [--threads N] [--family NAME]...
-//!                 [--out PATH] [--metrics-json PATH] [--no-timing]
-//!                 [--list] [--quiet]
-//! scenario-runner --sweep [--max-nodes N] [--out BENCH_sweep.json] ...
-//! scenario-runner --record-trace PATH [--family NAME] [--size N] [--seed N]
-//! scenario-runner --replay-trace PATH
+//! scenario-runner run    [--seed N] [--count N] [--threads N] [--family NAME]...
+//!                        [--out PATH] [--metrics-json PATH] [--no-timing]
+//!                        [--list] [--quiet]
+//! scenario-runner sweep  [--max-nodes N] [--checkpoint-dir DIR] [common flags]
+//! scenario-runner trace  PATH [--family NAME] [--size N] [--seed N]
+//! scenario-runner replay PATH
 //! ```
+//!
+//! The flat-flag spellings (`--sweep`, `--record-trace PATH`,
+//! `--replay-trace PATH`, or a bare flag list for a batch run) remain
+//! accepted as **deprecated aliases** for one release; they print a
+//! deprecation note to the diagnostic stream and behave identically,
+//! including the exit-code contract (`0` pass / `1` validation failure /
+//! `2` usage or I/O error). The `serve` mode lives in the separate
+//! `scenario-server` binary, built from the same parsing helpers.
 //!
 //! Every scenario is derived deterministically from `--seed`, executed in
 //! parallel across `--threads` workers (each scenario owns its simulator
@@ -44,7 +52,7 @@
 use std::io::Write;
 use std::process::ExitCode;
 
-use amoebot_telemetry::TimedRecorder;
+use amoebot_telemetry::{NullRecorder, TimedRecorder};
 
 use crate::batch::{run_batch, run_batch_with, Threads};
 use crate::record::record_scenario;
@@ -53,7 +61,8 @@ use crate::report::{metrics_report, BatchReport};
 use crate::run::ScenarioResult;
 use crate::spec::{MicroWorkload, Scenario, Workload};
 use crate::sweep::{
-    run_sweep, run_sweep_with, sweep_suite, SweepPoint, SweepReport, DEFAULT_SIZES,
+    run_sweep_checkpointed, sweep_suite, CheckpointStore, RungOutcome, SweepPoint, SweepReport,
+    DEFAULT_SIZES,
 };
 
 struct Args {
@@ -72,13 +81,16 @@ struct Args {
     quiet: bool,
     sweep: bool,
     max_nodes: usize,
+    checkpoint_dir: Option<String>,
 }
 
-const USAGE: &str = "usage: scenario-runner [--seed N] [--count N] [--threads N] \
+const USAGE: &str = "usage: scenario-runner run    [--seed N] [--count N] [--threads N] \
      [--family NAME]... [--out PATH] [--metrics-json PATH] [--no-timing] [--list] [--quiet]\n\
-     \x20      scenario-runner --sweep [--max-nodes N] [common flags]\n\
-     \x20      scenario-runner --record-trace PATH [--family NAME] [--size N] [--seed N]\n\
-     \x20      scenario-runner --replay-trace PATH\n\
+     \x20      scenario-runner sweep  [--max-nodes N] [--checkpoint-dir DIR] [common flags]\n\
+     \x20      scenario-runner trace  PATH [--family NAME] [--size N] [--seed N]\n\
+     \x20      scenario-runner replay PATH\n\
+     \x20      (the old flat-flag spellings --sweep / --record-trace / --replay-trace\n\
+     \x20       remain accepted as deprecated aliases)\n\
      \n\
      --seed N       master seed for the randomized suite (default 42)\n\
      --count N      number of scenarios to run (default 20)\n\
@@ -89,18 +101,43 @@ const USAGE: &str = "usage: scenario-runner [--seed N] [--count N] [--threads N]
      --no-timing    canonical report: omit wall-clock and timer fields\n\
      --list         list registered scenario families and exit\n\
      --quiet        suppress progress lines (failures still print)\n\
-     --sweep        run the size sweep (1k/10k/100k/1M per sweepable family)\n\
      --max-nodes N  clip the sweep ladder at N nodes (default 1000000)\n\
-     --record-trace PATH  record one scenario as a binary round trace\n\
-     --size N       structure size for --record-trace (default 10000)\n\
+     --checkpoint-dir DIR  sweep only: append finished rungs to DIR and\n\
+     \x20              resume, skipping rungs already passed there\n\
+     --size N       structure size for trace recording (default 10000)\n\
      --rounds N     recorded run length override: broadcast rounds, or churn\n\
-     \x20              events for blob-churn-broadcast (default: family-defined)\n\
-     --replay-trace PATH  re-verify a recorded trace and exit (0 ok, 1 diverged)";
+     \x20              events for blob-churn-broadcast (default: family-defined)";
 
 enum ParseOutcome {
     Run(Box<Args>),
     /// Exit immediately with this code (bad usage, or `--help`).
     Exit(u8),
+}
+
+/// Parses one numeric flag value, naming the flag and the offending text
+/// on failure. Shared by the `scenario-runner` and `scenario-server`
+/// front ends so both diagnose `--port abc` the same way.
+pub(crate) fn parse_num_value<T: std::str::FromStr>(
+    raw: &str,
+    flag: &str,
+    out: &mut dyn Write,
+) -> Option<T> {
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            let _ = writeln!(out, "invalid value for {flag}: {raw:?}");
+            None
+        }
+    }
+}
+
+/// The subcommand an invocation resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Batch,
+    Sweep,
+    Replay,
+    Trace,
 }
 
 fn parse_args(argv: &[String], out: &mut dyn Write) -> ParseOutcome {
@@ -120,8 +157,22 @@ fn parse_args(argv: &[String], out: &mut dyn Write) -> ParseOutcome {
         quiet: false,
         sweep: false,
         max_nodes: 1_000_000,
+        checkpoint_dir: None,
     };
-    let mut it = argv.iter();
+    // A leading bare word selects the subcommand; absent one, the flat
+    // flags below choose the mode (the deprecated spelling).
+    let (mode, rest) = match argv.first().map(String::as_str) {
+        Some("run") => (Some(Mode::Batch), &argv[1..]),
+        Some("sweep") => (Some(Mode::Sweep), &argv[1..]),
+        Some("replay") => (Some(Mode::Replay), &argv[1..]),
+        Some("trace") => (Some(Mode::Trace), &argv[1..]),
+        _ => (None, argv),
+    };
+    if let Some(m) = mode {
+        args.sweep = m == Mode::Sweep;
+    }
+    let mut deprecated: Option<&str> = None;
+    let mut it = rest.iter();
     while let Some(arg) = it.next() {
         macro_rules! value {
             ($name:literal) => {
@@ -140,15 +191,27 @@ fn parse_args(argv: &[String], out: &mut dyn Write) -> ParseOutcome {
         macro_rules! num {
             ($name:literal) => {{
                 let raw = value!($name);
-                match raw.parse() {
-                    Ok(v) => v,
-                    Err(_) => {
-                        let _ = writeln!(out, "invalid value for {}: {raw:?}", $name);
+                match parse_num_value(&raw, $name, out) {
+                    Some(v) => v,
+                    None => {
                         let _ = writeln!(out, "{USAGE}");
                         return ParseOutcome::Exit(2);
                     }
                 }
             }};
+        }
+        // A mode-selecting flat flag under an explicit subcommand is a
+        // contradiction, not an alias; reject rather than guess.
+        macro_rules! mode_flag {
+            ($name:literal) => {
+                if mode.is_some() {
+                    let _ = writeln!(out, "{} conflicts with the subcommand form", $name);
+                    let _ = writeln!(out, "{USAGE}");
+                    return ParseOutcome::Exit(2);
+                } else {
+                    deprecated = Some($name);
+                }
+            };
         }
         match arg.as_str() {
             "--seed" => args.seed = num!("--seed"),
@@ -157,26 +220,68 @@ fn parse_args(argv: &[String], out: &mut dyn Write) -> ParseOutcome {
             "--family" => args.families.push(value!("--family")),
             "--out" => args.out = Some(value!("--out")),
             "--metrics-json" => args.metrics_json = Some(value!("--metrics-json")),
-            "--record-trace" => args.record_trace = Some(value!("--record-trace")),
-            "--replay-trace" => args.replay_trace = Some(value!("--replay-trace")),
+            "--record-trace" => {
+                args.record_trace = Some(value!("--record-trace"));
+                mode_flag!("--record-trace");
+            }
+            "--replay-trace" => {
+                args.replay_trace = Some(value!("--replay-trace"));
+                mode_flag!("--replay-trace");
+            }
             "--size" => args.size = num!("--size"),
             "--rounds" => args.rounds = Some(num!("--rounds")),
             "--no-timing" => args.timing = false,
             "--list" => args.list = true,
             "--quiet" => args.quiet = true,
-            "--sweep" => args.sweep = true,
+            "--sweep" => {
+                args.sweep = true;
+                mode_flag!("--sweep");
+            }
             "--max-nodes" => args.max_nodes = num!("--max-nodes"),
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value!("--checkpoint-dir")),
             "--help" | "-h" => {
                 // Requested help is a success, not a usage error.
                 println!("{USAGE}");
                 return ParseOutcome::Exit(0);
             }
             other => {
-                let _ = writeln!(out, "unknown argument: {other}");
-                let _ = writeln!(out, "{USAGE}");
-                return ParseOutcome::Exit(2);
+                // `replay PATH` / `trace PATH` take one positional path.
+                let positional_slot = match mode {
+                    Some(Mode::Replay) if !other.starts_with('-') => Some(&mut args.replay_trace),
+                    Some(Mode::Trace) if !other.starts_with('-') => Some(&mut args.record_trace),
+                    _ => None,
+                };
+                match positional_slot {
+                    Some(slot @ None) => *slot = Some(other.to_string()),
+                    _ => {
+                        let _ = writeln!(out, "unknown argument: {other}");
+                        let _ = writeln!(out, "{USAGE}");
+                        return ParseOutcome::Exit(2);
+                    }
+                }
             }
         }
+    }
+    match mode {
+        Some(Mode::Replay) if args.replay_trace.is_none() => {
+            let _ = writeln!(out, "replay needs a trace path");
+            let _ = writeln!(out, "{USAGE}");
+            return ParseOutcome::Exit(2);
+        }
+        Some(Mode::Trace) if args.record_trace.is_none() => {
+            let _ = writeln!(out, "trace needs an output path");
+            let _ = writeln!(out, "{USAGE}");
+            return ParseOutcome::Exit(2);
+        }
+        _ => {}
+    }
+    if let Some(flag) = deprecated {
+        // One-release alias: same behavior, same exit codes, but say so
+        // on the diagnostic stream (never into a report).
+        let _ = writeln!(
+            out,
+            "note: {flag} is deprecated; use the subcommand form (see --help)"
+        );
     }
     // Sized builds feed `--size` straight into the blob generators, whose
     // smallest structure is one amoebot; reject the bad input here with a
@@ -390,24 +495,76 @@ fn run_sweep_mode(args: &Args, registry: &Registry, threads: usize, out: &mut dy
             args.seed
         );
     }
+    // `--checkpoint-dir`: long ladders (100k–1M rungs) survive
+    // interruption; finished-and-passed rungs are skipped on resume,
+    // failed ones re-run.
+    let mut store = match &args.checkpoint_dir {
+        Some(dir) => match CheckpointStore::open(std::path::Path::new(dir), args.seed) {
+            Ok(store) => {
+                if !args.quiet && !store.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "resuming from {} ({} finished rungs on record)",
+                        store.path().display(),
+                        store.len()
+                    );
+                }
+                Some(store)
+            }
+            Err(e) => {
+                let _ = writeln!(out, "cannot open checkpoint dir {dir}: {e}");
+                return 2;
+            }
+        },
+        None => None,
+    };
+    let quiet = args.quiet;
+    let mut progress = |o: RungOutcome<'_>| match o {
+        RungOutcome::Resumed(e) => {
+            if !quiet {
+                let _ = writeln!(
+                    out,
+                    "  skip {:<24} size={:<8} (checkpointed: passed)",
+                    e.family, e.size
+                );
+            }
+        }
+        RungOutcome::Ran(p, r) => {
+            if !r.pass || !quiet {
+                let _ = writeln!(out, "{}", sweep_line(p, r));
+            }
+            if !r.pass {
+                for c in r.checks.iter().filter(|c| !c.pass) {
+                    let _ = writeln!(out, "       check {}: {}", c.name, c.detail);
+                }
+            }
+        }
+    };
     // Timed sweeps keep the phase timers on: BENCH_sweep.json is the
     // perf-gate artifact, and its per-rung metric breakdown is what lets
     // a regression name the phase that moved.
-    let entries = if args.timing {
-        run_sweep_with::<TimedRecorder>(&suite, Threads::Count(threads))
+    let ran = if args.timing {
+        run_sweep_checkpointed::<TimedRecorder>(
+            &suite,
+            Threads::Count(threads),
+            store.as_mut(),
+            &mut progress,
+        )
     } else {
-        run_sweep(&suite, Threads::Count(threads))
+        run_sweep_checkpointed::<NullRecorder>(
+            &suite,
+            Threads::Count(threads),
+            store.as_mut(),
+            &mut progress,
+        )
     };
-    for (p, r) in &entries {
-        if !r.pass || !args.quiet {
-            let _ = writeln!(out, "{}", sweep_line(p, r));
+    let (entries, fresh) = match ran {
+        Ok(ok) => ok,
+        Err(e) => {
+            let _ = writeln!(out, "cannot write checkpoint: {e}");
+            return 2;
         }
-        if !r.pass {
-            for c in r.checks.iter().filter(|c| !c.pass) {
-                let _ = writeln!(out, "       check {}: {}", c.name, c.detail);
-            }
-        }
-    }
+    };
     let report = SweepReport {
         master_seed: args.seed,
         max_nodes: args.max_nodes,
@@ -427,8 +584,10 @@ fn run_sweep_mode(args: &Args, registry: &Registry, threads: usize, out: &mut dy
         return code;
     }
     if let Some(path) = &args.metrics_json {
-        let results: Vec<ScenarioResult> = report.entries.iter().map(|(_, r)| r.clone()).collect();
-        if let Err(code) = write_metrics_json(path, &results, args.timing, args.quiet, out) {
+        // Resumed rungs carry their metrics only inside the pre-rendered
+        // report entries; the merged document covers the freshly-run
+        // rungs of *this* invocation.
+        if let Err(code) = write_metrics_json(path, &fresh, args.timing, args.quiet, out) {
             return code;
         }
     }
@@ -923,5 +1082,152 @@ mod tests {
         let passing = run_scenario(&registry.get("blob-broadcast").unwrap().build(5));
         assert!(passing.pass);
         assert!(!batch_line(&passing).contains("seed="));
+    }
+
+    /// Satellite: the subcommand spellings and their flat-flag aliases
+    /// produce identical reports and exit codes; only the alias prints a
+    /// deprecation note.
+    #[test]
+    fn subcommands_match_their_deprecated_aliases() {
+        let new_out = temp_path("sub-new.json");
+        let old_out = temp_path("sub-old.json");
+        let common = [
+            "--max-nodes",
+            "1000",
+            "--family",
+            "blob-broadcast",
+            "--seed",
+            "77",
+            "--quiet",
+            "--no-timing",
+        ];
+        let mut new_args = vec!["sweep"];
+        new_args.extend_from_slice(&common);
+        new_args.extend_from_slice(&["--out", new_out.to_str().unwrap()]);
+        let (code, output) = run_captured(&new_args);
+        assert_eq!(code, 0);
+        assert!(
+            !output.contains("deprecated"),
+            "subcommand form must not warn: {output}"
+        );
+        let mut old_args = vec!["--sweep"];
+        old_args.extend_from_slice(&common);
+        old_args.extend_from_slice(&["--out", old_out.to_str().unwrap()]);
+        let (code, output) = run_captured(&old_args);
+        assert_eq!(code, 0);
+        assert!(
+            output.contains("deprecated"),
+            "flat-flag form must warn: {output}"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&new_out).unwrap(),
+            std::fs::read_to_string(&old_out).unwrap(),
+            "both spellings must render the same report"
+        );
+        let _ = std::fs::remove_file(&new_out);
+        let _ = std::fs::remove_file(&old_out);
+        // `run` is the explicit spelling of the default batch mode.
+        assert_eq!(
+            run(&args(&["run", "--count", "2", "--quiet", "--out", "/dev/null"])),
+            0
+        );
+    }
+
+    #[test]
+    fn subcommand_and_mode_flag_conflict_exits_two() {
+        assert_eq!(run(&args(&["run", "--sweep"])), 2);
+        assert_eq!(run(&args(&["sweep", "--sweep"])), 2);
+        assert_eq!(run(&args(&["replay", "--replay-trace", "x.trace"])), 2);
+        assert_eq!(run(&args(&["trace", "--record-trace", "x.trace"])), 2);
+        // Positional paths only exist for replay/trace.
+        assert_eq!(run(&args(&["run", "stray-positional"])), 2);
+        // replay/trace demand their PATH operand.
+        assert_eq!(run(&args(&["replay"])), 2);
+        assert_eq!(run(&args(&["trace"])), 2);
+    }
+
+    #[test]
+    fn trace_and_replay_subcommands_round_trip() {
+        let path = temp_path("sub-trace.trace");
+        let code = run(&args(&[
+            "trace",
+            path.to_str().unwrap(),
+            "--family",
+            "blob-broadcast",
+            "--size",
+            "60",
+            "--seed",
+            "4",
+        ]));
+        assert_eq!(code, 0, "trace subcommand records");
+        assert_eq!(
+            run(&args(&["replay", path.to_str().unwrap()])),
+            0,
+            "replay subcommand verifies"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite + tentpole: `sweep --checkpoint-dir` resumes through
+    /// the CLI — an interrupted sweep's finished rungs are skipped and
+    /// the final report is byte-identical to an uninterrupted one.
+    #[test]
+    fn sweep_checkpoint_dir_resumes_through_the_cli() {
+        let dir = temp_path("ckpt-cli");
+        let _ = std::fs::remove_dir_all(&dir);
+        let full_out = temp_path("ckpt-full.json");
+        let resumed_out = temp_path("ckpt-resumed.json");
+        let common = [
+            "--max-nodes",
+            "1000",
+            "--seed",
+            "29",
+            "--threads",
+            "1",
+            "--no-timing",
+        ];
+        let both = ["--family", "blob-broadcast", "--family", "blob-churn-broadcast"];
+        // Uninterrupted reference (no checkpointing).
+        let mut full = vec!["sweep", "--quiet"];
+        full.extend_from_slice(&common);
+        full.extend_from_slice(&both);
+        full.extend_from_slice(&["--out", full_out.to_str().unwrap()]);
+        assert_eq!(run(&args(&full)), 0);
+        // "Interrupted": one family's rungs complete under the dir.
+        let mut first = vec!["sweep", "--quiet"];
+        first.extend_from_slice(&common);
+        first.extend_from_slice(&[
+            "--family",
+            "blob-broadcast",
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+            "--out",
+            "/dev/null",
+        ]);
+        assert_eq!(run(&args(&first)), 0);
+        // Resume over the full ladder: checkpointed rungs are skipped.
+        let mut resume = vec!["sweep"];
+        resume.extend_from_slice(&common);
+        resume.extend_from_slice(&both);
+        resume.extend_from_slice(&[
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+            "--out",
+            resumed_out.to_str().unwrap(),
+        ]);
+        let (code, output) = run_captured(&resume);
+        assert_eq!(code, 0);
+        assert!(
+            output.contains("resuming from") && output.contains("checkpointed: passed"),
+            "resume diagnostics missing: {output}"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&full_out).unwrap(),
+            std::fs::read_to_string(&resumed_out).unwrap(),
+            "resumed sweep report must match the uninterrupted one"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&full_out);
+        let _ = std::fs::remove_file(&resumed_out);
     }
 }

@@ -41,15 +41,19 @@ pub mod record;
 pub mod registry;
 pub mod report;
 pub mod run;
+pub mod server;
 pub mod spec;
 pub mod sweep;
 
 pub use batch::{run_batch, Threads};
 pub use record::{record_scenario, recordable};
 pub use registry::{default_registry, Family, Registry};
-pub use report::BatchReport;
+pub use report::{BatchReport, Envelope};
 pub use run::{run_scenario, run_scenario_with, CheckResult, ScenarioResult};
 pub use spec::{
     MicroWorkload, PlacementSpec, Scenario, StructureAlgorithm, StructureSpec, Workload,
 };
-pub use sweep::{run_sweep, sweep_suite, SweepPoint, SweepReport, DEFAULT_SIZES, SWEEP_SCHEMA};
+pub use sweep::{
+    run_sweep, run_sweep_checkpointed, sweep_suite, CheckpointStore, RungOutcome, SweepEntry,
+    SweepPoint, SweepReport, DEFAULT_SIZES, SWEEP_SCHEMA,
+};

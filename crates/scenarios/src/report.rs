@@ -21,6 +21,67 @@ pub const SCHEMA: &str = "spf-scenario-report/v1";
 /// Schema identifier of the standalone `--metrics-json` document.
 pub const METRICS_SCHEMA: &str = "spf-metrics-report/v1";
 
+/// The shared JSON report envelope.
+///
+/// Every document the toolchain emits — `spf-scenario-report/v1`,
+/// `spf-metrics-report/v1`, `spf-sweep-report/v1`, and the
+/// scenario-server's `query` responses — opens with the same `schema`
+/// header and obeys the same canonical rule: wall-clock and execution
+/// provenance go through [`Envelope::timed_field`], which drops them in
+/// the `--no-timing` rendering, so the canonical form of every schema is
+/// byte-stable across runs and thread counts by construction.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    doc: Json,
+    include_timing: bool,
+}
+
+impl Envelope {
+    /// Opens an envelope: `{"schema": <schema>, ...}`.
+    pub fn new(schema: &str, include_timing: bool) -> Envelope {
+        Envelope {
+            doc: Json::object().field("schema", schema),
+            include_timing,
+        }
+    }
+
+    /// Whether this rendering includes timing fields.
+    pub fn timing(&self) -> bool {
+        self.include_timing
+    }
+
+    /// Appends a content field (present in both renderings).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Envelope {
+        self.doc = self.doc.field(key, value);
+        self
+    }
+
+    /// Appends a timing/provenance field — dropped from the canonical
+    /// rendering.
+    pub fn timed_field(self, key: &str, value: impl Into<Json>) -> Envelope {
+        if self.include_timing {
+            self.field(key, value)
+        } else {
+            self
+        }
+    }
+
+    /// Appends a metrics registry (skipped when empty), honoring the
+    /// envelope's timing mode for the timer block.
+    pub fn metrics(self, m: &Metrics) -> Envelope {
+        if m.is_empty() {
+            return self;
+        }
+        let timing = self.include_timing;
+        self.field("metrics", metrics_to_json(m, timing))
+    }
+
+    /// Seals the envelope into the finished document.
+    pub fn finish(self) -> Json {
+        self.doc
+    }
+}
+
 /// Renders one metrics registry as a JSON object. Counters and gauges are
 /// deterministic and always included (sorted by name); timers are
 /// wall-clock derived and appear only with `include_timing`, so the
@@ -65,10 +126,10 @@ pub fn metrics_report(results: &[ScenarioResult], include_timing: bool) -> Json 
     for r in results {
         merged.merge(&r.metrics);
     }
-    Json::object()
-        .field("schema", METRICS_SCHEMA)
+    Envelope::new(METRICS_SCHEMA, include_timing)
         .field("scenarios", results.len())
         .field("metrics", metrics_to_json(&merged, include_timing))
+        .finish()
 }
 
 /// An aggregated batch outcome.
@@ -148,18 +209,16 @@ impl BatchReport {
             summary = summary.field("total_wall_micros", total_wall);
         }
 
-        let mut doc = Json::object()
-            .field("schema", SCHEMA)
+        // Worker count is execution provenance, like wall-clock: it
+        // never affects content, and the canonical report must be
+        // byte-identical across thread counts.
+        Envelope::new(SCHEMA, include_timing)
             .field("master_seed", self.master_seed)
-            .field("count", self.results.len());
-        if include_timing {
-            // Worker count is execution provenance, like wall-clock: it
-            // never affects content, and the canonical report must be
-            // byte-identical across thread counts.
-            doc = doc.field("threads", self.threads);
-        }
-        doc.field("scenarios", Json::Array(scenarios))
+            .field("count", self.results.len())
+            .timed_field("threads", self.threads)
+            .field("scenarios", Json::Array(scenarios))
             .field("summary", summary)
+            .finish()
     }
 
     /// The canonical pretty-printed JSON string (no timing; byte-stable).

@@ -1,0 +1,1264 @@
+//! `scenario-server` — the batch engine as a persistent, session-oriented
+//! service (DESIGN.md §1g).
+//!
+//! A **session** is a named, live [`DynamicWorld`] (plus an optional
+//! churn schedule) that survives across requests: a client creates it
+//! once, then steps, mutates, queries and snapshots it incrementally —
+//! the interactive counterpart to the one-shot `scenario-runner` batch.
+//! Session semantics deliberately mirror the `blob-broadcast` /
+//! `blob-churn-broadcast` registry families (same seed derivations, same
+//! origin stride, same churn-plan construction), so a server session
+//! stepped `n` times reports the same rounds/beeps a batch run of the
+//! same scenario would.
+//!
+//! # Wire protocol
+//!
+//! Length-prefixed JSON frames over TCP or stdio: each frame is a `u32`
+//! little-endian payload length followed by that many bytes of JSON
+//! (capped at [`MAX_FRAME`]). Requests are objects with an `"op"` field:
+//!
+//! ```text
+//! {"op":"create","session":S,"family":F,"size":N,"seed":N[,"events":N,"per_event":N]}
+//! {"op":"step","session":S[,"n":K]}         run K broadcast rounds (default 1)
+//! {"op":"mutate","session":S[,"verify":B]}  apply the next churn event
+//! {"op":"query","session":S[,"timing":B]}   spf-session-report/v1 envelope
+//! {"op":"snapshot","session":S}             write <dir>/<S>.session.spfs
+//! {"op":"restore","session":S}              load <dir>/<S>.session.spfs
+//! {"op":"close","session":S}                drop the session
+//! {"op":"shutdown"}                         snapshot all live sessions, stop
+//! ```
+//!
+//! Control responses are `{"ok":true,...}` / `{"ok":false,"error":...}`;
+//! `query` responses use the shared [`Envelope`] (schema
+//! [`SESSION_SCHEMA`]) and are canonical without `"timing":true`, like
+//! every other report in the workspace.
+//!
+//! # Concurrency
+//!
+//! Sessions shard over a fixed worker pool by FNV of the session name;
+//! each worker owns its shard's sessions outright (no locks around world
+//! state) and drains a channel, so requests to *different* sessions
+//! batch across workers while requests to the *same* session serialize
+//! naturally. Per-session determinism follows: a session's state depends
+//! only on the sequence of requests it received, never on interleaving.
+//!
+//! # Graceful restart
+//!
+//! On `shutdown` (or EOF in stdio mode) every live session is snapshotted
+//! to the `--snapshot-dir` as a `SESSION`-kind `SPFS` blob. A server
+//! started over the same directory finds and resumes them — `create` a
+//! session, step it, kill the server, restart, and `query` picks up
+//! where it left off. (Signal handlers need libc; the container builds
+//! without it, so SIGTERM-initiated snapshots ride on the wire-level
+//! `shutdown` op / EOF instead.)
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+use amoebot_dynamics::{verify_against_rebuild, ChurnPlan, DynamicWorld, ALL_CHURN_FAMILIES};
+use amoebot_grid::{shapes, AmoebotStructure};
+use amoebot_telemetry::wire::{self, SnapshotReader, SnapshotWriter, WireError};
+use rand::RngCore;
+
+use crate::batch::Threads;
+use crate::json::Json;
+use crate::report::Envelope;
+use crate::spec::{derive_rng, pick};
+
+/// Schema identifier of `query` responses.
+pub const SESSION_SCHEMA: &str = "spf-session-report/v1";
+
+/// Hard cap on a single wire frame (requests *and* responses).
+pub const MAX_FRAME: usize = 1 << 24;
+
+/// The origin stride of the broadcast workload — the same Fibonacci hash
+/// `run_micro` uses, so session steps and batch rounds pick identical
+/// origins on an unchurned structure.
+const ORIGIN_STRIDE: usize = 0x9E3779B9;
+
+// ---- Frame codec.
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME, "frame over MAX_FRAME");
+    // One write per frame: splitting the length prefix into its own
+    // write stalls raw TCP streams on Nagle + delayed-ACK interplay.
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` on clean EOF at a frame boundary; EOF
+/// mid-frame and oversized lengths are errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME}"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+// ---- Sessions.
+
+/// A live named world: the unit the server shards, steps and snapshots.
+pub struct Session {
+    name: String,
+    family: String,
+    size: usize,
+    seed: u64,
+    /// Broadcast rounds issued so far (the origin-stride cursor).
+    steps: u64,
+    dw: DynamicWorld,
+    plan: Option<ChurnPlan>,
+    next_event: usize,
+}
+
+/// Session names double as snapshot file stems, so they are restricted
+/// to a filesystem- and shard-stable charset.
+fn valid_session_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+        && !name.starts_with('.')
+}
+
+impl Session {
+    /// Builds a fresh session, mirroring the registry families' seed
+    /// derivations (structure from `derive_rng(seed, 0)`, churn family
+    /// from `(seed, 5)`, schedule seed from `(seed, 6)`).
+    pub fn create(
+        name: &str,
+        family: &str,
+        size: usize,
+        seed: u64,
+        events: usize,
+        per_event: usize,
+    ) -> Result<Session, String> {
+        if !valid_session_name(name) {
+            return Err(format!(
+                "invalid session name {name:?} (1-64 chars of [A-Za-z0-9._-], no leading dot)"
+            ));
+        }
+        if size == 0 {
+            return Err("size must be at least 1".to_string());
+        }
+        let plan = match family {
+            "blob-broadcast" => None,
+            "blob-churn-broadcast" => {
+                let fam = *pick(&mut derive_rng(seed, 5), &ALL_CHURN_FAMILIES);
+                let schedule_seed = derive_rng(seed, 6).next_u64();
+                Some(ChurnPlan::new(schedule_seed, fam, events, per_event))
+            }
+            other => {
+                return Err(format!(
+                    "unknown session family {other:?} \
+                     (expected blob-broadcast or blob-churn-broadcast)"
+                ))
+            }
+        };
+        let s = AmoebotStructure::new(shapes::random_blob(size, &mut derive_rng(seed, 0)))
+            .map_err(|e| format!("structure generation failed: {e:?}"))?;
+        let mut dw = DynamicWorld::new(&s, 2);
+        for v in 0..size {
+            dw.world_mut().global_pin_config(v);
+        }
+        Ok(Session {
+            name: name.to_string(),
+            family: family.to_string(),
+            size,
+            seed,
+            steps: 0,
+            dw,
+            plan,
+            next_event: 0,
+        })
+    }
+
+    /// Runs `k` broadcast rounds (origin-stride beep + tick each) and
+    /// returns the world's cumulative `(rounds, beeps)`.
+    pub fn step(&mut self, k: usize) -> Result<(u64, u64), String> {
+        for _ in 0..k {
+            let live = self.dw.editor().live_ids();
+            if live.is_empty() {
+                return Err("session has no live amoebots left".to_string());
+            }
+            let origin = live[(self.steps as usize).wrapping_mul(ORIGIN_STRIDE) % live.len()];
+            self.dw.world_mut().beep(origin as usize, 0);
+            self.dw.world_mut().tick();
+            self.steps += 1;
+        }
+        Ok((self.dw.world().rounds(), self.dw.world().beeps_sent()))
+    }
+
+    /// Applies the next event of the session's churn schedule.
+    pub fn mutate(&mut self, verify: bool) -> Result<Json, String> {
+        let plan = self
+            .plan
+            .ok_or("session has no churn plan (created as blob-broadcast)")?;
+        if self.next_event >= plan.events {
+            return Err(format!(
+                "churn schedule exhausted after {} events",
+                plan.events
+            ));
+        }
+        let event = self.next_event;
+        let applied = plan.apply(&mut self.dw, event);
+        for v in &applied.inserted {
+            self.dw.world_mut().global_pin_config(v.index());
+        }
+        self.next_event += 1;
+        let holes_ok = self.dw.revalidate_edited_chunks();
+        let mut doc = Json::object()
+            .field("ok", true)
+            .field("event", event)
+            .field("inserted", applied.inserted.len())
+            .field("removed", applied.removed.len())
+            .field("n", self.dw.len())
+            .field("holes_ok", holes_ok);
+        if verify {
+            doc = doc.field("oracle_ok", verify_against_rebuild(&self.dw).is_ok());
+        }
+        Ok(doc)
+    }
+
+    /// The session report envelope. Canonical without `timing` — rounds,
+    /// beeps, circuit count and engine counters only.
+    pub fn query(&mut self, timing: bool) -> Json {
+        let circuits = self.dw.world_mut().circuit_count();
+        let mut env = Envelope::new(SESSION_SCHEMA, timing)
+            .field("session", self.name.as_str())
+            .field("family", self.family.as_str())
+            .field("size", self.size)
+            .field("seed", self.seed)
+            .field("n", self.dw.len())
+            .field("steps", self.steps)
+            .field("rounds", self.dw.world().rounds())
+            .field("beeps", self.dw.world().beeps_sent())
+            .field("circuits", circuits);
+        if let Some(plan) = self.plan {
+            env = env
+                .field("churn_family", plan.family.label())
+                .field("next_event", self.next_event)
+                .field("events", plan.events);
+        }
+        env.metrics(self.dw.world().metrics()).finish()
+    }
+
+    /// The session as a sealed `SPFS` blob (kind `SESSION`): identity +
+    /// schedule cursor + the full dynamic-world payload.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(wire::kind::SESSION);
+        w.str(&self.name);
+        w.str(&self.family);
+        w.varint(self.size as u64);
+        w.varint(self.seed);
+        w.varint(self.steps);
+        match &self.plan {
+            None => w.byte(0),
+            Some(plan) => {
+                w.byte(1);
+                w.varint(plan.seed);
+                w.str(plan.family.label());
+                w.varint(plan.events as u64);
+                w.varint(plan.per_event as u64);
+                w.varint(self.next_event as u64);
+            }
+        }
+        self.dw.encode_payload(&mut w);
+        w.finish()
+    }
+
+    /// Restores a session from [`Session::snapshot_bytes`] output.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Session, WireError> {
+        let mut r = SnapshotReader::open(bytes, wire::kind::SESSION)?;
+        let name_offset = r.offset();
+        let name = r.str("session name")?;
+        if !valid_session_name(&name) {
+            return Err(WireError::BadValue {
+                what: "session name",
+                offset: name_offset,
+            });
+        }
+        let family_offset = r.offset();
+        let family = r.str("session family")?;
+        if family != "blob-broadcast" && family != "blob-churn-broadcast" {
+            return Err(WireError::BadValue {
+                what: "session family",
+                offset: family_offset,
+            });
+        }
+        let size = r.varint()? as usize;
+        let seed = r.varint()?;
+        let steps = r.varint()?;
+        let plan_offset = r.offset();
+        let (plan, next_event) = match r.byte()? {
+            0 => (None, 0),
+            1 => {
+                let plan_seed = r.varint()?;
+                let label_offset = r.offset();
+                let label = r.str("churn family label")?;
+                let fam = *ALL_CHURN_FAMILIES
+                    .iter()
+                    .find(|f| f.label() == label)
+                    .ok_or(WireError::BadValue {
+                        what: "churn family label",
+                        offset: label_offset,
+                    })?;
+                let events = r.varint()? as usize;
+                let per_event = r.varint()? as usize;
+                let cursor_offset = r.offset();
+                let next_event = r.varint()? as usize;
+                if next_event > events {
+                    return Err(WireError::BadValue {
+                        what: "churn-plan cursor",
+                        offset: cursor_offset,
+                    });
+                }
+                (Some(ChurnPlan::new(plan_seed, fam, events, per_event)), next_event)
+            }
+            _ => {
+                return Err(WireError::BadValue {
+                    what: "churn-plan presence",
+                    offset: plan_offset,
+                })
+            }
+        };
+        if family == "blob-broadcast" && plan.is_some() {
+            return Err(WireError::BadValue {
+                what: "churn-plan presence",
+                offset: plan_offset,
+            });
+        }
+        let dw = DynamicWorld::decode_payload(&mut r)?;
+        r.finish()?;
+        Ok(Session {
+            name,
+            family,
+            size,
+            seed,
+            steps,
+            dw,
+            plan,
+            next_event,
+        })
+    }
+
+    /// The session's snapshot file under `dir`.
+    fn snapshot_path(dir: &Path, name: &str) -> PathBuf {
+        dir.join(format!("{name}.session.spfs"))
+    }
+}
+
+// ---- The worker pool.
+
+enum Job {
+    Request {
+        doc: Json,
+        reply: mpsc::SyncSender<Json>,
+    },
+    Install {
+        session: Box<Session>,
+        done: mpsc::SyncSender<()>,
+    },
+    /// Snapshot every live session to the snapshot dir (sessions stay
+    /// live). Replies with the number written.
+    SnapshotAll {
+        done: mpsc::SyncSender<Result<usize, String>>,
+    },
+    /// Drain and stop. Sent by [`Server::shutdown`]; an explicit job
+    /// rather than sender-drop detection, because outstanding
+    /// [`ServerHandle`] clones (other connection threads) would
+    /// otherwise keep a worker alive forever.
+    Exit,
+}
+
+fn err_json(msg: impl Into<String>) -> Json {
+    Json::object().field("ok", false).field("error", msg.into())
+}
+
+fn ok_json() -> Json {
+    Json::object().field("ok", true)
+}
+
+/// Handles one request against a shard's session map. Pure with respect
+/// to I/O except `snapshot`/`restore`, which touch the snapshot dir.
+fn handle_request(
+    sessions: &mut BTreeMap<String, Session>,
+    snapshot_dir: Option<&Path>,
+    doc: &Json,
+) -> Json {
+    let op = match doc.get("op").and_then(Json::as_str) {
+        Some(op) => op,
+        None => return err_json("request has no \"op\" field"),
+    };
+    let name = match doc.get("session").and_then(Json::as_str) {
+        Some(name) => name,
+        None => return err_json(format!("op {op:?} needs a \"session\" field")),
+    };
+    let num = |key: &str, default: u64| doc.get(key).and_then(Json::as_u64).unwrap_or(default);
+    match op {
+        "create" => {
+            if sessions.contains_key(name) {
+                return err_json(format!("session {name:?} already exists"));
+            }
+            let family = doc
+                .get("family")
+                .and_then(Json::as_str)
+                .unwrap_or("blob-broadcast");
+            let session = Session::create(
+                name,
+                family,
+                num("size", 100) as usize,
+                num("seed", 42),
+                num("events", 10) as usize,
+                num("per_event", 4) as usize,
+            );
+            match session {
+                Ok(s) => {
+                    let n = s.dw.len();
+                    sessions.insert(name.to_string(), s);
+                    ok_json().field("session", name).field("n", n)
+                }
+                Err(e) => err_json(e),
+            }
+        }
+        "step" => match sessions.get_mut(name) {
+            Some(s) => match s.step(num("n", 1) as usize) {
+                Ok((rounds, beeps)) => ok_json().field("rounds", rounds).field("beeps", beeps),
+                Err(e) => err_json(e),
+            },
+            None => err_json(format!("no such session {name:?}")),
+        },
+        "mutate" => match sessions.get_mut(name) {
+            Some(s) => {
+                let verify = doc.get("verify").and_then(Json::as_bool).unwrap_or(false);
+                s.mutate(verify).unwrap_or_else(err_json)
+            }
+            None => err_json(format!("no such session {name:?}")),
+        },
+        "query" => match sessions.get_mut(name) {
+            Some(s) => {
+                let timing = doc.get("timing").and_then(Json::as_bool).unwrap_or(false);
+                s.query(timing)
+            }
+            None => err_json(format!("no such session {name:?}")),
+        },
+        "snapshot" => match sessions.get(name) {
+            Some(s) => {
+                let dir = match snapshot_dir {
+                    Some(dir) => dir,
+                    None => return err_json("server has no --snapshot-dir"),
+                };
+                let bytes = s.snapshot_bytes();
+                let path = Session::snapshot_path(dir, name);
+                match std::fs::write(&path, &bytes) {
+                    Ok(()) => ok_json()
+                        .field("path", path.display().to_string())
+                        .field("bytes", bytes.len()),
+                    Err(e) => err_json(format!("cannot write {}: {e}", path.display())),
+                }
+            }
+            None => err_json(format!("no such session {name:?}")),
+        },
+        "restore" => {
+            if !valid_session_name(name) {
+                return err_json(format!("invalid session name {name:?}"));
+            }
+            let dir = match snapshot_dir {
+                Some(dir) => dir,
+                None => return err_json("server has no --snapshot-dir"),
+            };
+            let path = Session::snapshot_path(dir, name);
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => return err_json(format!("cannot read {}: {e}", path.display())),
+            };
+            match Session::from_snapshot_bytes(&bytes) {
+                Ok(s) if s.name == name => {
+                    let n = s.dw.len();
+                    sessions.insert(name.to_string(), s);
+                    ok_json().field("session", name).field("n", n)
+                }
+                Ok(s) => err_json(format!(
+                    "snapshot {} belongs to session {:?}",
+                    path.display(),
+                    s.name
+                )),
+                Err(e) => err_json(format!("corrupt snapshot {}: {e}", path.display())),
+            }
+        }
+        "close" => match sessions.remove(name) {
+            Some(_) => ok_json().field("session", name),
+            None => err_json(format!("no such session {name:?}")),
+        },
+        other => err_json(format!("unknown op {other:?}")),
+    }
+}
+
+fn snapshot_all(
+    sessions: &BTreeMap<String, Session>,
+    snapshot_dir: Option<&Path>,
+) -> Result<usize, String> {
+    let Some(dir) = snapshot_dir else {
+        // No dir configured: nothing to persist, by configuration.
+        return Ok(0);
+    };
+    let mut written = 0usize;
+    for (name, s) in sessions {
+        let path = Session::snapshot_path(dir, name);
+        std::fs::write(&path, s.snapshot_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        written += 1;
+    }
+    Ok(written)
+}
+
+fn worker(rx: mpsc::Receiver<Job>, snapshot_dir: Option<PathBuf>) {
+    let mut sessions: BTreeMap<String, Session> = BTreeMap::new();
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Request { doc, reply } => {
+                let resp = handle_request(&mut sessions, snapshot_dir.as_deref(), &doc);
+                let _ = reply.send(resp);
+            }
+            Job::Install { session, done } => {
+                sessions.insert(session.name.clone(), *session);
+                let _ = done.send(());
+            }
+            Job::SnapshotAll { done } => {
+                let _ = done.send(snapshot_all(&sessions, snapshot_dir.as_deref()));
+            }
+            Job::Exit => break,
+        }
+    }
+}
+
+/// A cloneable handle that routes requests into the worker pool — one
+/// per connection thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shards: Vec<mpsc::Sender<Job>>,
+}
+
+impl ServerHandle {
+    fn shard_of(&self, session: &str) -> &mpsc::Sender<Job> {
+        let h = wire::fnv1a64(session.as_bytes()) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
+    /// Dispatches one session request to its shard and waits for the
+    /// response. `shutdown` is connection-level, not a session op — see
+    /// [`ServerHandle::snapshot_live_sessions`].
+    pub fn request(&self, doc: &Json) -> Json {
+        let name = match doc.get("session").and_then(Json::as_str) {
+            Some(name) => name,
+            None => {
+                // Let the worker produce the uniform diagnostics for
+                // op-less / session-less requests.
+                return handle_request(&mut BTreeMap::new(), None, doc);
+            }
+        };
+        let (reply, rx) = mpsc::sync_channel(1);
+        if self
+            .shard_of(name)
+            .send(Job::Request {
+                doc: doc.clone(),
+                reply,
+            })
+            .is_err()
+        {
+            return err_json("server is shutting down");
+        }
+        rx.recv()
+            .unwrap_or_else(|_| err_json("server is shutting down"))
+    }
+
+    /// Snapshots every live session on every shard (the `shutdown` op's
+    /// persistence half). Returns the total written.
+    pub fn snapshot_live_sessions(&self) -> Result<usize, String> {
+        let mut total = 0usize;
+        for shard in &self.shards {
+            let (done, rx) = mpsc::sync_channel(1);
+            if shard.send(Job::SnapshotAll { done }).is_err() {
+                continue;
+            }
+            total += rx.recv().map_err(|_| "worker died".to_string())??;
+        }
+        Ok(total)
+    }
+}
+
+/// The session service: a worker pool plus its snapshot directory.
+pub struct Server {
+    handle: ServerHandle,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+/// Server configuration.
+pub struct ServerConfig {
+    /// Worker (shard) count; clamped to at least 1.
+    pub threads: usize,
+    /// Where session snapshots live; `None` disables snapshot/restore.
+    pub snapshot_dir: Option<PathBuf>,
+}
+
+impl Server {
+    /// Spawns the worker pool and resumes every `*.session.spfs` blob
+    /// found in the snapshot dir (corrupt blobs are skipped and
+    /// reported in the return's second slot — the sessions they named
+    /// simply don't resume).
+    pub fn start(config: ServerConfig) -> io::Result<(Server, Vec<String>)> {
+        let threads = config.threads.max(1);
+        let mut shards = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = mpsc::channel();
+            let dir = config.snapshot_dir.clone();
+            shards.push(tx);
+            workers.push(thread::spawn(move || worker(rx, dir)));
+        }
+        let handle = ServerHandle { shards };
+        let mut skipped = Vec::new();
+        if let Some(dir) = &config.snapshot_dir {
+            std::fs::create_dir_all(dir)?;
+            let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.ends_with(".session.spfs"))
+                })
+                .collect();
+            paths.sort();
+            for path in paths {
+                let outcome = std::fs::read(&path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|bytes| {
+                        Session::from_snapshot_bytes(&bytes).map_err(|e| e.to_string())
+                    });
+                match outcome {
+                    Ok(session) => {
+                        let (done, rx) = mpsc::sync_channel(1);
+                        let _ = handle.shard_of(&session.name).send(Job::Install {
+                            session: Box::new(session),
+                            done,
+                        });
+                        let _ = rx.recv();
+                    }
+                    Err(e) => skipped.push(format!("{}: {e}", path.display())),
+                }
+            }
+        }
+        Ok((Server { handle, workers }, skipped))
+    }
+
+    /// A cloneable request handle.
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// Snapshots all sessions, then stops and joins the pool. Requests
+    /// arriving through leftover handles afterwards get a
+    /// "shutting down" error response.
+    pub fn shutdown(self) -> Result<usize, String> {
+        let written = self.handle.snapshot_live_sessions()?;
+        for shard in &self.handle.shards {
+            let _ = shard.send(Job::Exit);
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+        Ok(written)
+    }
+}
+
+// ---- Connection service.
+
+/// Serves one framed-JSON connection until EOF or a `shutdown` op.
+/// Returns `true` if the peer requested server shutdown.
+pub fn serve_connection(
+    r: &mut impl Read,
+    w: &mut impl Write,
+    handle: &ServerHandle,
+) -> io::Result<bool> {
+    while let Some(frame) = read_frame(r)? {
+        let doc = match std::str::from_utf8(&frame)
+            .map_err(|e| e.to_string())
+            .and_then(Json::parse)
+        {
+            Ok(doc) => doc,
+            Err(e) => {
+                let resp = err_json(format!("bad request frame: {e}"));
+                write_frame(w, resp.render_compact().as_bytes())?;
+                continue;
+            }
+        };
+        if doc.get("op").and_then(Json::as_str) == Some("shutdown") {
+            let resp = match handle.snapshot_live_sessions() {
+                Ok(n) => ok_json().field("snapshotted", n),
+                Err(e) => err_json(format!("snapshot-on-shutdown failed: {e}")),
+            };
+            write_frame(w, resp.render_compact().as_bytes())?;
+            return Ok(true);
+        }
+        let resp = handle.request(&doc);
+        write_frame(w, resp.render_compact().as_bytes())?;
+    }
+    Ok(false)
+}
+
+/// Runs the TCP accept loop until a client sends `shutdown`. Sessions
+/// are snapshotted by the `shutdown` handler before this returns.
+///
+/// Connection threads are detached, not joined: a shutdown must not
+/// wait for idle keep-alive connections to hang up. The `shutdown`
+/// handler snapshots (and replies) before the stop flag is raised, and
+/// stopped workers answer any straggler request with a "shutting down"
+/// error, so detaching loses nothing.
+pub fn serve_tcp(listener: TcpListener, server: Server) -> io::Result<()> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = listener.local_addr()?;
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = stream?;
+        let _ = stream.set_nodelay(true);
+        let handle = server.handle();
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut reader = match stream.try_clone() {
+                Ok(r) => r,
+                Err(_) => return,
+            };
+            let mut writer = stream;
+            if let Ok(true) = serve_connection(&mut reader, &mut writer, &handle) {
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the acceptor so the loop observes the flag.
+                let _ = std::net::TcpStream::connect(addr);
+            }
+        });
+    }
+    // The shutdown op already snapshotted; this re-snapshot is a no-op
+    // for unchanged sessions and covers EOF-only exits.
+    let _ = server.shutdown();
+    Ok(())
+}
+
+/// Serves a single stdio connection (frames on stdin/stdout); EOF or
+/// `shutdown` snapshots all sessions and returns.
+pub fn serve_stdio(server: Server) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let handle = server.handle();
+    serve_connection(&mut stdin.lock(), &mut stdout.lock(), &handle)?;
+    server
+        .shutdown()
+        .map_err(|e| io::Error::other(format!("snapshot on shutdown failed: {e}")))?;
+    Ok(())
+}
+
+// ---- Binary front end.
+
+const USAGE: &str = "usage: scenario-server [--port N] [--threads N] [--snapshot-dir DIR] [--stdio]\n\
+     \n\
+     --port N           TCP port to listen on (default 0 = ephemeral; the\n\
+     \x20                  bound address prints to stderr as `listening on ...`)\n\
+     --threads N        worker shard count (default: one per core, max 8)\n\
+     --snapshot-dir DIR persist/resume session snapshots here; enables the\n\
+     \x20                  snapshot/restore ops and graceful restart\n\
+     --stdio            serve one framed connection on stdin/stdout instead\n\
+     \x20                  of TCP (EOF acts like shutdown)";
+
+/// Entry point of the `scenario-server` binary: parses `argv` (without
+/// the binary name), serves, and returns the exit code under the same
+/// `0`/`2` contract as `scenario-runner` (`1` is unused: protocol-level
+/// failures are responses, not process exits).
+pub fn server_main(argv: &[String], diag: &mut dyn Write) -> u8 {
+    let mut port = 0u16;
+    let mut threads = Threads::Auto;
+    let mut snapshot_dir: Option<PathBuf> = None;
+    let mut stdio = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        macro_rules! value {
+            ($name:literal) => {
+                match it.next() {
+                    Some(v) => v.as_str(),
+                    None => {
+                        let _ = writeln!(diag, "missing value for {}", $name);
+                        let _ = writeln!(diag, "{USAGE}");
+                        return 2;
+                    }
+                }
+            };
+        }
+        macro_rules! num {
+            ($name:literal) => {
+                match crate::cli::parse_num_value(value!($name), $name, diag) {
+                    Some(v) => v,
+                    None => {
+                        let _ = writeln!(diag, "{USAGE}");
+                        return 2;
+                    }
+                }
+            };
+        }
+        match arg.as_str() {
+            "--port" => port = num!("--port"),
+            "--threads" => threads = Threads::Count(num!("--threads")),
+            "--snapshot-dir" => snapshot_dir = Some(PathBuf::from(value!("--snapshot-dir"))),
+            "--stdio" => stdio = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other => {
+                let _ = writeln!(diag, "unknown argument: {other}");
+                let _ = writeln!(diag, "{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let config = ServerConfig {
+        threads: threads.resolve().min(8),
+        snapshot_dir,
+    };
+    let (server, skipped) = match Server::start(config) {
+        Ok(ok) => ok,
+        Err(e) => {
+            let _ = writeln!(diag, "cannot start: {e}");
+            return 2;
+        }
+    };
+    for s in &skipped {
+        let _ = writeln!(diag, "warning: skipping unreadable snapshot {s}");
+    }
+    let served = if stdio {
+        serve_stdio(server)
+    } else {
+        match TcpListener::bind(("127.0.0.1", port)) {
+            Ok(listener) => {
+                match listener.local_addr() {
+                    Ok(addr) => {
+                        let _ = writeln!(diag, "listening on {addr}");
+                        let _ = diag.flush();
+                    }
+                    Err(e) => {
+                        let _ = writeln!(diag, "cannot resolve bound address: {e}");
+                        return 2;
+                    }
+                }
+                serve_tcp(listener, server)
+            }
+            Err(e) => {
+                let _ = writeln!(diag, "cannot bind 127.0.0.1:{port}: {e}");
+                return 2;
+            }
+        }
+    };
+    match served {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(diag, "serve failed: {e}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(fields: &[(&str, Json)]) -> Json {
+        let mut doc = Json::object();
+        for (k, v) in fields {
+            doc = doc.field(k, v.clone());
+        }
+        doc
+    }
+
+    fn s(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+
+    fn n(v: u64) -> Json {
+        Json::U64(v)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spf-server-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn assert_ok(resp: &Json) {
+        assert!(
+            resp.get("error").is_none(),
+            "expected ok response, got {}",
+            resp.render_compact()
+        );
+    }
+
+    #[test]
+    fn create_step_query_mirrors_the_batch_family() {
+        let (server, _) = Server::start(ServerConfig {
+            threads: 2,
+            snapshot_dir: None,
+        })
+        .unwrap();
+        let h = server.handle();
+        let resp = h.request(&req(&[
+            ("op", s("create")),
+            ("session", s("a")),
+            ("family", s("blob-broadcast")),
+            ("size", n(120)),
+            ("seed", n(7)),
+        ]));
+        assert_ok(&resp);
+        let resp = h.request(&req(&[("op", s("step")), ("session", s("a")), ("n", n(5))]));
+        assert_ok(&resp);
+        assert_eq!(resp.get("rounds").and_then(Json::as_u64), Some(5));
+        let doc = h.request(&req(&[("op", s("query")), ("session", s("a"))]));
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SESSION_SCHEMA));
+        assert_eq!(doc.get("rounds").and_then(Json::as_u64), Some(5));
+        assert_eq!(doc.get("n").and_then(Json::as_u64), Some(120));
+        // Canonical query responses carry counters but no timers.
+        let text = doc.render_pretty();
+        assert!(text.contains("relabel_global"));
+        assert!(!text.contains("timers"));
+        // One global circuit per link on a fully-joined global config.
+        assert!(doc.get("circuits").and_then(Json::as_u64).unwrap() >= 1);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn protocol_errors_are_responses_not_panics() {
+        let (server, _) = Server::start(ServerConfig {
+            threads: 1,
+            snapshot_dir: None,
+        })
+        .unwrap();
+        let h = server.handle();
+        for bad in [
+            req(&[("session", s("a"))]),                          // no op
+            req(&[("op", s("nonsense")), ("session", s("a"))]),   // unknown op
+            req(&[("op", s("step")), ("session", s("ghost"))]),   // no such session
+            req(&[("op", s("create")), ("session", s("../evil"))]), // bad name
+            req(&[("op", s("create")), ("session", s("x")), ("family", s("bogus"))]),
+            req(&[("op", s("snapshot")), ("session", s("a"))]),   // no snapshot dir
+            req(&[("op", s("step"))]),                            // no session field
+        ] {
+            let resp = h.request(&bad);
+            assert_eq!(
+                resp.get("ok").and_then(Json::as_bool),
+                Some(false),
+                "{} should have errored: {}",
+                bad.render_compact(),
+                resp.render_compact()
+            );
+            assert!(resp.get("error").is_some());
+        }
+        // Mutating a plan-less session is an error too.
+        assert_ok(&h.request(&req(&[
+            ("op", s("create")),
+            ("session", s("a")),
+            ("size", n(30)),
+        ])));
+        let resp = h.request(&req(&[("op", s("mutate")), ("session", s("a"))]));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        server.shutdown().unwrap();
+    }
+
+    /// The tentpole differential test at the service level: a session
+    /// snapshotted mid-churn and restored into a *fresh server* replays
+    /// the rest of its schedule byte-identically to the uninterrupted
+    /// session.
+    #[test]
+    fn restore_into_fresh_server_matches_uninterrupted_session() {
+        let dir = temp_dir("restore");
+        let mk = |threads| {
+            Server::start(ServerConfig {
+                threads,
+                snapshot_dir: Some(dir.clone()),
+            })
+            .unwrap()
+        };
+        let (server, _) = mk(2);
+        let h = server.handle();
+        let create = req(&[
+            ("op", s("create")),
+            ("session", s("churny")),
+            ("family", s("blob-churn-broadcast")),
+            ("size", n(40)),
+            ("seed", n(11)),
+            ("events", n(6)),
+            ("per_event", n(3)),
+        ]);
+        assert_ok(&h.request(&create));
+        for _ in 0..3 {
+            assert_ok(&h.request(&req(&[("op", s("mutate")), ("session", s("churny"))])));
+            assert_ok(&h.request(&req(&[("op", s("step")), ("session", s("churny"))])));
+        }
+        assert_ok(&h.request(&req(&[("op", s("snapshot")), ("session", s("churny"))])));
+        // Uninterrupted continuation in the original server.
+        for _ in 0..3 {
+            assert_ok(&h.request(&req(&[
+                ("op", s("mutate")),
+                ("session", s("churny")),
+                ("verify", Json::Bool(true)),
+            ])));
+            assert_ok(&h.request(&req(&[("op", s("step")), ("session", s("churny"))])));
+        }
+        let reference = h.request(&req(&[("op", s("query")), ("session", s("churny"))]));
+        // Close before shutdown: shutdown's snapshot-all would otherwise
+        // overwrite the mid-churn snapshot with the finished state.
+        assert_ok(&h.request(&req(&[("op", s("close")), ("session", s("churny"))])));
+        assert_eq!(server.shutdown().unwrap(), 0);
+
+        // Fresh server, explicit restore, same continuation.
+        let (server, skipped) = mk(1);
+        assert!(skipped.is_empty(), "{skipped:?}");
+        let h = server.handle();
+        // Startup resume already installed the session (snapshot-dir
+        // scan); `restore` must also work as an explicit reload.
+        assert_ok(&h.request(&req(&[("op", s("restore")), ("session", s("churny"))])));
+        for _ in 0..3 {
+            assert_ok(&h.request(&req(&[
+                ("op", s("mutate")),
+                ("session", s("churny")),
+                ("verify", Json::Bool(true)),
+            ])));
+            assert_ok(&h.request(&req(&[("op", s("step")), ("session", s("churny"))])));
+        }
+        let resumed = h.request(&req(&[("op", s("query")), ("session", s("churny"))]));
+        assert_eq!(
+            reference.render_pretty(),
+            resumed.render_pretty(),
+            "restored session diverged from the uninterrupted run"
+        );
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Graceful-restart path: shutdown snapshots every live session; a
+    /// new server over the same dir resumes them without explicit
+    /// restore ops.
+    #[test]
+    fn shutdown_snapshots_and_restart_resumes() {
+        let dir = temp_dir("restart");
+        let (server, _) = Server::start(ServerConfig {
+            threads: 3,
+            snapshot_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        let h = server.handle();
+        for name in ["s0", "s1", "s2", "s3", "s4"] {
+            assert_ok(&h.request(&req(&[
+                ("op", s("create")),
+                ("session", s(name)),
+                ("size", n(50)),
+                ("seed", n(3)),
+            ])));
+            assert_ok(&h.request(&req(&[("op", s("step")), ("session", s(name)), ("n", n(4))])));
+        }
+        assert_eq!(server.shutdown().unwrap(), 5);
+
+        let (server, skipped) = Server::start(ServerConfig {
+            threads: 2,
+            snapshot_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        assert!(skipped.is_empty(), "{skipped:?}");
+        let h = server.handle();
+        for name in ["s0", "s1", "s2", "s3", "s4"] {
+            let doc = h.request(&req(&[("op", s("query")), ("session", s(name))]));
+            assert_eq!(
+                doc.get("rounds").and_then(Json::as_u64),
+                Some(4),
+                "session {name} did not resume: {}",
+                doc.render_compact()
+            );
+        }
+        // A corrupt snapshot is skipped with a diagnostic, not fatal.
+        server.shutdown().unwrap();
+        let path = Session::snapshot_path(&dir, "s0");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (server, skipped) = Server::start(ServerConfig {
+            threads: 1,
+            snapshot_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        assert_eq!(skipped.len(), 1);
+        let h = server.handle();
+        let resp = h.request(&req(&[("op", s("query")), ("session", s("s0"))]));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        assert_ok(&h.request(&req(&[("op", s("query")), ("session", s("s1"))])));
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The concurrency smoke: 64 client threads, each driving its own
+    /// session through create + steps + query simultaneously. Shard
+    /// ownership makes this race-free by construction; the test pins
+    /// the per-session determinism claim under real contention.
+    #[test]
+    fn sixty_four_concurrent_sessions() {
+        let (server, _) = Server::start(ServerConfig {
+            threads: 4,
+            snapshot_dir: None,
+        })
+        .unwrap();
+        let rounds: Vec<u64> = thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for i in 0..64 {
+                let h = server.handle();
+                joins.push(scope.spawn(move || {
+                    let name = format!("c{i}");
+                    let resp = h.request(&req(&[
+                        ("op", s("create")),
+                        ("session", s(&name)),
+                        ("size", n(60)),
+                        ("seed", n(i)),
+                    ]));
+                    assert_ok(&resp);
+                    for _ in 0..10 {
+                        assert_ok(&h.request(&req(&[
+                            ("op", s("step")),
+                            ("session", s(&name)),
+                            ("n", n(3)),
+                        ])));
+                    }
+                    let doc = h.request(&req(&[("op", s("query")), ("session", s(&name))]));
+                    doc.get("rounds").and_then(Json::as_u64).unwrap()
+                }));
+            }
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        assert!(rounds.iter().all(|&r| r == 30));
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn frame_codec_round_trips_and_bounds() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"op\":\"query\"}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"{\"op\":\"query\"}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+        // Oversized length prefix is rejected before allocation.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+        // Truncated payload is an error, not silent EOF.
+        let torn = [5u8, 0, 0, 0, b'x'];
+        assert!(read_frame(&mut &torn[..]).is_err());
+    }
+
+    /// End-to-end over a real socket: the TCP loop, the shutdown op
+    /// (snapshot-all + stop), and restart-from-dir.
+    #[test]
+    fn tcp_round_trip_with_shutdown_and_restart() {
+        let dir = temp_dir("tcp");
+        let start = |threads| {
+            let (server, _) = Server::start(ServerConfig {
+                threads,
+                snapshot_dir: Some(dir.clone()),
+            })
+            .unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            (thread::spawn(move || serve_tcp(listener, server)), addr)
+        };
+        let roundtrip = |conn: &mut std::net::TcpStream, doc: &Json| -> Json {
+            write_frame(conn, doc.render_compact().as_bytes()).unwrap();
+            let frame = read_frame(conn).unwrap().expect("response frame");
+            Json::parse(std::str::from_utf8(&frame).unwrap()).unwrap()
+        };
+
+        let (serve, addr) = start(2);
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        assert_ok(&roundtrip(
+            &mut conn,
+            &req(&[
+                ("op", s("create")),
+                ("session", s("tcp-a")),
+                ("size", n(80)),
+                ("seed", n(5)),
+            ]),
+        ));
+        assert_ok(&roundtrip(
+            &mut conn,
+            &req(&[("op", s("step")), ("session", s("tcp-a")), ("n", n(7))]),
+        ));
+        let resp = roundtrip(&mut conn, &req(&[("op", s("shutdown"))]));
+        assert_eq!(resp.get("snapshotted").and_then(Json::as_u64), Some(1));
+        serve.join().unwrap().unwrap();
+
+        // Restart over the same dir: the session is live again.
+        let (serve, addr) = start(1);
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        let doc = roundtrip(&mut conn, &req(&[("op", s("query")), ("session", s("tcp-a"))]));
+        assert_eq!(doc.get("rounds").and_then(Json::as_u64), Some(7));
+        let _ = roundtrip(&mut conn, &req(&[("op", s("shutdown"))]));
+        serve.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn session_snapshot_rejects_every_bit_flip() {
+        let mut session = Session::create("bits", "blob-churn-broadcast", 20, 9, 4, 2).unwrap();
+        session.mutate(false).unwrap();
+        session.step(2).unwrap();
+        let blob = session.snapshot_bytes();
+        for byte in 0..blob.len() {
+            for bit in 0..8 {
+                let mut bad = blob.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    Session::from_snapshot_bytes(&bad).is_err(),
+                    "flip at byte {byte} bit {bit} was accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn server_main_usage_contract() {
+        let mut diag = Vec::new();
+        assert_eq!(server_main(&["--bogus".to_string()], &mut diag), 2);
+        assert_eq!(server_main(&["--port".to_string()], &mut diag), 2);
+        assert_eq!(
+            server_main(&["--port".to_string(), "abc".to_string()], &mut diag),
+            2
+        );
+        let text = String::from_utf8(diag).unwrap();
+        assert!(text.contains("unknown argument"));
+        assert!(text.contains("invalid value for --port"));
+    }
+}

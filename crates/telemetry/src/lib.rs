@@ -25,6 +25,7 @@
 pub mod metrics;
 pub mod recorder;
 pub mod trace;
+pub mod wire;
 
 pub use metrics::{CounterId, GaugeId, HistSummary, Metrics, Span, Stopwatch, TimerId};
 pub use recorder::{
@@ -34,3 +35,4 @@ pub use trace::{
     TraceError, TraceEvent, TraceFooter, TraceHeader, TraceReader, TraceWriter, TRACE_MAGIC,
     TRACE_VERSION,
 };
+pub use wire::{SnapshotReader, SnapshotWriter, WireError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

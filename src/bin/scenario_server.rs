@@ -1,0 +1,16 @@
+//! Workspace-level `scenario-server` binary; all logic lives in
+//! [`amoebot_scenarios::server`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `scenario-server serve ...` is accepted as a synonym for the bare
+    // form, matching scenario-runner's subcommand-first convention.
+    let argv = match argv.first().map(String::as_str) {
+        Some("serve") => &argv[1..],
+        _ => &argv[..],
+    };
+    let mut stderr = std::io::stderr();
+    ExitCode::from(amoebot_scenarios::server::server_main(argv, &mut stderr))
+}

@@ -24,6 +24,11 @@
 //!   the canonical CI sweep invocation (release build, 10k ladder,
 //!   `--threads 1 --seed 42`) and prints the markdown diff against the
 //!   previous baseline. One command instead of the by-hand procedure.
+//!
+//! Plus two gates outside the sweep schema: `lint` (the `spf-lint`
+//! static checks under `lint/budget.json`) and `server-smoke` (the
+//! end-to-end `scenario-server` session-service check: snapshot,
+//! kill/restart, resume differential, 64-session throughput).
 
 use std::process::ExitCode;
 
@@ -215,6 +220,235 @@ fn bench_refresh() -> Result<u8, String> {
     println!("refreshed bench/baseline.json; diff against the previous baseline:");
     println!();
     print_report_table(&old, &new);
+    Ok(0)
+}
+
+/// One framed request/response round trip against a live server.
+fn rpc(conn: &mut std::net::TcpStream, doc: &Json) -> Result<Json, String> {
+    use amoebot_scenarios::server::{read_frame, write_frame};
+    write_frame(conn, doc.render_compact().as_bytes()).map_err(|e| format!("send: {e}"))?;
+    let frame = read_frame(conn)
+        .map_err(|e| format!("recv: {e}"))?
+        .ok_or("server closed the connection mid-exchange")?;
+    let text = std::str::from_utf8(&frame).map_err(|e| format!("response: {e}"))?;
+    Json::parse(text).map_err(|e| format!("response: {e}"))
+}
+
+fn rpc_ok(conn: &mut std::net::TcpStream, doc: &Json) -> Result<Json, String> {
+    let resp = rpc(conn, doc)?;
+    match resp.get("error").and_then(Json::as_str) {
+        None => Ok(resp),
+        Some(e) => Err(format!("{} -> {e}", doc.render_compact())),
+    }
+}
+
+fn op(fields: &[(&str, Json)]) -> Json {
+    let mut doc = Json::object();
+    for (k, v) in fields {
+        doc = doc.field(*k, v.clone());
+    }
+    doc
+}
+
+/// A scenario-server child process bound to an ephemeral port.
+struct SmokeServer {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl SmokeServer {
+    fn start(bin: &std::path::Path, snapshot_dir: &std::path::Path) -> Result<SmokeServer, String> {
+        use std::io::BufRead;
+        let mut child = std::process::Command::new(bin)
+            .args(["--threads", "4", "--snapshot-dir"])
+            .arg(snapshot_dir)
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("cannot spawn {}: {e}", bin.display()))?;
+        // spf-lint: allow(panic-surface) — invariant: the Command above pipes stderr
+        let stderr = child.stderr.take().expect("stderr was piped");
+        let mut lines = std::io::BufReader::new(stderr).lines();
+        let addr = loop {
+            match lines.next() {
+                Some(Ok(line)) => {
+                    if let Some(addr) = line.strip_prefix("listening on ") {
+                        break addr.to_string();
+                    }
+                    eprintln!("server: {line}");
+                }
+                Some(Err(e)) => return Err(format!("reading server stderr: {e}")),
+                None => return Err("server exited before announcing its address".to_string()),
+            }
+        };
+        // Keep draining stderr so the child never blocks on a full pipe.
+        std::thread::spawn(move || {
+            for line in lines.map_while(Result::ok) {
+                eprintln!("server: {line}");
+            }
+        });
+        Ok(SmokeServer { child, addr })
+    }
+
+    fn connect(&self) -> Result<std::net::TcpStream, String> {
+        let conn = std::net::TcpStream::connect(&self.addr)
+            .map_err(|e| format!("connect {}: {e}", self.addr))?;
+        let _ = conn.set_nodelay(true);
+        Ok(conn)
+    }
+
+    /// Sends the shutdown op (snapshot-all) and waits for process exit.
+    fn shutdown(mut self) -> Result<(), String> {
+        let mut conn = self.connect()?;
+        rpc_ok(&mut conn, &op(&[("op", Json::from("shutdown"))]))?;
+        let status = self
+            .child
+            .wait()
+            .map_err(|e| format!("waiting for server exit: {e}"))?;
+        if !status.success() {
+            return Err(format!("server exited with {status}"));
+        }
+        Ok(())
+    }
+}
+
+/// `cargo xtask server-smoke` — the end-to-end gate for the session
+/// service: drives a real `scenario-server` process over TCP through
+/// create/step/mutate/snapshot, kills it, restarts it from the snapshot
+/// directory, and asserts the resumed session's canonical query matches
+/// an uninterrupted run of the same scenario. Then hammers the restarted
+/// server with 64 concurrent sessions and reports step-request
+/// throughput (gated at 1000 req/s — an order of magnitude below what a
+/// release build sustains, so only a real regression trips it).
+fn server_smoke() -> Result<u8, String> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .ok_or("xtask manifest has no parent directory")?
+        .to_path_buf();
+    eprintln!("running: cargo build --release --locked --bin scenario-server");
+    let status = std::process::Command::new("cargo")
+        .args(["build", "--release", "--locked", "--bin", "scenario-server"])
+        .current_dir(&root)
+        .status()
+        .map_err(|e| format!("cannot spawn cargo: {e}"))?;
+    if !status.success() {
+        return Err(format!("server build failed ({status})"));
+    }
+    let bin = root.join("target/release/scenario-server");
+    let dir = std::env::temp_dir().join(format!("spf-server-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 1: create a churn session, advance it halfway, shut down
+    // (which snapshots every live session).
+    let create_a = |name: &str| {
+        op(&[
+            ("op", Json::from("create")),
+            ("session", Json::from(name)),
+            ("family", Json::from("blob-churn-broadcast")),
+            ("size", Json::from(60u64)),
+            ("seed", Json::from(9u64)),
+            ("events", Json::from(6u64)),
+            ("per_event", Json::from(3u64)),
+        ])
+    };
+    let advance = |conn: &mut std::net::TcpStream, name: &str| -> Result<(), String> {
+        rpc_ok(conn, &op(&[("op", Json::from("mutate")), ("session", Json::from(name))]))?;
+        rpc_ok(
+            conn,
+            &op(&[
+                ("op", Json::from("step")),
+                ("session", Json::from(name)),
+                ("n", Json::from(3u64)),
+            ]),
+        )?;
+        Ok(())
+    };
+    let query = |conn: &mut std::net::TcpStream, name: &str| -> Result<String, String> {
+        Ok(rpc_ok(
+            conn,
+            &op(&[("op", Json::from("query")), ("session", Json::from(name))]),
+        )?
+        .render_pretty())
+    };
+
+    let server = SmokeServer::start(&bin, &dir)?;
+    let mut conn = server.connect()?;
+    rpc_ok(&mut conn, &create_a("resumed"))?;
+    advance(&mut conn, "resumed")?;
+    drop(conn);
+    server.shutdown()?;
+    eprintln!("server-smoke: mid-churn shutdown complete, restarting from {}", dir.display());
+
+    // Phase 2: restart over the same snapshot dir; the session must be
+    // live again. Finish its schedule, and run an uninterrupted twin for
+    // the differential.
+    let server = SmokeServer::start(&bin, &dir)?;
+    let mut conn = server.connect()?;
+    advance(&mut conn, "resumed")?;
+    let resumed = query(&mut conn, "resumed")?;
+    rpc_ok(&mut conn, &create_a("twin"))?;
+    advance(&mut conn, "twin")?;
+    advance(&mut conn, "twin")?;
+    let twin = query(&mut conn, "twin")?;
+    if resumed.replace("\"resumed\"", "\"twin\"") != twin {
+        eprintln!("resumed:\n{resumed}\ntwin:\n{twin}");
+        return Err("resumed session diverged from the uninterrupted twin".to_string());
+    }
+    eprintln!("server-smoke: resumed canonical report matches the uninterrupted run");
+
+    // Phase 3: 64 concurrent sessions, each its own connection, each
+    // issuing single-step requests — the throughput figure is requests
+    // actually served, not batched work.
+    const SESSIONS: u64 = 64;
+    const STEPS_PER_SESSION: u64 = 40;
+    // spf-lint: allow(wall-clock) — smoke-benchmark throughput gate; never in canonical output
+    let started = std::time::Instant::now();
+    let outcome: Vec<Result<(), String>> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for i in 0..SESSIONS {
+            let server = &server;
+            joins.push(scope.spawn(move || -> Result<(), String> {
+                let mut conn = server.connect()?;
+                let name = format!("c{i}");
+                rpc_ok(
+                    &mut conn,
+                    &op(&[
+                        ("op", Json::from("create")),
+                        ("session", Json::from(name.as_str())),
+                        ("size", Json::from(60u64)),
+                        ("seed", Json::from(i)),
+                    ]),
+                )?;
+                for _ in 0..STEPS_PER_SESSION {
+                    rpc_ok(
+                        &mut conn,
+                        &op(&[("op", Json::from("step")), ("session", Json::from(name.as_str()))]),
+                    )?;
+                }
+                Ok(())
+            }));
+        }
+        joins
+            .into_iter()
+            // spf-lint: allow(panic-surface) — a panicked smoke client should abort the gate loudly
+            .map(|j| j.join().expect("smoke client panicked"))
+            .collect()
+    });
+    for r in outcome {
+        r?;
+    }
+    let elapsed = started.elapsed();
+    let requests = SESSIONS * (STEPS_PER_SESSION + 1);
+    let req_per_sec = (requests as f64 / elapsed.as_secs_f64()) as u64;
+    println!(
+        "server-smoke: {SESSIONS} concurrent sessions, {requests} requests in {} ms ({req_per_sec} req/s)",
+        elapsed.as_millis()
+    );
+    server.shutdown()?;
+    let _ = std::fs::remove_dir_all(&dir);
+    if req_per_sec < 1000 {
+        return Err(format!("throughput {req_per_sec} req/s is below the 1000 req/s floor"));
+    }
+    println!("server-smoke: PASS");
     Ok(0)
 }
 
@@ -426,6 +660,7 @@ const USAGE: &str = "usage: cargo xtask bench-report OLD.json NEW.json\n\
      \x20      cargo xtask bench-compare BASELINE.json FRESH.json \
      [--threshold PCT] [--min-wall-micros N]\n\
      \x20      cargo xtask bench-refresh\n\
+     \x20      cargo xtask server-smoke\n\
      \x20      cargo xtask lint [--write-budget]";
 
 fn run(argv: &[String]) -> Result<u8, String> {
@@ -447,6 +682,12 @@ fn run(argv: &[String]) -> Result<u8, String> {
                 return Err(USAGE.to_string());
             }
             bench_refresh()
+        }
+        Some("server-smoke") => {
+            if argv.len() != 1 {
+                return Err(USAGE.to_string());
+            }
+            server_smoke()
         }
         Some("bench-compare") => {
             let [b, f, rest @ ..] = &argv[1..] else {
