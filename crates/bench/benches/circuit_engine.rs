@@ -16,9 +16,15 @@
 //!   of the structure, so the incremental engine relabels O(affected
 //!   circuits) while the reference pays the full O(pins) recompute. The
 //!   perf target pinned by ISSUE 4 is ≥10× here.
+//!
+//! The broadcast-heavy group also measures `tick_faulted` with an empty
+//! fault set next to plain `tick`: the adversary engine's unarmed path
+//! must stay within the workspace's 25% perf gate of the plain tick
+//! (the `FAULTED` const generic monomorphizes the fault checks away).
 
 use amoebot_bench::standard_structure;
-use amoebot_circuits::{Topology, World};
+use amoebot_circuits::{TickFaults, Topology, World};
+use amoebot_telemetry::NullRecorder;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const STEADY_TICKS: usize = 8;
@@ -61,6 +67,23 @@ fn bench_circuit_engine(c: &mut Criterion) {
             w.rounds()
         })
     });
+    // The unarmed adversary path: an empty fault set must cost the same
+    // as plain `tick` (within the 25% gate).
+    g.bench_with_input(
+        BenchmarkId::new("faulted_unarmed", n),
+        &world,
+        |b, world| {
+            let mut w = world.clone();
+            w.tick();
+            b.iter(|| {
+                for round in 0..STEADY_TICKS {
+                    w.beep(round % n, 0);
+                    w.tick_faulted(&TickFaults::EMPTY, &mut NullRecorder);
+                }
+                w.rounds()
+            })
+        },
+    );
     g.finish();
 
     // Reconfiguration-heavy: every round, 1/8 of the nodes flip between

@@ -203,6 +203,10 @@ pub fn replay_trace(bytes: &[u8]) -> Result<ReplayReport, ReplayError> {
     // summary's.
     let mut round_base: Option<u64> = None;
     let mut pending_beeps: Vec<u32> = Vec::new();
+    // Gids whose beep the recorded adversary dropped this round: replay
+    // keeps them in the beep count and the salted digest term (the send
+    // happened) but excludes them from the delivery roots.
+    let mut pending_drops: Vec<u32> = Vec::new();
     // Node cursor for gid-ordered config deltas (see `set_pin_gid_hinted`).
     let mut pin_hint = 0usize;
     // Per-root delivery digests, valid for the current labeling only.
@@ -278,6 +282,30 @@ pub fn replay_trace(bytes: &[u8]) -> Result<ReplayReport, ReplayError> {
             // Churn tags annotate the schedule; they carry no state the
             // structural events have not already applied.
             TraceEvent::ChurnTag { .. } => {}
+            TraceEvent::FaultDrop { gid } => {
+                if gid as usize >= world.gid_count() {
+                    return Err(ReplayError::Malformed {
+                        round,
+                        event,
+                        detail: format!("fault drop on gid {gid} out of range"),
+                    });
+                }
+                pending_drops.push(gid);
+            }
+            // Injected beeps were already recorded as ordinary `Beep`s;
+            // the inject record only attributes them to the adversary.
+            // Validated but otherwise — like churn and fault tags — an
+            // annotation with no replay-verifiable state of its own.
+            TraceEvent::FaultInject { gid } => {
+                if gid as usize >= world.gid_count() {
+                    return Err(ReplayError::Malformed {
+                        round,
+                        event,
+                        detail: format!("fault inject on gid {gid} out of range"),
+                    });
+                }
+            }
+            TraceEvent::FaultTag { .. } => {}
             TraceEvent::RoundEnd(summary) => {
                 let base = *round_base.get_or_insert(summary.round.wrapping_sub(1));
                 if summary.round.wrapping_sub(base) != rounds_done + 1 {
@@ -326,8 +354,14 @@ pub fn replay_trace(bytes: &[u8]) -> Result<ReplayReport, ReplayError> {
                     memo.clear();
                     memo_epoch = epoch;
                 }
+                pending_drops.sort_unstable();
                 roots.clear();
-                roots.extend(pending_beeps.iter().map(|&g| world.label_of(g as usize)));
+                roots.extend(
+                    pending_beeps
+                        .iter()
+                        .filter(|g| pending_drops.binary_search(g).is_err())
+                        .map(|&g| world.label_of(g as usize)),
+                );
                 roots.sort_unstable();
                 roots.dedup();
                 let mut digest = pending_beeps
@@ -366,6 +400,7 @@ pub fn replay_trace(bytes: &[u8]) -> Result<ReplayReport, ReplayError> {
                     });
                 }
                 pending_beeps.clear();
+                pending_drops.clear();
                 rounds_done += 1;
                 round += 1;
                 event = 0;

@@ -30,7 +30,7 @@
 //!           | dirty_pins | pset_at_relabel[total]
 //!           | force_global (1 byte) | circuit_roots | cached_circuits
 //!           | counters | rounds | simulated | charged | charge_log
-//!           | beeps_sent
+//!           | beeps_sent | stuck
 //! topology := n | ports[n] | (peer_node peer_port)[slots] | edge_count
 //! links    := count | (a0 base_a b0 base_b)[count]     tombstone = DEAD_LINK
 //! sent     := count | gid[count]                        (beeping psets)
@@ -40,6 +40,7 @@
 //! roots    := count | gid[count]                        (strictly ascending)
 //! counters := count | (name value)[count]               (metrics counters)
 //! charges  := count | (label signed_amount)[count]
+//! stuck    := count | (gid pset)[count]                  (ascending gids)
 //! ```
 
 use amoebot_telemetry::wire::{self, SnapshotReader, SnapshotWriter, WireError};
@@ -51,7 +52,12 @@ use crate::world::{EngineStats, World, DEAD_LINK, NO_EDGE};
 /// Counter names the world codec recognizes on restore. The metrics
 /// registry keys counters by `&'static str`, so decoded names are
 /// matched against this fixed menu rather than leaked into statics.
-const KNOWN_COUNTERS: [&str; 2] = ["relabel_global", "relabel_region"];
+const KNOWN_COUNTERS: [&str; 4] = [
+    "relabel_global",
+    "relabel_region",
+    "fault_drops",
+    "fault_injects",
+];
 
 /// Encodes `topo` into `w` (the `topology` production above).
 pub fn encode_topology(topo: &Topology, w: &mut SnapshotWriter) {
@@ -76,12 +82,10 @@ pub fn decode_topology(r: &mut SnapshotReader<'_>) -> Result<Topology, WireError
     offsets.push(0);
     for _ in 0..n {
         let ports = r.u32("topology port count")?;
-        acc = acc
-            .checked_add(ports)
-            .ok_or(WireError::BadValue {
-                what: "topology port count",
-                offset: r.offset(),
-            })?;
+        acc = acc.checked_add(ports).ok_or(WireError::BadValue {
+            what: "topology port count",
+            offset: r.offset(),
+        })?;
         offsets.push(acc);
     }
     let slots = acc as usize;
@@ -116,7 +120,10 @@ pub fn decode_topology(r: &mut SnapshotReader<'_>) -> Result<Topology, WireError
             if w as usize >= n || v == w as usize {
                 return Err(err);
             }
-            let (wlo, whi) = (topo.offsets[w as usize] as usize, topo.offsets[w as usize + 1] as usize);
+            let (wlo, whi) = (
+                topo.offsets[w as usize] as usize,
+                topo.offsets[w as usize + 1] as usize,
+            );
             if q >= whi - wlo
                 || topo.peer_node[wlo + q] as usize != v
                 || topo.peer_port[wlo + q] as usize != p
@@ -229,6 +236,11 @@ impl World {
             w.signed(*amount);
         }
         w.varint(self.beeps_sent);
+        w.varint(self.stuck.len() as u64);
+        for &(gid, pset) in &self.stuck {
+            w.varint(gid as u64);
+            w.varint(pset as u64);
+        }
     }
 
     /// Decodes a world payload written by [`World::encode_payload`].
@@ -427,13 +439,14 @@ impl World {
             let offset = r.offset();
             let name = r.str("counter name")?;
             let value = r.varint()?;
-            let known = *KNOWN_COUNTERS
-                .iter()
-                .find(|&&k| k == name)
-                .ok_or(WireError::BadValue {
-                    what: "counter name",
-                    offset,
-                })?;
+            let known =
+                *KNOWN_COUNTERS
+                    .iter()
+                    .find(|&&k| k == name)
+                    .ok_or(WireError::BadValue {
+                        what: "counter name",
+                        offset,
+                    })?;
             stats.metrics.add_named(known, value);
         }
 
@@ -448,6 +461,28 @@ impl World {
             charge_log.push((label, amount));
         }
         let beeps_sent = r.varint()?;
+        let stuck_count = r.len("stuck-pin list")?;
+        let mut stuck = Vec::with_capacity(stuck_count);
+        let mut prev_stuck: Option<u32> = None;
+        for _ in 0..stuck_count {
+            let offset = r.offset();
+            let gid = r.u32("stuck pin")?;
+            let pset = r.u16("stuck-pin partition set")?;
+            let err = WireError::BadValue {
+                what: "stuck pin",
+                offset,
+            };
+            if gid as usize >= total || prev_stuck.is_some_and(|p| gid <= p) {
+                return Err(err);
+            }
+            // The frozen value must be a valid pset of the owning node.
+            let v = base.partition_point(|&b| b <= gid) - 1;
+            if pset as u32 >= base[v + 1] - base[v] || pin_pset[gid as usize] != pset {
+                return Err(err);
+            }
+            prev_stuck = Some(gid);
+            stuck.push((gid, pset));
+        }
 
         Ok(World {
             topo,
@@ -489,6 +524,7 @@ impl World {
             charged,
             charge_log,
             beeps_sent,
+            stuck,
         })
     }
 
@@ -513,7 +549,7 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amoebot_telemetry::{NullRecorder, RoundSummary, Recorder};
+    use amoebot_telemetry::{NullRecorder, Recorder, RoundSummary};
 
     /// A recorder that keeps every round summary (for differential
     /// comparison of restored vs. uninterrupted runs).

@@ -91,6 +91,8 @@ pub(crate) struct EngineStats {
     pub(crate) metrics: Metrics,
     pub(crate) relabel_global: CounterId,
     pub(crate) relabel_region: CounterId,
+    pub(crate) fault_drops: CounterId,
+    pub(crate) fault_injects: CounterId,
     pub(crate) t_propagate: TimerId,
     pub(crate) t_dissolve: TimerId,
     pub(crate) t_reunion: TimerId,
@@ -104,6 +106,8 @@ impl EngineStats {
         EngineStats {
             relabel_global: m.counter("relabel_global"),
             relabel_region: m.counter("relabel_region"),
+            fault_drops: m.counter("fault_drops"),
+            fault_injects: m.counter("fault_injects"),
             t_propagate: m.timer("phase_propagate_micros"),
             t_dissolve: m.timer("phase_region_dissolve_micros"),
             t_reunion: m.timer("phase_region_reunion_micros"),
@@ -111,6 +115,40 @@ impl EngineStats {
             t_global: m.timer("phase_global_relabel_micros"),
             metrics: m,
         }
+    }
+}
+
+/// One tick's worth of adversarial beep faults, staged by a fault plan
+/// and consumed by [`World::tick_faulted`]. Both lists hold partition-set
+/// gids and **must be sorted ascending** — the faulted tick binary-searches
+/// them per beep.
+///
+/// The fault-free instance is [`TickFaults::EMPTY`]; `tick`/`tick_with`
+/// run through the same monomorphized engine with the fault arm compiled
+/// out, so an unarmed adversary costs nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TickFaults {
+    /// Gids whose beep — if the algorithm sent one this round — is
+    /// suppressed before delivery. The send still counts as a beep (it
+    /// left the amoebot; the adversary ate it on the wire), so traces
+    /// record it as a `Beep` plus a `FaultDrop` attribution.
+    pub drop: Vec<u32>,
+    /// Gids forced to beep this round whether or not the algorithm sent
+    /// (spurious beeps). Injected before delivery, so they trace as
+    /// ordinary `Beep`s plus a `FaultInject` attribution.
+    pub inject: Vec<u32>,
+}
+
+impl TickFaults {
+    /// No faults: what the plain tick paths run under.
+    pub const EMPTY: TickFaults = TickFaults {
+        drop: Vec::new(),
+        inject: Vec::new(),
+    };
+
+    /// Whether this stage carries no beep-level faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.drop.is_empty() && self.inject.is_empty()
     }
 }
 
@@ -214,6 +252,13 @@ pub struct World {
     pub(crate) charge_log: Vec<(String, i64)>,
     /// Total beeps sent (diagnostic; the model itself never counts beeps).
     pub(crate) beeps_sent: u64,
+    /// Stuck-at pin faults as `(pin gid, frozen pset)`, sorted by gid.
+    /// A stuck pin's partition set is pinned to the frozen value: single
+    /// writes are filtered at [`World::set_pin`], bulk writers re-assert
+    /// the frozen value after their sweep. Empty in a healthy world, and
+    /// every write path gates its stuck handling on that emptiness, so
+    /// the overlay costs one branch when unarmed.
+    pub(crate) stuck: Vec<(u32, u16)>,
 }
 
 impl World {
@@ -290,6 +335,7 @@ impl World {
             charged: 0,
             charge_log: Vec::new(),
             beeps_sent: 0,
+            stuck: Vec::new(),
         };
         for v in 0..w.topo.len() {
             w.singleton_pin_config(v);
@@ -414,7 +460,10 @@ impl World {
         }
     }
 
-    /// Assigns a single pin of `v` to local partition set `pset`.
+    /// Assigns a single pin of `v` to local partition set `pset`. If the
+    /// pin is frozen by a stuck-at fault ([`World::stick_pin`]) the write
+    /// is silently dropped — that is the fault model: the algorithm
+    /// *believes* it reconfigured, the hardware did not.
     ///
     /// # Panics
     ///
@@ -427,6 +476,9 @@ impl World {
         let cap = self.pset_capacity(v);
         if (pset as usize) >= cap {
             Self::pset_out_of_range(v, pset, cap);
+        }
+        if !self.stuck.is_empty() && self.stuck_index(gid as u32).is_ok() {
+            return;
         }
         if self.pin_pset[gid] != pset {
             self.pin_pset[gid] = pset;
@@ -455,7 +507,14 @@ impl World {
             diff |= self.pin_pset[base + i] ^ pset;
             self.pin_pset[base + i] = pset;
         }
+        // Stuck pins win over the sweep; the gate keeps the healthy path
+        // a single branch and the loop above vectorizable.
+        if !self.stuck.is_empty() {
+            self.reassert_stuck(base, count);
+        }
         if diff != 0 {
+            // Snapshot-compare marking: pins the re-assertion restored to
+            // their pre-sweep (frozen) value are correctly left clean.
             self.mark_changed_pins(base, count);
         }
     }
@@ -518,10 +577,13 @@ impl World {
         let id = Self::global_link_pset(link);
         let base = self.base[v] as usize;
         let count = self.pset_capacity(v);
+        let has_stuck = !self.stuck.is_empty();
         // Only the pins on `link` move; other links keep their sets.
         let mut i = link;
         while i < count {
-            if self.pin_pset[base + i] != id {
+            if self.pin_pset[base + i] != id
+                && !(has_stuck && self.stuck_index((base + i) as u32).is_ok())
+            {
                 self.pin_pset[base + i] = id;
                 self.mark_pin_dirty(base + i, base as u32);
             }
@@ -557,6 +619,9 @@ impl World {
             }
             i += c;
         }
+        if !self.stuck.is_empty() {
+            self.reassert_stuck(base, count);
+        }
         if diff != 0 {
             self.mark_changed_pins(base, count);
         }
@@ -572,6 +637,120 @@ impl World {
         for v in 0..self.topo.len() {
             self.reset_pins_keeping_links(v, keep);
         }
+    }
+
+    // ---- Stuck-at pin faults (the adversary's hardware-fault overlay).
+
+    /// Position of `gid` in the sorted stuck-pin list.
+    #[inline]
+    fn stuck_index(&self, gid: u32) -> Result<usize, usize> {
+        self.stuck.binary_search_by_key(&gid, |&(g, _)| g)
+    }
+
+    /// Restores the frozen value of every stuck pin inside
+    /// `[base, base + count)` after a bulk sweep overwrote the range.
+    /// Restoration needs no dirty marking of its own: it returns pins to
+    /// their pre-sweep value, and the callers' snapshot-compare marking
+    /// decides what actually changed.
+    #[cold]
+    #[inline(never)]
+    fn reassert_stuck(&mut self, base: usize, count: usize) {
+        let start = self.stuck.partition_point(|&(g, _)| (g as usize) < base);
+        for i in start..self.stuck.len() {
+            let (gid, pset) = self.stuck[i];
+            if gid as usize >= base + count {
+                break;
+            }
+            self.pin_pset[gid as usize] = pset;
+        }
+    }
+
+    /// Freezes pin `(port, link)` of `v` at partition set `pset`: the pin
+    /// moves there now (through the normal dirty-pin path) and every
+    /// later write — single or bulk — is dropped at the pin until
+    /// [`World::unstick_pin`] / [`World::release_stuck_pins`]. Sticking
+    /// an already-stuck pin re-freezes it at the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pset` is out of range for `v` (real check, as in
+    /// [`World::set_pin`]), or — in debug builds — if the pin is.
+    pub fn stick_pin(&mut self, v: usize, port: PortId, link: usize, pset: u16) {
+        let gid = self.pin_gid(v, (port, link));
+        let cap = self.pset_capacity(v);
+        if (pset as usize) >= cap {
+            Self::pset_out_of_range(v, pset, cap);
+        }
+        if self.pin_pset[gid] != pset {
+            self.pin_pset[gid] = pset;
+            self.mark_pin_dirty(gid, self.base[v]);
+        }
+        match self.stuck_index(gid as u32) {
+            Ok(i) => self.stuck[i].1 = pset,
+            Err(i) => self.stuck.insert(i, (gid as u32, pset)),
+        }
+    }
+
+    /// Releases the stuck-at fault on pin `(port, link)` of `v` (the pin
+    /// keeps its frozen value until something rewrites it). Returns
+    /// whether the pin was stuck.
+    pub fn unstick_pin(&mut self, v: usize, port: PortId, link: usize) -> bool {
+        let gid = self.pin_gid(v, (port, link)) as u32;
+        match self.stuck_index(gid) {
+            Ok(i) => {
+                self.stuck.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Releases every stuck-at fault at once (the "burst ends" operation
+    /// of a fault plan) and returns how many were armed. Pins keep their
+    /// frozen values until rewritten.
+    pub fn release_stuck_pins(&mut self) -> usize {
+        let n = self.stuck.len();
+        self.stuck.clear();
+        n
+    }
+
+    /// Number of currently stuck pins.
+    #[inline]
+    pub fn stuck_pin_count(&self) -> usize {
+        self.stuck.len()
+    }
+
+    /// Whether pin `(port, link)` of `v` is frozen by a stuck-at fault.
+    pub fn pin_is_stuck(&self, v: usize, port: PortId, link: usize) -> bool {
+        self.stuck_index(self.pin_gid(v, (port, link)) as u32)
+            .is_ok()
+    }
+
+    /// Resolves `v`'s local partition set `pset` to the global id space
+    /// that [`TickFaults`] targets — the public spelling of the engine's
+    /// internal gid resolution, for fault plans choosing where to drop or
+    /// inject beeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pset` is out of range for `v` (also in release builds).
+    #[inline]
+    pub fn pset_global_id(&self, v: usize, pset: u16) -> u32 {
+        self.pset_gid(v, pset) as u32
+    }
+
+    /// Total beeps the adversary suppressed so far (thin wrapper over the
+    /// registry's `fault_drops` counter).
+    #[inline]
+    pub fn fault_drops(&self) -> u64 {
+        self.stats.metrics.get(self.stats.fault_drops)
+    }
+
+    /// Total beeps the adversary spuriously injected so far (wrapper over
+    /// the registry's `fault_injects` counter).
+    #[inline]
+    pub fn fault_injects(&self) -> u64 {
+        self.stats.metrics.get(self.stats.fault_injects)
     }
 
     /// Makes `v` beep on its local partition set `pset` this round.
@@ -1015,6 +1194,50 @@ impl World {
     /// [`World::pset_circuit`]) or [`World::tick_reference`] — those
     /// consume dirty pins without emitting deltas.
     pub fn tick_with<R: Recorder>(&mut self, rec: &mut R) {
+        self.tick_impl::<R, false>(&TickFaults::EMPTY, rec);
+    }
+
+    /// [`World::tick_with`] under an adversary: `faults.inject` gids are
+    /// forced to beep before delivery and `faults.drop` gids' beeps are
+    /// suppressed on the wire. Both lists must be sorted ascending (see
+    /// [`TickFaults`]). With [`TickFaults::EMPTY`] this is byte-identical
+    /// to [`World::tick_with`] — same monomorphized engine, fault arm
+    /// compiled out — which the fault differential suite pins.
+    ///
+    /// Trace semantics: injections are recorded as ordinary beeps plus a
+    /// `FaultInject` attribution; drops keep their `Beep` record (the
+    /// send happened — the adversary ate it) plus a `FaultDrop` record
+    /// that replay uses to exclude the gid from delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an injected gid is outside the world's gid space.
+    pub fn tick_faulted<R: Recorder>(&mut self, faults: &TickFaults, rec: &mut R) {
+        self.tick_impl::<R, true>(faults, rec);
+    }
+
+    /// The single tick engine behind [`World::tick`], [`World::tick_with`]
+    /// and [`World::tick_faulted`]. `FAULTED` gates the adversary arms at
+    /// monomorphization, exactly like `R::TRACE` gates emission — the
+    /// healthy paths carry no fault checks at all.
+    fn tick_impl<R: Recorder, const FAULTED: bool>(&mut self, faults: &TickFaults, rec: &mut R) {
+        if FAULTED {
+            for &gid in &faults.inject {
+                assert!(
+                    (gid as usize) < self.pin_pset.len(),
+                    "injected beep gid {gid} outside the pin space"
+                );
+                if !self.send.get(gid as usize) {
+                    self.send.set(gid as usize);
+                    self.sent.push(gid);
+                    self.beeps_sent += 1;
+                    self.stats.metrics.inc(self.stats.fault_injects);
+                    if R::TRACE {
+                        rec.beep_injected(gid);
+                    }
+                }
+            }
+        }
         let mut digest = 0u64;
         if R::TRACE {
             // Net config deltas since the last relabel, captured before
@@ -1047,6 +1270,16 @@ impl World {
         // Dedup the beeping circuits (O(beeps sent)).
         for &gid in &self.sent {
             self.send.clear(gid as usize);
+            if FAULTED && faults.drop.binary_search(&gid).is_ok() {
+                // Suppressed on the wire: the beep counted as sent (and
+                // went into the salted digest term above) but marks no
+                // circuit for delivery.
+                self.stats.metrics.inc(self.stats.fault_drops);
+                if R::TRACE {
+                    rec.beep_dropped(gid);
+                }
+                continue;
+            }
             let root = self.labels[gid as usize] as usize;
             if !self.root_mark.get(root) {
                 self.root_mark.set(root);

@@ -22,10 +22,12 @@
 //!   rebuild — same adjacency, same circuits up to relabeling, same beep
 //!   delivery. The scenario layer runs it after *every* event.
 
+pub mod fault;
 pub mod plan;
 pub mod snapshot;
 pub mod world;
 
+pub use fault::{FaultFamily, FaultPlan, StagedFault, ALL_FAULT_FAMILIES};
 pub use plan::{AppliedEvent, ChurnFamily, ChurnPlan, ALL_CHURN_FAMILIES};
 pub use world::{verify_against_rebuild, DynamicWorld};
 

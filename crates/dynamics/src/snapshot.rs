@@ -85,8 +85,8 @@ mod tests {
     }
 
     fn churny_world(n: usize, seed: u64) -> DynamicWorld {
-        let s = AmoebotStructure::new(shapes::random_blob(n, &mut crate::derive_rng(seed, 0)))
-            .unwrap();
+        let s =
+            AmoebotStructure::new(shapes::random_blob(n, &mut crate::derive_rng(seed, 0))).unwrap();
         let mut dw = DynamicWorld::new(&s, 2);
         for v in 0..n {
             dw.world_mut().global_pin_config(v);

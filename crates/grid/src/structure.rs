@@ -137,7 +137,8 @@ impl AmoebotStructure {
     /// neighbor table) is derived, so the blob is minimal and restore
     /// re-validates connectedness for free.
     pub fn snapshot_bytes(&self) -> Vec<u8> {
-        let mut w = amoebot_telemetry::SnapshotWriter::new(amoebot_telemetry::wire::kind::STRUCTURE);
+        let mut w =
+            amoebot_telemetry::SnapshotWriter::new(amoebot_telemetry::wire::kind::STRUCTURE);
         w.varint(self.len() as u64);
         for c in &self.coords {
             w.signed(c.q as i64);

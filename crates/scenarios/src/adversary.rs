@@ -1,0 +1,312 @@
+//! Adversary workloads: fault injection, non-fair scheduling and
+//! self-stabilization checks (DESIGN.md §1h).
+//!
+//! Each workload runs an informed-set broadcast on a live structure
+//! while a seeded [`FaultPlan`] attacks it, then checks the
+//! **self-stabilization contract**: once the burst ends (and, for
+//! hardware faults, a repair sweep re-asserts the configuration), the
+//! broadcast must re-converge to *every* live amoebot within the stated
+//! bound — `n + 2` relay rounds for the hop-by-hop flood, `O(1)` ticks
+//! for the global circuit. Along the way the incrementally mutated
+//! world is cross-validated against the from-scratch rebuild oracle
+//! after every event, exactly like the churn families.
+//!
+//! Every failure detail goes through [`fault_fail_line`], which carries
+//! the fault-plan seed, the scenario seed and the event index — the full
+//! reproduction key, mirroring the churn FAIL-line contract.
+
+use amoebot_dynamics::{verify_against_rebuild, DynamicWorld, FaultFamily, FaultPlan, StagedFault};
+use amoebot_grid::{shapes, AmoebotStructure};
+use amoebot_telemetry::Recorder;
+use rand::RngCore;
+
+use crate::run::{emit_topology, CheckResult, ScenarioResult};
+use crate::spec::derive_rng;
+
+/// The four registered adversary shapes: what structure the broadcast
+/// runs on, how it relays, and which fault families the seed may draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdversaryKind {
+    /// Beep-level faults (drop / spurious-inject) against the blob flood.
+    LossyFlood,
+    /// Stuck-at pin faults against the line's global circuit.
+    StuckLine,
+    /// Non-fair scheduling against the blob flood.
+    UnfairFlood,
+    /// Crash-recovery against the blob's global circuit.
+    CrashGlobal,
+}
+
+impl AdversaryKind {
+    fn menu(self) -> &'static [FaultFamily] {
+        match self {
+            AdversaryKind::LossyFlood => &[FaultFamily::LossyBeeps, FaultFamily::SpuriousBeeps],
+            AdversaryKind::StuckLine => &[FaultFamily::StuckPins],
+            AdversaryKind::UnfairFlood => &[
+                FaultFamily::StarveRegion,
+                FaultFamily::AlternateHalves,
+                FaultFamily::BurstsThenSilence,
+            ],
+            AdversaryKind::CrashGlobal => &[FaultFamily::CrashRecover],
+        }
+    }
+
+    /// Flood kinds relay hop-by-hop over singleton pin sets; the others
+    /// broadcast over the global circuit.
+    fn flood(self) -> bool {
+        matches!(self, AdversaryKind::LossyFlood | AdversaryKind::UnfairFlood)
+    }
+}
+
+/// The FAIL-line contract for adversary checks: fault-plan seed,
+/// scenario seed, event index and family label in one line — everything
+/// needed to replay the failing schedule from a log alone.
+pub fn fault_fail_line(scenario_seed: u64, plan: &FaultPlan, event: usize, msg: &str) -> String {
+    format!(
+        "fault schedule seed={} scenario seed={scenario_seed} event=#{event} ({}): {msg}",
+        plan.seed,
+        plan.family.label()
+    )
+}
+
+/// One flood relay round: every *active* informed amoebot beeps on all
+/// of its (singleton) partition sets, the world ticks under the staged
+/// beep faults, and every active amoebot that heard anything becomes
+/// informed. Starved amoebots neither relay nor absorb — the scheduler
+/// withheld their activation.
+fn flood_round<R: Recorder>(
+    dw: &mut DynamicWorld,
+    informed: &mut [bool],
+    staged: &StagedFault,
+    rec: &mut R,
+) {
+    let live = dw.editor().live_ids().to_vec();
+    for &v in &live {
+        if informed[v as usize] && staged.is_active(v) {
+            let cap = dw.world().pset_capacity(v as usize);
+            for pset in 0..cap {
+                dw.world_mut().beep(v as usize, pset as u16);
+            }
+        }
+    }
+    dw.world_mut().tick_faulted(&staged.ticks, rec);
+    for &v in &live {
+        if !informed[v as usize] && staged.is_active(v) {
+            let cap = dw.world().pset_capacity(v as usize);
+            if (0..cap).any(|pset| dw.world().received(v as usize, pset as u16)) {
+                informed[v as usize] = true;
+            }
+        }
+    }
+}
+
+/// One global-circuit round: the origin beeps (if the scheduler lets
+/// it), the world ticks under the staged faults, and active listeners
+/// that heard the beep become informed.
+fn global_round<R: Recorder>(
+    dw: &mut DynamicWorld,
+    origin: usize,
+    informed: &mut [bool],
+    staged: &StagedFault,
+    rec: &mut R,
+) {
+    if staged.is_active(origin as u32) {
+        dw.world_mut().beep(origin, 0);
+    }
+    dw.world_mut().tick_faulted(&staged.ticks, rec);
+    for &v in dw.editor().live_ids() {
+        if !informed[v as usize] && staged.is_active(v) && dw.world().received(v as usize, 0) {
+            informed[v as usize] = true;
+        }
+    }
+}
+
+/// Runs one adversary workload end to end: burst (one staged fault
+/// event + one broadcast round each, rebuild-oracle-checked), repair,
+/// recovery (fault-free rounds up to the bound), final oracle pass.
+///
+/// `sabotage` is the deliberately-broken variant behind
+/// `adversary-selftest-fail`: the repair sweep is skipped and a stuck
+/// pin is silently re-armed after the burst, so the re-convergence
+/// checker must trip.
+#[allow(clippy::too_many_arguments)] // one call site; a params struct would only relabel the same eight knobs
+pub(crate) fn run_adversary<R: Recorder>(
+    r: &mut ScenarioResult,
+    kind: AdversaryKind,
+    n: usize,
+    events: usize,
+    per_event: usize,
+    seed: u64,
+    sabotage: bool,
+    rec: &mut R,
+) {
+    let (structure, c) = if kind == AdversaryKind::StuckLine {
+        (
+            AmoebotStructure::new(shapes::line(n)).expect("lines are connected"),
+            1,
+        )
+    } else {
+        (
+            AmoebotStructure::new(shapes::random_blob(n, &mut derive_rng(seed, 0)))
+                .expect("blob generator produces connected sets"),
+            2,
+        )
+    };
+    let mut dw = DynamicWorld::new(&structure, c);
+    for v in 0..n {
+        if kind.flood() {
+            dw.world_mut().singleton_pin_config(v);
+        } else {
+            dw.world_mut().global_pin_config(v);
+        }
+    }
+    emit_topology(dw.world(), rec);
+
+    let family = *crate::spec::pick(&mut derive_rng(seed, 5), kind.menu());
+    // An explicit fault-plan seed, surfaced in every failure detail: with
+    // the event index it reproduces the failing schedule from the log
+    // alone (same policy as the churn schedule seed).
+    let plan_seed = derive_rng(seed, 6).next_u64();
+    let plan = FaultPlan::new(plan_seed, family, events, per_event);
+    let last_event = events.saturating_sub(1);
+
+    // The informed-set broadcast state. Node 0 is the source; its
+    // informed bit is protocol *input*, re-asserted even across a crash.
+    let origin = 0usize;
+    let mut informed = vec![false; n];
+    informed[origin] = true;
+
+    // ---- Burst: one staged fault event + one broadcast round each.
+    let mut oracle_fail: Option<String> = None;
+    for e in 0..events {
+        let staged = plan.stage_with(&mut dw, e, rec);
+        for v in &staged.wiped {
+            // Crash-recovery: the rejoin protocol restores the circuit
+            // configuration, but the algorithm state (the informed bit)
+            // is gone.
+            informed[v.index()] = false;
+            dw.world_mut().global_pin_config(v.index());
+        }
+        informed[origin] = true;
+        if kind.flood() {
+            flood_round(&mut dw, &mut informed, &staged, rec);
+        } else {
+            global_round(&mut dw, origin, &mut informed, &staged, rec);
+        }
+        // Cross-validation after *every* event: the fault-mutated world
+        // vs a from-scratch rebuild.
+        if oracle_fail.is_none() {
+            if let Err(msg) = verify_against_rebuild(&dw) {
+                oracle_fail = Some(fault_fail_line(seed, &plan, e, &msg));
+            }
+        }
+    }
+
+    // ---- Repair: hardware faults leave broken pin values behind even
+    // after release; the self-stabilizing configuration sweep re-asserts
+    // the intended circuit. (Flood configs were never overwritten; crash
+    // reboots already re-applied theirs.)
+    if sabotage {
+        // The deliberately-broken variant: everyone crashes (informed
+        // bits lost), the repair sweep is skipped, and one pin of the
+        // middle amoebot is silently frozen onto a cutting partition
+        // set — recovery has to re-broadcast through the cut, so the
+        // checker below must catch it.
+        informed.fill(false);
+        informed[origin] = true;
+        let mid = n / 2;
+        let port = (0..6)
+            .find(|&p| {
+                dw.world()
+                    .topology()
+                    .peer(mid, p)
+                    .is_some_and(|(u, _)| u > mid)
+            })
+            .expect("the middle of a line has an up-neighbor");
+        dw.world_mut().stick_pin(mid, port, 0, 1);
+    } else if kind == AdversaryKind::StuckLine {
+        for v in 0..n {
+            dw.world_mut().global_pin_config(v);
+        }
+    }
+
+    // ---- Recovery: fault-free rounds until everyone is informed, up to
+    // the stated self-stabilization bound.
+    let bound = if kind.flood() { n + 2 } else { 3 };
+    let calm = StagedFault::default();
+    let mut recovery_rounds = 0usize;
+    let all_informed = |dw: &DynamicWorld, informed: &[bool]| {
+        dw.editor().live_ids().iter().all(|&v| informed[v as usize])
+    };
+    while recovery_rounds < bound && !all_informed(&dw, &informed) {
+        if kind.flood() {
+            flood_round(&mut dw, &mut informed, &calm, rec);
+        } else {
+            global_round(&mut dw, origin, &mut informed, &calm, rec);
+        }
+        recovery_rounds += 1;
+    }
+    let uninformed = dw
+        .editor()
+        .live_ids()
+        .iter()
+        .filter(|&&v| !informed[v as usize])
+        .count();
+    let converge_fail: Option<String> = (uninformed > 0).then(|| {
+        fault_fail_line(
+            seed,
+            &plan,
+            last_event,
+            &format!(
+                "{uninformed} of {} amoebots still uninformed after \
+                 {recovery_rounds} recovery rounds (bound {bound})",
+                dw.len()
+            ),
+        )
+    });
+    // The recovered state itself must still match a from-scratch rebuild.
+    let final_oracle_fail: Option<String> = verify_against_rebuild(&dw)
+        .err()
+        .map(|msg| fault_fail_line(seed, &plan, last_event, &format!("after recovery: {msg}")));
+
+    r.n = n;
+    r.k = events;
+    r.l = dw.len();
+    r.rounds = dw.world().rounds();
+    r.beeps = dw.world().beeps_sent();
+    r.metrics.merge(dw.world().metrics());
+    let oracle_ok = oracle_fail.is_none();
+    let converge_ok = converge_fail.is_none();
+    let final_ok = final_oracle_fail.is_none();
+    r.checks = vec![
+        CheckResult::from_bool("fault-oracle-equivalent", oracle_ok, || {
+            oracle_fail.unwrap_or_default()
+        }),
+        CheckResult::from_bool("fault-reconvergence-bound", converge_ok, || {
+            converge_fail.unwrap_or_default()
+        }),
+        CheckResult::from_bool("fault-recovered-oracle", final_ok, || {
+            final_oracle_fail.unwrap_or_default()
+        }),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The FAIL-line format is a contract (logs are grepped for it):
+    /// fault-plan seed, scenario seed, event index, family label, detail.
+    #[test]
+    fn fail_lines_carry_the_full_reproduction_key() {
+        let plan = FaultPlan::new(0xDEAD, FaultFamily::StuckPins, 6, 2);
+        let line = fault_fail_line(42, &plan, 3, "1 amoebot uninformed");
+        assert_eq!(
+            line,
+            "fault schedule seed=57005 scenario seed=42 event=#3 (stuckpin): 1 amoebot uninformed"
+        );
+        for needle in ["seed=57005", "seed=42", "event=#3", "(stuckpin)"] {
+            assert!(line.contains(needle), "FAIL line lost {needle:?}");
+        }
+    }
+}

@@ -1128,7 +1128,14 @@ mod tests {
         let _ = std::fs::remove_file(&old_out);
         // `run` is the explicit spelling of the default batch mode.
         assert_eq!(
-            run(&args(&["run", "--count", "2", "--quiet", "--out", "/dev/null"])),
+            run(&args(&[
+                "run",
+                "--count",
+                "2",
+                "--quiet",
+                "--out",
+                "/dev/null"
+            ])),
             0
         );
     }
@@ -1186,7 +1193,12 @@ mod tests {
             "1",
             "--no-timing",
         ];
-        let both = ["--family", "blob-broadcast", "--family", "blob-churn-broadcast"];
+        let both = [
+            "--family",
+            "blob-broadcast",
+            "--family",
+            "blob-churn-broadcast",
+        ];
         // Uninterrupted reference (no checkpointing).
         let mut full = vec!["sweep", "--quiet"];
         full.extend_from_slice(&common);

@@ -33,6 +33,7 @@
 //! assert!(report.canonical_json().contains("\"passed\": 4"));
 //! ```
 
+pub mod adversary;
 pub mod batch;
 pub mod cli;
 pub mod experiments;
@@ -45,6 +46,7 @@ pub mod server;
 pub mod spec;
 pub mod sweep;
 
+pub use adversary::fault_fail_line;
 pub use batch::{run_batch, Threads};
 pub use record::{record_scenario, recordable};
 pub use registry::{default_registry, Family, Registry};

@@ -624,6 +624,154 @@ pub fn default_registry() -> Registry {
             )
         },
     );
+    // ---- Adversary families (DESIGN.md §1h): seeded fault schedules
+    // against a live broadcast, rebuild-oracle-checked per event, with a
+    // self-stabilization re-convergence bound after the burst.
+    r.register_sweepable(
+        "fault-lossy-broadcast",
+        "beep drop / spurious-inject adversary on the blob flood relay, oracle-checked per event",
+        true,
+        // The flood relay beeps every informed amoebot's pin set each
+        // round, and recovery runs up to the eccentricity of the blob:
+        // ~O(n^1.5) work per rung keeps the ceiling at 10^4.
+        10_000,
+        |seed| {
+            let mut p = derive_rng(seed, 90);
+            let n = p.gen_range(16..=80usize);
+            let events = p.gen_range(3..=8usize);
+            let per_event = p.gen_range(1..=(n / 10).max(1));
+            Scenario::micro(
+                "fault-lossy-broadcast",
+                seed,
+                crate::spec::MicroWorkload::FaultyBlobFlood {
+                    n,
+                    events,
+                    per_event,
+                },
+            )
+        },
+        |seed, n| {
+            Scenario::micro(
+                "fault-lossy-broadcast",
+                seed,
+                crate::spec::MicroWorkload::FaultyBlobFlood {
+                    n,
+                    events: 6,
+                    per_event: (n / 100).max(1),
+                },
+            )
+        },
+    );
+    r.register_sweepable(
+        "fault-stuckpin-broadcast",
+        "stuck-at pin adversary on a line's global circuit, released + repaired after the burst",
+        true,
+        // Global-circuit ticks are cheap; each event pays one rebuild
+        // oracle (O(n)) like the churn family, so 10^5 fits the budget.
+        100_000,
+        |seed| {
+            let mut p = derive_rng(seed, 90);
+            let n = p.gen_range(12..=96usize);
+            let events = p.gen_range(3..=8usize);
+            let per_event = p.gen_range(1..=4usize);
+            Scenario::micro(
+                "fault-stuckpin-broadcast",
+                seed,
+                crate::spec::MicroWorkload::StuckLineBroadcast {
+                    n,
+                    events,
+                    per_event,
+                },
+            )
+        },
+        |seed, n| {
+            Scenario::micro(
+                "fault-stuckpin-broadcast",
+                seed,
+                crate::spec::MicroWorkload::StuckLineBroadcast {
+                    n,
+                    events: 6,
+                    per_event: (n / 100).max(1),
+                },
+            )
+        },
+    );
+    r.register_sweepable(
+        "fault-unfair-broadcast",
+        "non-fair scheduling adversary (starve / alternate / silence) on the blob flood relay",
+        true,
+        10_000,
+        |seed| {
+            let mut p = derive_rng(seed, 90);
+            let n = p.gen_range(16..=80usize);
+            let events = p.gen_range(3..=8usize);
+            let per_event = p.gen_range(1..=(n / 10).max(1));
+            Scenario::micro(
+                "fault-unfair-broadcast",
+                seed,
+                crate::spec::MicroWorkload::UnfairBlobFlood {
+                    n,
+                    events,
+                    per_event,
+                },
+            )
+        },
+        |seed, n| {
+            Scenario::micro(
+                "fault-unfair-broadcast",
+                seed,
+                crate::spec::MicroWorkload::UnfairBlobFlood {
+                    n,
+                    events: 6,
+                    per_event: (n / 100).max(1),
+                },
+            )
+        },
+    );
+    r.register_sweepable(
+        "fault-crashrecover-broadcast",
+        "crash-recovery adversary on the blob global circuit (wiped state, rejoin, re-inform)",
+        true,
+        100_000,
+        |seed| {
+            let mut p = derive_rng(seed, 90);
+            let n = p.gen_range(16..=96usize);
+            let events = p.gen_range(3..=8usize);
+            let per_event = p.gen_range(1..=(n / 8).max(1));
+            Scenario::micro(
+                "fault-crashrecover-broadcast",
+                seed,
+                crate::spec::MicroWorkload::CrashRecoverBroadcast {
+                    n,
+                    events,
+                    per_event,
+                },
+            )
+        },
+        |seed, n| {
+            Scenario::micro(
+                "fault-crashrecover-broadcast",
+                seed,
+                crate::spec::MicroWorkload::CrashRecoverBroadcast {
+                    n,
+                    events: 6,
+                    per_event: (n / 100).max(1),
+                },
+            )
+        },
+    );
+    r.register(
+        "adversary-selftest-fail",
+        "deliberately-broken repair sweep proving the self-stabilization checker trips (never sampled)",
+        false,
+        |seed| {
+            Scenario::micro(
+                "adversary-selftest-fail",
+                seed,
+                crate::spec::MicroWorkload::AdversarySelfTestFail,
+            )
+        },
+    );
     r.register(
         "selftest-fail",
         "always-failing scenario proving the runner's non-zero exit path (never sampled)",

@@ -36,7 +36,7 @@ pub struct CheckResult {
 }
 
 impl CheckResult {
-    fn pass(name: &str) -> CheckResult {
+    pub(crate) fn pass(name: &str) -> CheckResult {
         CheckResult {
             name: name.to_string(),
             pass: true,
@@ -44,7 +44,7 @@ impl CheckResult {
         }
     }
 
-    fn fail(name: &str, detail: String) -> CheckResult {
+    pub(crate) fn fail(name: &str, detail: String) -> CheckResult {
         CheckResult {
             name: name.to_string(),
             pass: false,
@@ -52,7 +52,7 @@ impl CheckResult {
         }
     }
 
-    fn from_bool(name: &str, ok: bool, detail: impl FnOnce() -> String) -> CheckResult {
+    pub(crate) fn from_bool(name: &str, ok: bool, detail: impl FnOnce() -> String) -> CheckResult {
         if ok {
             CheckResult::pass(name)
         } else {
@@ -745,6 +745,85 @@ fn run_micro<R: Recorder>(micro: MicroWorkload, seed: u64, rec: &mut R) -> Scena
                 CheckResult::from_bool("churn-spt-forest-valid", ok, || fail.unwrap_or_default()),
             ];
         }
+        MicroWorkload::FaultyBlobFlood {
+            n,
+            events,
+            per_event,
+        } => {
+            crate::adversary::run_adversary(
+                &mut r,
+                crate::adversary::AdversaryKind::LossyFlood,
+                n,
+                events,
+                per_event,
+                seed,
+                false,
+                rec,
+            );
+        }
+        MicroWorkload::StuckLineBroadcast {
+            n,
+            events,
+            per_event,
+        } => {
+            crate::adversary::run_adversary(
+                &mut r,
+                crate::adversary::AdversaryKind::StuckLine,
+                n,
+                events,
+                per_event,
+                seed,
+                false,
+                rec,
+            );
+        }
+        MicroWorkload::UnfairBlobFlood {
+            n,
+            events,
+            per_event,
+        } => {
+            crate::adversary::run_adversary(
+                &mut r,
+                crate::adversary::AdversaryKind::UnfairFlood,
+                n,
+                events,
+                per_event,
+                seed,
+                false,
+                rec,
+            );
+        }
+        MicroWorkload::CrashRecoverBroadcast {
+            n,
+            events,
+            per_event,
+        } => {
+            crate::adversary::run_adversary(
+                &mut r,
+                crate::adversary::AdversaryKind::CrashGlobal,
+                n,
+                events,
+                per_event,
+                seed,
+                false,
+                rec,
+            );
+        }
+        MicroWorkload::AdversarySelfTestFail => {
+            // Fixed parameters, sabotage on: the repair sweep is skipped
+            // and a cutting stuck pin survives the burst, so the
+            // re-convergence checker must fail with the seeded FAIL line.
+            crate::adversary::run_adversary(
+                &mut r,
+                crate::adversary::AdversaryKind::StuckLine,
+                12,
+                2,
+                1,
+                0,
+                true,
+                rec,
+            );
+        }
         MicroWorkload::SelfTestFail => {
             r.n = 1;
             r.checks = vec![CheckResult::fail(
@@ -898,6 +977,73 @@ mod tests {
             );
             let r = run_ok(&line);
             assert!(r.rounds > 0, "SPT restarts consume rounds");
+        }
+    }
+
+    /// The adversary workloads: every fault event is rebuild-oracle
+    /// checked and the broadcast must re-converge within the stated
+    /// bound after the burst, across several seeds so each kind samples
+    /// its whole family menu.
+    #[test]
+    fn adversary_scenarios_pass_across_seeds() {
+        for seed in [0u64, 3, 11, 27, 42] {
+            for micro in [
+                MicroWorkload::FaultyBlobFlood {
+                    n: 30,
+                    events: 5,
+                    per_event: 3,
+                },
+                MicroWorkload::StuckLineBroadcast {
+                    n: 24,
+                    events: 5,
+                    per_event: 2,
+                },
+                MicroWorkload::UnfairBlobFlood {
+                    n: 30,
+                    events: 5,
+                    per_event: 3,
+                },
+                MicroWorkload::CrashRecoverBroadcast {
+                    n: 30,
+                    events: 5,
+                    per_event: 3,
+                },
+            ] {
+                let r = run_ok(&Scenario::micro("t", seed, micro));
+                assert_eq!(r.k, 5, "k reports the event count");
+                assert!(r.rounds >= 5, "one broadcast round per event");
+            }
+        }
+    }
+
+    /// The deliberately-broken variant must trip the self-stabilization
+    /// checker, and its FAIL line must carry the full reproduction key
+    /// (fault-plan seed + scenario seed + event index).
+    #[test]
+    fn adversary_selftest_trips_with_the_seeded_fail_line() {
+        let r = run_scenario(&Scenario::micro(
+            "t",
+            0,
+            MicroWorkload::AdversarySelfTestFail,
+        ));
+        assert!(!r.pass, "the sabotaged repair sweep must be caught");
+        let check = r
+            .checks
+            .iter()
+            .find(|c| c.name == "fault-reconvergence-bound")
+            .expect("the re-convergence check ran");
+        assert!(!check.pass);
+        for needle in [
+            "fault schedule seed=",
+            "scenario seed=",
+            "event=#",
+            "(stuckpin)",
+        ] {
+            assert!(
+                check.detail.contains(needle),
+                "FAIL line {:?} lost {needle:?}",
+                check.detail
+            );
         }
     }
 

@@ -21,6 +21,7 @@
 //! {"op":"create","session":S,"family":F,"size":N,"seed":N[,"events":N,"per_event":N]}
 //! {"op":"step","session":S[,"n":K]}         run K broadcast rounds (default 1)
 //! {"op":"mutate","session":S[,"verify":B]}  apply the next churn event
+//! {"op":"fault","session":S[,"verify":B]}   stage the next fault event + 1 faulted round
 //! {"op":"query","session":S[,"timing":B]}   spf-session-report/v1 envelope
 //! {"op":"snapshot","session":S}             write <dir>/<S>.session.spfs
 //! {"op":"restore","session":S}              load <dir>/<S>.session.spfs
@@ -60,7 +61,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 
-use amoebot_dynamics::{verify_against_rebuild, ChurnPlan, DynamicWorld, ALL_CHURN_FAMILIES};
+use amoebot_dynamics::{
+    verify_against_rebuild, ChurnPlan, DynamicWorld, FaultFamily, FaultPlan, ALL_CHURN_FAMILIES,
+    ALL_FAULT_FAMILIES,
+};
 use amoebot_grid::{shapes, AmoebotStructure};
 use amoebot_telemetry::wire::{self, SnapshotReader, SnapshotWriter, WireError};
 use rand::RngCore;
@@ -129,6 +133,8 @@ pub struct Session {
     dw: DynamicWorld,
     plan: Option<ChurnPlan>,
     next_event: usize,
+    fplan: Option<FaultPlan>,
+    next_fault: usize,
 }
 
 /// Session names double as snapshot file stems, so they are restricted
@@ -162,17 +168,28 @@ impl Session {
         if size == 0 {
             return Err("size must be at least 1".to_string());
         }
-        let plan = match family {
-            "blob-broadcast" => None,
+        let (plan, fplan) = match family {
+            "blob-broadcast" => (None, None),
             "blob-churn-broadcast" => {
                 let fam = *pick(&mut derive_rng(seed, 5), &ALL_CHURN_FAMILIES);
                 let schedule_seed = derive_rng(seed, 6).next_u64();
-                Some(ChurnPlan::new(schedule_seed, fam, events, per_event))
+                (
+                    Some(ChurnPlan::new(schedule_seed, fam, events, per_event)),
+                    None,
+                )
+            }
+            "blob-fault-broadcast" => {
+                let fam = *pick(&mut derive_rng(seed, 5), &ALL_FAULT_FAMILIES);
+                let schedule_seed = derive_rng(seed, 6).next_u64();
+                (
+                    None,
+                    Some(FaultPlan::new(schedule_seed, fam, events, per_event)),
+                )
             }
             other => {
                 return Err(format!(
-                    "unknown session family {other:?} \
-                     (expected blob-broadcast or blob-churn-broadcast)"
+                    "unknown session family {other:?} (expected blob-broadcast, \
+                     blob-churn-broadcast or blob-fault-broadcast)"
                 ))
             }
         };
@@ -191,6 +208,8 @@ impl Session {
             dw,
             plan,
             next_event: 0,
+            fplan,
+            next_fault: 0,
         })
     }
 
@@ -241,6 +260,56 @@ impl Session {
         Ok(doc)
     }
 
+    /// Stages the next event of the session's fault schedule and runs
+    /// one *faulted* broadcast round under it: crashed amoebots reboot
+    /// into the global configuration (informed-state loss is the
+    /// algorithm's problem, not the session's), the origin-stride source
+    /// beeps unless the event's scheduler mask starves it, and the tick
+    /// applies the staged drops/injects.
+    pub fn fault(&mut self, verify: bool) -> Result<Json, String> {
+        let plan = self
+            .fplan
+            .ok_or("session has no fault plan (create it as blob-fault-broadcast)")?;
+        if self.next_fault >= plan.events {
+            return Err(format!(
+                "fault schedule exhausted after {} events",
+                plan.events
+            ));
+        }
+        let event = self.next_fault;
+        let staged = plan.stage(&mut self.dw, event);
+        for v in &staged.wiped {
+            self.dw.world_mut().global_pin_config(v.index());
+        }
+        let live = self.dw.editor().live_ids();
+        if live.is_empty() {
+            return Err("session has no live amoebots left".to_string());
+        }
+        let origin = live[(self.steps as usize).wrapping_mul(ORIGIN_STRIDE) % live.len()];
+        if staged.is_active(origin) {
+            self.dw.world_mut().beep(origin as usize, 0);
+        }
+        self.dw
+            .world_mut()
+            .tick_faulted(&staged.ticks, &mut amoebot_telemetry::NullRecorder);
+        self.steps += 1;
+        self.next_fault += 1;
+        let mut doc = Json::object()
+            .field("ok", true)
+            .field("event", event)
+            .field("dropped", staged.ticks.drop.len())
+            .field("injected", staged.ticks.inject.len())
+            .field("starved", staged.inactive.len())
+            .field("wiped", staged.wiped.len())
+            .field("stuck_armed", staged.stuck_armed as usize)
+            .field("stuck_released", staged.stuck_released as usize)
+            .field("n", self.dw.len());
+        if verify {
+            doc = doc.field("oracle_ok", verify_against_rebuild(&self.dw).is_ok());
+        }
+        Ok(doc)
+    }
+
     /// The session report envelope. Canonical without `timing` — rounds,
     /// beeps, circuit count and engine counters only.
     pub fn query(&mut self, timing: bool) -> Json {
@@ -260,6 +329,13 @@ impl Session {
                 .field("churn_family", plan.family.label())
                 .field("next_event", self.next_event)
                 .field("events", plan.events);
+        }
+        if let Some(plan) = self.fplan {
+            env = env
+                .field("fault_family", plan.family.label())
+                .field("next_fault", self.next_fault)
+                .field("fault_events", plan.events)
+                .field("stuck_pins", self.dw.world().stuck_pin_count());
         }
         env.metrics(self.dw.world().metrics()).finish()
     }
@@ -284,6 +360,17 @@ impl Session {
                 w.varint(self.next_event as u64);
             }
         }
+        match &self.fplan {
+            None => w.byte(0),
+            Some(plan) => {
+                w.byte(1);
+                w.varint(plan.seed);
+                w.str(plan.family.label());
+                w.varint(plan.events as u64);
+                w.varint(plan.per_event as u64);
+                w.varint(self.next_fault as u64);
+            }
+        }
         self.dw.encode_payload(&mut w);
         w.finish()
     }
@@ -301,7 +388,10 @@ impl Session {
         }
         let family_offset = r.offset();
         let family = r.str("session family")?;
-        if family != "blob-broadcast" && family != "blob-churn-broadcast" {
+        if family != "blob-broadcast"
+            && family != "blob-churn-broadcast"
+            && family != "blob-fault-broadcast"
+        {
             return Err(WireError::BadValue {
                 what: "session family",
                 offset: family_offset,
@@ -334,7 +424,10 @@ impl Session {
                         offset: cursor_offset,
                     });
                 }
-                (Some(ChurnPlan::new(plan_seed, fam, events, per_event)), next_event)
+                (
+                    Some(ChurnPlan::new(plan_seed, fam, events, per_event)),
+                    next_event,
+                )
             }
             _ => {
                 return Err(WireError::BadValue {
@@ -343,10 +436,49 @@ impl Session {
                 })
             }
         };
-        if family == "blob-broadcast" && plan.is_some() {
+        if plan.is_some() != (family == "blob-churn-broadcast") {
             return Err(WireError::BadValue {
                 what: "churn-plan presence",
                 offset: plan_offset,
+            });
+        }
+        let fplan_offset = r.offset();
+        let (fplan, next_fault) = match r.byte()? {
+            0 => (None, 0),
+            1 => {
+                let plan_seed = r.varint()?;
+                let label_offset = r.offset();
+                let label = r.str("fault family label")?;
+                let fam = FaultFamily::from_label(&label).ok_or(WireError::BadValue {
+                    what: "fault family label",
+                    offset: label_offset,
+                })?;
+                let events = r.varint()? as usize;
+                let per_event = r.varint()? as usize;
+                let cursor_offset = r.offset();
+                let next_fault = r.varint()? as usize;
+                if next_fault > events {
+                    return Err(WireError::BadValue {
+                        what: "fault-plan cursor",
+                        offset: cursor_offset,
+                    });
+                }
+                (
+                    Some(FaultPlan::new(plan_seed, fam, events, per_event)),
+                    next_fault,
+                )
+            }
+            _ => {
+                return Err(WireError::BadValue {
+                    what: "fault-plan presence",
+                    offset: fplan_offset,
+                })
+            }
+        };
+        if fplan.is_some() != (family == "blob-fault-broadcast") {
+            return Err(WireError::BadValue {
+                what: "fault-plan presence",
+                offset: fplan_offset,
             });
         }
         let dw = DynamicWorld::decode_payload(&mut r)?;
@@ -360,6 +492,8 @@ impl Session {
             dw,
             plan,
             next_event,
+            fplan,
+            next_fault,
         })
     }
 
@@ -453,6 +587,13 @@ fn handle_request(
             Some(s) => {
                 let verify = doc.get("verify").and_then(Json::as_bool).unwrap_or(false);
                 s.mutate(verify).unwrap_or_else(err_json)
+            }
+            None => err_json(format!("no such session {name:?}")),
+        },
+        "fault" => match sessions.get_mut(name) {
+            Some(s) => {
+                let verify = doc.get("verify").and_then(Json::as_bool).unwrap_or(false);
+                s.fault(verify).unwrap_or_else(err_json)
             }
             None => err_json(format!("no such session {name:?}")),
         },
@@ -781,7 +922,8 @@ pub fn serve_stdio(server: Server) -> io::Result<()> {
 
 // ---- Binary front end.
 
-const USAGE: &str = "usage: scenario-server [--port N] [--threads N] [--snapshot-dir DIR] [--stdio]\n\
+const USAGE: &str =
+    "usage: scenario-server [--port N] [--threads N] [--snapshot-dir DIR] [--stdio]\n\
      \n\
      --port N           TCP port to listen on (default 0 = ephemeral; the\n\
      \x20                  bound address prints to stderr as `listening on ...`)\n\
@@ -941,7 +1083,10 @@ mod tests {
         assert_ok(&resp);
         assert_eq!(resp.get("rounds").and_then(Json::as_u64), Some(5));
         let doc = h.request(&req(&[("op", s("query")), ("session", s("a"))]));
-        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SESSION_SCHEMA));
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(SESSION_SCHEMA)
+        );
         assert_eq!(doc.get("rounds").and_then(Json::as_u64), Some(5));
         assert_eq!(doc.get("n").and_then(Json::as_u64), Some(120));
         // Canonical query responses carry counters but no timers.
@@ -962,13 +1107,17 @@ mod tests {
         .unwrap();
         let h = server.handle();
         for bad in [
-            req(&[("session", s("a"))]),                          // no op
-            req(&[("op", s("nonsense")), ("session", s("a"))]),   // unknown op
-            req(&[("op", s("step")), ("session", s("ghost"))]),   // no such session
+            req(&[("session", s("a"))]),                            // no op
+            req(&[("op", s("nonsense")), ("session", s("a"))]),     // unknown op
+            req(&[("op", s("step")), ("session", s("ghost"))]),     // no such session
             req(&[("op", s("create")), ("session", s("../evil"))]), // bad name
-            req(&[("op", s("create")), ("session", s("x")), ("family", s("bogus"))]),
-            req(&[("op", s("snapshot")), ("session", s("a"))]),   // no snapshot dir
-            req(&[("op", s("step"))]),                            // no session field
+            req(&[
+                ("op", s("create")),
+                ("session", s("x")),
+                ("family", s("bogus")),
+            ]),
+            req(&[("op", s("snapshot")), ("session", s("a"))]), // no snapshot dir
+            req(&[("op", s("step"))]),                          // no session field
         ] {
             let resp = h.request(&bad);
             assert_eq!(
@@ -1081,7 +1230,11 @@ mod tests {
                 ("size", n(50)),
                 ("seed", n(3)),
             ])));
-            assert_ok(&h.request(&req(&[("op", s("step")), ("session", s(name)), ("n", n(4))])));
+            assert_ok(&h.request(&req(&[
+                ("op", s("step")),
+                ("session", s(name)),
+                ("n", n(4)),
+            ])));
         }
         assert_eq!(server.shutdown().unwrap(), 5);
 
@@ -1223,27 +1376,142 @@ mod tests {
         // Restart over the same dir: the session is live again.
         let (serve, addr) = start(1);
         let mut conn = std::net::TcpStream::connect(addr).unwrap();
-        let doc = roundtrip(&mut conn, &req(&[("op", s("query")), ("session", s("tcp-a"))]));
+        let doc = roundtrip(
+            &mut conn,
+            &req(&[("op", s("query")), ("session", s("tcp-a"))]),
+        );
         assert_eq!(doc.get("rounds").and_then(Json::as_u64), Some(7));
         let _ = roundtrip(&mut conn, &req(&[("op", s("shutdown"))]));
         serve.join().unwrap().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// The adversary counterpart of the churn restore differential: a
+    /// session snapshotted mid-fault-schedule (stuck pins possibly armed
+    /// in the world) and restored into a fresh server replays the rest
+    /// of the schedule identically to the uninterrupted session.
+    #[test]
+    fn fault_session_restores_mid_schedule_byte_identically() {
+        // Several seeds so the drawn fault families vary. Each gets its
+        // own snapshot dir so resumed leftovers don't leak across seeds.
+        for seed in [0u64, 3, 11, 27] {
+            let dir = temp_dir(&format!("fault-restore-{seed}"));
+            let mk = |threads| {
+                Server::start(ServerConfig {
+                    threads,
+                    snapshot_dir: Some(dir.clone()),
+                })
+                .unwrap()
+            };
+            let name = format!("faulty{seed}");
+            let (server, _) = mk(2);
+            let h = server.handle();
+            assert_ok(&h.request(&req(&[
+                ("op", s("create")),
+                ("session", s(&name)),
+                ("family", s("blob-fault-broadcast")),
+                ("size", n(40)),
+                ("seed", n(seed)),
+                ("events", n(6)),
+                ("per_event", n(3)),
+            ])));
+            for _ in 0..3 {
+                assert_ok(&h.request(&req(&[("op", s("fault")), ("session", s(&name))])));
+                assert_ok(&h.request(&req(&[("op", s("step")), ("session", s(&name))])));
+            }
+            assert_ok(&h.request(&req(&[("op", s("snapshot")), ("session", s(&name))])));
+            for _ in 0..3 {
+                assert_ok(&h.request(&req(&[
+                    ("op", s("fault")),
+                    ("session", s(&name)),
+                    ("verify", Json::Bool(true)),
+                ])));
+                assert_ok(&h.request(&req(&[("op", s("step")), ("session", s(&name))])));
+            }
+            let reference = h.request(&req(&[("op", s("query")), ("session", s(&name))]));
+            assert_ok(&h.request(&req(&[("op", s("close")), ("session", s(&name))])));
+            assert_eq!(server.shutdown().unwrap(), 0);
+
+            let (server, skipped) = mk(1);
+            assert!(skipped.is_empty(), "{skipped:?}");
+            let h = server.handle();
+            assert_ok(&h.request(&req(&[("op", s("restore")), ("session", s(&name))])));
+            for _ in 0..3 {
+                assert_ok(&h.request(&req(&[
+                    ("op", s("fault")),
+                    ("session", s(&name)),
+                    ("verify", Json::Bool(true)),
+                ])));
+                assert_ok(&h.request(&req(&[("op", s("step")), ("session", s(&name))])));
+            }
+            let resumed = h.request(&req(&[("op", s("query")), ("session", s(&name))]));
+            assert_eq!(
+                reference.render_pretty(),
+                resumed.render_pretty(),
+                "restored fault session diverged (seed {seed})"
+            );
+            // The schedule is exhausted on both paths.
+            let resp = h.request(&req(&[("op", s("fault")), ("session", s(&name))]));
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+            server.shutdown().unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn fault_op_errors_are_responses() {
+        let (server, _) = Server::start(ServerConfig {
+            threads: 1,
+            snapshot_dir: None,
+        })
+        .unwrap();
+        let h = server.handle();
+        // Faulting a plan-less session is an error.
+        assert_ok(&h.request(&req(&[
+            ("op", s("create")),
+            ("session", s("plain")),
+            ("size", n(20)),
+        ])));
+        let resp = h.request(&req(&[("op", s("fault")), ("session", s("plain"))]));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        // Mutating a fault session is an error (no churn plan).
+        assert_ok(&h.request(&req(&[
+            ("op", s("create")),
+            ("session", s("adv")),
+            ("family", s("blob-fault-broadcast")),
+            ("size", n(20)),
+            ("events", n(2)),
+            ("per_event", n(1)),
+        ])));
+        let resp = h.request(&req(&[("op", s("mutate")), ("session", s("adv"))]));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        // The query envelope reports the fault-plan cursor.
+        let doc = h.request(&req(&[("op", s("query")), ("session", s("adv"))]));
+        assert!(doc.get("fault_family").is_some());
+        assert_eq!(doc.get("next_fault").and_then(Json::as_u64), Some(0));
+        assert_eq!(doc.get("fault_events").and_then(Json::as_u64), Some(2));
+        server.shutdown().unwrap();
+    }
+
     #[test]
     fn session_snapshot_rejects_every_bit_flip() {
-        let mut session = Session::create("bits", "blob-churn-broadcast", 20, 9, 4, 2).unwrap();
-        session.mutate(false).unwrap();
-        session.step(2).unwrap();
-        let blob = session.snapshot_bytes();
-        for byte in 0..blob.len() {
-            for bit in 0..8 {
-                let mut bad = blob.clone();
-                bad[byte] ^= 1 << bit;
-                assert!(
-                    Session::from_snapshot_bytes(&bad).is_err(),
-                    "flip at byte {byte} bit {bit} was accepted"
-                );
+        let mut churny = Session::create("bits", "blob-churn-broadcast", 20, 9, 4, 2).unwrap();
+        churny.mutate(false).unwrap();
+        churny.step(2).unwrap();
+        let mut faulty = Session::create("fbits", "blob-fault-broadcast", 20, 9, 4, 2).unwrap();
+        faulty.fault(false).unwrap();
+        faulty.step(2).unwrap();
+        for session in [churny, faulty] {
+            let blob = session.snapshot_bytes();
+            for byte in 0..blob.len() {
+                for bit in 0..8 {
+                    let mut bad = blob.clone();
+                    bad[byte] ^= 1 << bit;
+                    assert!(
+                        Session::from_snapshot_bytes(&bad).is_err(),
+                        "flip at byte {byte} bit {bit} was accepted"
+                    );
+                }
             }
         }
     }

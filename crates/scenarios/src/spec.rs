@@ -316,6 +316,62 @@ pub enum MicroWorkload {
         /// Target node joins/leaves per event.
         per_event: usize,
     },
+    /// Beep-level adversary (drop / spurious-inject menu) on a random
+    /// blob under the singleton flood relay: `events` seeded fault events
+    /// hit the broadcast, the rebuild oracle
+    /// ([`amoebot_dynamics::verify_against_rebuild`]) runs after every
+    /// event, and once the burst ends the informed set must re-converge
+    /// to all live amoebots within the flood bound (`n + 2` rounds).
+    FaultyBlobFlood {
+        /// Structure size.
+        n: usize,
+        /// Number of fault events.
+        events: usize,
+        /// Target faults per event.
+        per_event: usize,
+    },
+    /// Stuck-at pin adversary on a line's global circuit: events freeze
+    /// random pins (cutting the circuit), the final event releases them,
+    /// and a repair sweep must re-converge the broadcast within O(1)
+    /// rounds — cross-checked against the rebuild oracle per event.
+    StuckLineBroadcast {
+        /// Line length.
+        n: usize,
+        /// Number of fault events.
+        events: usize,
+        /// Target pins frozen per event.
+        per_event: usize,
+    },
+    /// Non-fair scheduling adversary (starve-a-region / alternate-halves
+    /// / bursts-then-silence menu) on the blob flood relay: starved
+    /// amoebots neither relay nor absorb, yet the informed set must
+    /// re-converge within the flood bound once fairness returns.
+    UnfairBlobFlood {
+        /// Structure size.
+        n: usize,
+        /// Number of scheduling events.
+        events: usize,
+        /// Scale of each event's starvation set.
+        per_event: usize,
+    },
+    /// Crash-recovery adversary on the blob global circuit: each event
+    /// wipes random amoebots' circuit state (they reboot via the rejoin
+    /// protocol but lose their informed bit) and the broadcast must
+    /// re-reach everyone within O(1) rounds after the burst.
+    CrashRecoverBroadcast {
+        /// Structure size.
+        n: usize,
+        /// Number of crash events.
+        events: usize,
+        /// Target amoebots crashed per event.
+        per_event: usize,
+    },
+    /// Deliberately-broken adversary variant: the repair sweep is
+    /// sabotaged, so the self-stabilization checker *must* trip and its
+    /// FAIL line must carry the fault-plan seed and event index.
+    /// Registered (non-randomized) so tests and CI can prove the
+    /// adversary checks actually fire.
+    AdversarySelfTestFail,
     /// Always fails validation. Registered (non-randomized) so tests and
     /// CI can prove the runner's non-zero exit path actually fires.
     SelfTestFail,
@@ -407,9 +463,30 @@ impl Scenario {
                 n,
                 events,
                 per_event,
+            }
+            | MicroWorkload::FaultyBlobFlood {
+                n,
+                events,
+                per_event,
+            }
+            | MicroWorkload::StuckLineBroadcast {
+                n,
+                events,
+                per_event,
+            }
+            | MicroWorkload::UnfairBlobFlood {
+                n,
+                events,
+                per_event,
+            }
+            | MicroWorkload::CrashRecoverBroadcast {
+                n,
+                events,
+                per_event,
             } => {
                 format!("n{n}-e{events}x{per_event}")
             }
+            MicroWorkload::AdversarySelfTestFail => "broken-repair".to_string(),
             MicroWorkload::SelfTestFail => "always-fails".to_string(),
         };
         Scenario {

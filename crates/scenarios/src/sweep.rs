@@ -644,7 +644,10 @@ mod tests {
             .to_json(true)
             .render_pretty()
         };
-        assert_eq!(timed_a, timed_b, "fully-resumed timed report must be stable");
+        assert_eq!(
+            timed_a, timed_b,
+            "fully-resumed timed report must be stable"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -107,6 +107,29 @@ pub trait Recorder {
     /// Churn event `index` applied `inserted` joins and `removed` leaves.
     fn churn_tag(&mut self, _index: u32, _inserted: u32, _removed: u32) {}
 
+    /// The adversary suppressed a beep that partition-set `gid` sent
+    /// into the upcoming tick (the send is still recorded via
+    /// [`Recorder::beep`]; this marks it undelivered).
+    fn beep_dropped(&mut self, _gid: u32) {}
+
+    /// The adversary spuriously injected a beep on partition-set `gid`
+    /// into the upcoming tick (also recorded via [`Recorder::beep`];
+    /// this attributes it to the fault plan rather than the algorithm).
+    fn beep_injected(&mut self, _gid: u32) {}
+
+    /// Fault event `index` staged `dropped` beep suppressions,
+    /// `injected` spurious beeps, `disabled` node activations withheld
+    /// and `wiped` crash-recovery state wipes.
+    fn fault_tag(
+        &mut self,
+        _index: u32,
+        _dropped: u32,
+        _injected: u32,
+        _disabled: u32,
+        _wiped: u32,
+    ) {
+    }
+
     /// One tick completed.
     fn round_end(&mut self, _summary: &RoundSummary) {}
 }

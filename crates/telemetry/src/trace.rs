@@ -23,6 +23,9 @@
 //!   6 Isolate      v
 //!   7 ChurnTag     index inserted removed
 //!   8 RoundEnd     round beeps delivered digest(8 bytes LE) relabel(1 byte) circuits
+//!   9 FaultDrop    gid
+//!  10 FaultInject  gid
+//!  11 FaultTag     index dropped injected disabled wiped
 //! footer  := tag 0 | rounds | wall_micros
 //! ```
 //!
@@ -47,6 +50,9 @@ const TAG_DISCONNECT: u8 = 5;
 const TAG_ISOLATE: u8 = 6;
 const TAG_CHURN_TAG: u8 = 7;
 const TAG_ROUND_END: u8 = 8;
+const TAG_FAULT_DROP: u8 = 9;
+const TAG_FAULT_INJECT: u8 = 10;
+const TAG_FAULT_TAG: u8 = 11;
 
 /// A decoded trace event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +108,31 @@ pub enum TraceEvent {
     },
     /// One tick completed.
     RoundEnd(RoundSummary),
+    /// The adversary suppressed the beep sent on partition-set `gid`
+    /// this round (the send itself is still a [`TraceEvent::Beep`]).
+    FaultDrop {
+        /// Global partition-set index.
+        gid: u32,
+    },
+    /// The adversary spuriously injected a beep on partition-set `gid`
+    /// (also recorded as a [`TraceEvent::Beep`]; this attributes it).
+    FaultInject {
+        /// Global partition-set index.
+        gid: u32,
+    },
+    /// Fault event `index` staged the given adversary actions.
+    FaultTag {
+        /// Fault-plan event index.
+        index: u32,
+        /// Beep suppressions staged.
+        dropped: u32,
+        /// Spurious beeps staged.
+        injected: u32,
+        /// Node activations withheld this round.
+        disabled: u32,
+        /// Crash-recovery state wipes.
+        wiped: u32,
+    },
 }
 
 /// The decoded trace header: enough to rebuild the starting world.
@@ -319,6 +350,25 @@ impl Recorder for TraceWriter {
         push_varint(&mut self.buf, removed as u64);
     }
 
+    fn beep_dropped(&mut self, gid: u32) {
+        self.buf.push(TAG_FAULT_DROP);
+        push_varint(&mut self.buf, gid as u64);
+    }
+
+    fn beep_injected(&mut self, gid: u32) {
+        self.buf.push(TAG_FAULT_INJECT);
+        push_varint(&mut self.buf, gid as u64);
+    }
+
+    fn fault_tag(&mut self, index: u32, dropped: u32, injected: u32, disabled: u32, wiped: u32) {
+        self.buf.push(TAG_FAULT_TAG);
+        push_varint(&mut self.buf, index as u64);
+        push_varint(&mut self.buf, dropped as u64);
+        push_varint(&mut self.buf, injected as u64);
+        push_varint(&mut self.buf, disabled as u64);
+        push_varint(&mut self.buf, wiped as u64);
+    }
+
     fn round_end(&mut self, s: &RoundSummary) {
         self.buf.push(TAG_ROUND_END);
         push_varint(&mut self.buf, s.round);
@@ -500,6 +550,19 @@ impl<'a> TraceReader<'a> {
                     circuits,
                 })
             }
+            TAG_FAULT_DROP => TraceEvent::FaultDrop {
+                gid: read_u32(buf, pos, "dropped beep gid")?,
+            },
+            TAG_FAULT_INJECT => TraceEvent::FaultInject {
+                gid: read_u32(buf, pos, "injected beep gid")?,
+            },
+            TAG_FAULT_TAG => TraceEvent::FaultTag {
+                index: read_u32(buf, pos, "fault index")?,
+                dropped: read_u32(buf, pos, "fault drop count")?,
+                injected: read_u32(buf, pos, "fault inject count")?,
+                disabled: read_u32(buf, pos, "fault disable count")?,
+                wiped: read_u32(buf, pos, "fault wipe count")?,
+            },
             other => {
                 return Err(TraceError::BadTag {
                     tag: other,

@@ -103,7 +103,10 @@ impl std::fmt::Display for WireError {
                 write!(f, "unsupported snapshot version {found}")
             }
             WireError::BadKind { found, expected } => {
-                write!(f, "snapshot kind {found} where kind {expected} was expected")
+                write!(
+                    f,
+                    "snapshot kind {found} where kind {expected} was expected"
+                )
             }
             WireError::Truncated { offset } => {
                 write!(f, "snapshot truncated inside the field at byte {offset}")
@@ -211,7 +214,9 @@ impl<'a> SnapshotReader<'a> {
     /// corrupted blob can never drive payload-shaped allocations.
     pub fn open(bytes: &'a [u8], expected_kind: u8) -> Result<SnapshotReader<'a>, WireError> {
         if bytes.len() < SNAPSHOT_MAGIC.len() {
-            return Err(WireError::BadMagic { offset: bytes.len() });
+            return Err(WireError::BadMagic {
+                offset: bytes.len(),
+            });
         }
         for (i, &m) in SNAPSHOT_MAGIC.iter().enumerate() {
             if bytes[i] != m {
@@ -219,7 +224,9 @@ impl<'a> SnapshotReader<'a> {
             }
         }
         if bytes.len() < HEADER_LEN + DIGEST_LEN {
-            return Err(WireError::Truncated { offset: bytes.len() });
+            return Err(WireError::Truncated {
+                offset: bytes.len(),
+            });
         }
         let version = u16::from_le_bytes([bytes[4], bytes[5]]);
         if version != SNAPSHOT_VERSION {
@@ -463,7 +470,10 @@ mod tests {
         let mut r = SnapshotReader::open(&blob, kind::WORLD).unwrap();
         assert!(matches!(
             r.len("element count"),
-            Err(WireError::BadValue { what: "element count", .. })
+            Err(WireError::BadValue {
+                what: "element count",
+                ..
+            })
         ));
     }
 }

@@ -36,7 +36,7 @@ fn synthesize(seed: u64, events: usize) -> (Vec<TraceEvent>, Vec<u8>) {
     let mut round = 0u64;
     for i in 0..events {
         let r = rand(1000 + i as u64);
-        let ev = match r % 8 {
+        let ev = match r % 11 {
             0 => TraceEvent::ConfigDelta {
                 gid: (r >> 8) as u32,
                 pset: (r >> 40) as u16,
@@ -63,6 +63,19 @@ fn synthesize(seed: u64, events: usize) -> (Vec<TraceEvent>, Vec<u8>) {
                 inserted: (r >> 8) as u32 % 100,
                 removed: (r >> 16) as u32 % 100,
             },
+            7 => TraceEvent::FaultDrop {
+                gid: (r >> 8) as u32,
+            },
+            8 => TraceEvent::FaultInject {
+                gid: (r >> 8) as u32,
+            },
+            9 => TraceEvent::FaultTag {
+                index: i as u32,
+                dropped: (r >> 8) as u32 % 100,
+                injected: (r >> 16) as u32 % 100,
+                disabled: (r >> 24) as u32 % 100,
+                wiped: (r >> 32) as u32 % 100,
+            },
             _ => {
                 round += 1;
                 TraceEvent::RoundEnd(RoundSummary {
@@ -87,6 +100,15 @@ fn synthesize(seed: u64, events: usize) -> (Vec<TraceEvent>, Vec<u8>) {
                 inserted,
                 removed,
             } => w.churn_tag(index, inserted, removed),
+            TraceEvent::FaultDrop { gid } => w.beep_dropped(gid),
+            TraceEvent::FaultInject { gid } => w.beep_injected(gid),
+            TraceEvent::FaultTag {
+                index,
+                dropped,
+                injected,
+                disabled,
+                wiped,
+            } => w.fault_tag(index, dropped, injected, disabled, wiped),
             TraceEvent::RoundEnd(ref s) => w.round_end(s),
         }
         expected.push(ev);

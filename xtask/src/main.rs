@@ -25,10 +25,14 @@
 //!   `--threads 1 --seed 42`) and prints the markdown diff against the
 //!   previous baseline. One command instead of the by-hand procedure.
 //!
-//! Plus two gates outside the sweep schema: `lint` (the `spf-lint`
-//! static checks under `lint/budget.json`) and `server-smoke` (the
+//! Plus three gates outside the sweep schema: `lint` (the `spf-lint`
+//! static checks under `lint/budget.json`), `server-smoke` (the
 //! end-to-end `scenario-server` session-service check: snapshot,
-//! kill/restart, resume differential, 64-session throughput).
+//! kill/restart, resume differential, 64-session throughput) and
+//! `adversary-smoke` (the fault-injection gate: every registered
+//! adversary family re-converges across seeds, and the deliberately
+//! broken variant trips the self-stabilization checker with the full
+//! seed + event reproduction key in its FAIL line).
 
 use std::process::ExitCode;
 
@@ -245,7 +249,7 @@ fn rpc_ok(conn: &mut std::net::TcpStream, doc: &Json) -> Result<Json, String> {
 fn op(fields: &[(&str, Json)]) -> Json {
     let mut doc = Json::object();
     for (k, v) in fields {
-        doc = doc.field(*k, v.clone());
+        doc = doc.field(k, v.clone());
     }
     doc
 }
@@ -351,7 +355,10 @@ fn server_smoke() -> Result<u8, String> {
         ])
     };
     let advance = |conn: &mut std::net::TcpStream, name: &str| -> Result<(), String> {
-        rpc_ok(conn, &op(&[("op", Json::from("mutate")), ("session", Json::from(name))]))?;
+        rpc_ok(
+            conn,
+            &op(&[("op", Json::from("mutate")), ("session", Json::from(name))]),
+        )?;
         rpc_ok(
             conn,
             &op(&[
@@ -376,7 +383,10 @@ fn server_smoke() -> Result<u8, String> {
     advance(&mut conn, "resumed")?;
     drop(conn);
     server.shutdown()?;
-    eprintln!("server-smoke: mid-churn shutdown complete, restarting from {}", dir.display());
+    eprintln!(
+        "server-smoke: mid-churn shutdown complete, restarting from {}",
+        dir.display()
+    );
 
     // Phase 2: restart over the same snapshot dir; the session must be
     // live again. Finish its schedule, and run an uninterrupted twin for
@@ -421,7 +431,10 @@ fn server_smoke() -> Result<u8, String> {
                 for _ in 0..STEPS_PER_SESSION {
                     rpc_ok(
                         &mut conn,
-                        &op(&[("op", Json::from("step")), ("session", Json::from(name.as_str()))]),
+                        &op(&[
+                            ("op", Json::from("step")),
+                            ("session", Json::from(name.as_str())),
+                        ]),
                     )?;
                 }
                 Ok(())
@@ -446,9 +459,88 @@ fn server_smoke() -> Result<u8, String> {
     server.shutdown()?;
     let _ = std::fs::remove_dir_all(&dir);
     if req_per_sec < 1000 {
-        return Err(format!("throughput {req_per_sec} req/s is below the 1000 req/s floor"));
+        return Err(format!(
+            "throughput {req_per_sec} req/s is below the 1000 req/s floor"
+        ));
     }
     println!("server-smoke: PASS");
+    Ok(0)
+}
+
+/// The adversary families gated by `adversary-smoke`, with the seeds it
+/// drives each across. Five seeds per family cover every fault family a
+/// kind's menu can draw (the menus have at most three entries).
+const ADVERSARY_FAMILIES: [&str; 4] = [
+    "fault-lossy-broadcast",
+    "fault-stuckpin-broadcast",
+    "fault-unfair-broadcast",
+    "fault-crashrecover-broadcast",
+];
+const ADVERSARY_SEEDS: [u64; 5] = [0, 1, 7, 42, 1337];
+
+/// `cargo xtask adversary-smoke` — runs every registered adversary
+/// family in-process across a seed spread and asserts all
+/// self-stabilization checks pass; then runs the deliberately-broken
+/// `adversary-selftest-fail` variant and asserts the checker trips with
+/// the fault-plan seed, scenario seed and event index in its detail.
+/// The second half is the gate's own gate: a checker that cannot catch
+/// a planted fault proves nothing when it passes.
+fn adversary_smoke() -> Result<u8, String> {
+    use amoebot_scenarios::{default_registry, run_scenario};
+    let registry = default_registry();
+    let mut ran = 0usize;
+    for name in ADVERSARY_FAMILIES {
+        let family = registry
+            .get(name)
+            .ok_or_else(|| format!("adversary-smoke: unknown family {name:?}"))?;
+        for seed in ADVERSARY_SEEDS {
+            let r = run_scenario(&family.build(seed));
+            if !r.pass {
+                let details: Vec<String> = r
+                    .checks
+                    .iter()
+                    .filter(|c| !c.pass)
+                    .map(|c| format!("{}: {}", c.name, c.detail))
+                    .collect();
+                return Err(format!(
+                    "adversary-smoke: {name} seed {seed} FAILED\n  {}",
+                    details.join("\n  ")
+                ));
+            }
+            ran += 1;
+        }
+        println!(
+            "adversary-smoke: {name} re-converged across {} seeds",
+            ADVERSARY_SEEDS.len()
+        );
+    }
+    let broken = registry
+        .get("adversary-selftest-fail")
+        .ok_or("adversary-smoke: unknown family adversary-selftest-fail")?;
+    let r = run_scenario(&broken.build(0));
+    if r.pass {
+        return Err(
+            "adversary-smoke: the deliberately-broken repair sweep passed — \
+             the self-stabilization checker is not catching planted faults"
+                .to_string(),
+        );
+    }
+    let detail = r
+        .checks
+        .iter()
+        .find(|c| !c.pass)
+        .map(|c| c.detail.clone())
+        .unwrap_or_default();
+    for needle in ["fault schedule seed=", "scenario seed=", "event=#"] {
+        if !detail.contains(needle) {
+            return Err(format!(
+                "adversary-smoke: the selftest FAIL line lost its \
+                 reproduction key ({needle:?} missing): {detail}"
+            ));
+        }
+    }
+    println!("adversary-smoke: the planted fault tripped the checker:\n  {detail}");
+    println!("adversary-smoke: PASS ({ran} adversary runs + 1 tripped selftest)");
     Ok(0)
 }
 
@@ -661,6 +753,7 @@ const USAGE: &str = "usage: cargo xtask bench-report OLD.json NEW.json\n\
      [--threshold PCT] [--min-wall-micros N]\n\
      \x20      cargo xtask bench-refresh\n\
      \x20      cargo xtask server-smoke\n\
+     \x20      cargo xtask adversary-smoke\n\
      \x20      cargo xtask lint [--write-budget]";
 
 fn run(argv: &[String]) -> Result<u8, String> {
@@ -688,6 +781,12 @@ fn run(argv: &[String]) -> Result<u8, String> {
                 return Err(USAGE.to_string());
             }
             server_smoke()
+        }
+        Some("adversary-smoke") => {
+            if argv.len() != 1 {
+                return Err(USAGE.to_string());
+            }
+            adversary_smoke()
         }
         Some("bench-compare") => {
             let [b, f, rest @ ..] = &argv[1..] else {
@@ -915,5 +1014,19 @@ mod tests {
         assert!(run(&[]).is_err());
         assert!(run(&["bench-report".into()]).is_err());
         assert!(run(&["bench-compare".into(), "a".into()]).is_err());
+        assert!(run(&["adversary-smoke".into(), "x".into()]).is_err());
+    }
+
+    /// The smoke gate's family list must track the registry: a renamed
+    /// or dropped adversary family should fail here, not at CI runtime.
+    #[test]
+    fn adversary_smoke_families_are_registered() {
+        let registry = amoebot_scenarios::default_registry();
+        for name in ADVERSARY_FAMILIES {
+            let family = registry.get(name);
+            assert!(family.is_some(), "{name} missing from the registry");
+            assert!(family.unwrap().sweepable(), "{name} must be sweepable");
+        }
+        assert!(registry.get("adversary-selftest-fail").is_some());
     }
 }
