@@ -21,10 +21,17 @@
 //! fault set next to plain `tick`: the adversary engine's unarmed path
 //! must stay within the workspace's 25% perf gate of the plain tick
 //! (the `FAULTED` const generic monomorphizes the fault checks away).
+//! A fourth case, `flight_armed`, runs the same steady ticks with a
+//! [`FlightRecorder`] attached — the always-on black box the scenario
+//! runner now arms by default. Its budget is tighter than the CI gate:
+//! the observability plane promises ≤5% overhead over plain `tick`
+//! (ring pushes are bounds-checked writes into a preallocated buffer,
+//! no allocation, no I/O). Compare `flight_armed` against `incremental`
+//! in the criterion report to audit that promise.
 
 use amoebot_bench::standard_structure;
 use amoebot_circuits::{TickFaults, Topology, World};
-use amoebot_telemetry::NullRecorder;
+use amoebot_telemetry::{FlightRecorder, NullRecorder};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const STEADY_TICKS: usize = 8;
@@ -84,6 +91,20 @@ fn bench_circuit_engine(c: &mut Criterion) {
             })
         },
     );
+    // The armed flight recorder: same steady ticks, every event pushed
+    // into the preallocated ring. Must stay within 5% of `incremental`.
+    g.bench_with_input(BenchmarkId::new("flight_armed", n), &world, |b, world| {
+        let mut w = world.clone();
+        w.tick();
+        let mut flight = FlightRecorder::default();
+        b.iter(|| {
+            for round in 0..STEADY_TICKS {
+                w.beep(round % n, 0);
+                w.tick_faulted(&TickFaults::EMPTY, &mut flight);
+            }
+            w.rounds()
+        })
+    });
     g.finish();
 
     // Reconfiguration-heavy: every round, 1/8 of the nodes flip between

@@ -306,6 +306,11 @@ pub fn replay_trace(bytes: &[u8]) -> Result<ReplayReport, ReplayError> {
                 }
             }
             TraceEvent::FaultTag { .. } => {}
+            // Flight-record framing metadata: names the reproduction key
+            // of the failure the blob documents. A flight record's event
+            // window usually starts mid-run, so replay is expected to
+            // diverge on it anyway — but the key itself is inert.
+            TraceEvent::FlightKey { .. } => {}
             TraceEvent::RoundEnd(summary) => {
                 let base = *round_base.get_or_insert(summary.round.wrapping_sub(1));
                 if summary.round.wrapping_sub(base) != rounds_done + 1 {

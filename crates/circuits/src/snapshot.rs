@@ -503,6 +503,12 @@ impl World {
             members,
             member_off,
             member_end,
+            // Delivery-digest caches are rebuilt lazily: the epoch
+            // starts at 1 with every stamp at 0, so the first tracing
+            // delivery to each circuit recomputes its digest.
+            member_digest: vec![0; total],
+            member_digest_epoch: vec![0; total],
+            digest_epoch: 1,
             root_mark: BitSet::new(total),
             marked_roots: Vec::with_capacity(total),
             dirty_pins,

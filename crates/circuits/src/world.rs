@@ -203,6 +203,20 @@ pub struct World {
     pub(crate) member_off: Vec<u32>,
     /// Bucket end per root gid (valid only for current roots).
     pub(crate) member_end: Vec<u32>,
+    /// Cached per-bucket delivery digest (XOR of [`mix64`] over the
+    /// root's member gids), valid iff the root's stamp in
+    /// `member_digest_epoch` equals `digest_epoch`. Filled lazily the
+    /// first time a tracing tick delivers to the circuit, then reused
+    /// every steady tick — the armed flight recorder's per-delivery
+    /// digest cost drops from O(members) to O(1) per circuit between
+    /// relabels. Never read on the `NullRecorder` path.
+    pub(crate) member_digest: Vec<u64>,
+    /// Per-root validity stamp for `member_digest` (0 = never valid;
+    /// `digest_epoch` starts at 1).
+    pub(crate) member_digest_epoch: Vec<u32>,
+    /// Bumped whenever the whole membership arena is rebuilt; region
+    /// relabels instead zero the stamps of just the buckets they splice.
+    pub(crate) digest_epoch: u32,
     /// Root dedup scratch; always all-clear between uses (bit-packed).
     pub(crate) root_mark: BitSet,
     /// Dense list of roots currently marked in `root_mark`.
@@ -314,6 +328,9 @@ impl World {
             members: Vec::with_capacity(total),
             member_off: vec![0; total],
             member_end: vec![0; total],
+            member_digest: vec![0; total],
+            member_digest_epoch: vec![0; total],
+            digest_epoch: 1,
             root_mark: BitSet::new(total),
             marked_roots: Vec::with_capacity(total),
             dirty_pins: Vec::with_capacity(total),
@@ -1023,6 +1040,9 @@ impl World {
                 let size = self.member_end[r];
                 self.member_off[r] = cursor;
                 self.member_end[r] = cursor;
+                // The spliced bucket's cached delivery digest is stale;
+                // untouched buckets keep theirs (0 is never the epoch).
+                self.member_digest_epoch[r] = 0;
                 cursor += size;
             }
             self.members.resize(cursor as usize, 0);
@@ -1083,6 +1103,15 @@ impl World {
     /// Fully repacks the membership arena from `labels`: counting sort
     /// into contiguous ascending buckets, one slot per gid.
     fn rebuild_members(&mut self) {
+        // Every bucket moves: invalidate all cached delivery digests in
+        // O(1) by bumping the epoch. On the (theoretical) u32 wrap,
+        // clear the stamps so a stale cache can never alias the new
+        // epoch.
+        self.digest_epoch = self.digest_epoch.wrapping_add(1);
+        if self.digest_epoch == 0 {
+            self.member_digest_epoch.fill(0);
+            self.digest_epoch = 1;
+        }
         let total = self.labels.len();
         self.members.clear();
         self.members.resize(total, 0);
@@ -1186,7 +1215,10 @@ impl World {
     /// [`RoundSummary`] carrying an order-independent delivery digest
     /// (XOR of [`mix64`] over every delivered gid). Replay recomputes
     /// the digest from its own labeling, so any divergence in circuit
-    /// structure or delivery surfaces at the exact round.
+    /// structure or delivery surfaces at the exact round. The delta
+    /// stream and the digest are the expensive, replay-grade half and
+    /// are further gated on `R::REPLAY`: windowed sinks (the flight
+    /// recorder) opt out and their summaries carry `digest = 0`.
     ///
     /// Recording soundness: the trace captures relabel inputs only at
     /// tick time, so between recorded ticks the caller must not force
@@ -1240,15 +1272,23 @@ impl World {
         }
         let mut digest = 0u64;
         if R::TRACE {
-            // Net config deltas since the last relabel, captured before
-            // the refresh consumes the dirty-pin list.
-            for i in 0..self.dirty_pins.len() {
-                let gid = self.dirty_pins[i].0;
-                rec.config_delta(gid, self.pin_pset[gid as usize]);
+            if R::REPLAY {
+                // Net config deltas since the last relabel, captured
+                // before the refresh consumes the dirty-pin list. This
+                // stream is O(dirty pins) per tick — replay-grade
+                // detail, skipped for windowed sinks like the flight
+                // recorder so "armed" stays cheap under heavy
+                // reconfiguration.
+                for i in 0..self.dirty_pins.len() {
+                    let gid = self.dirty_pins[i].0;
+                    rec.config_delta(gid, self.pin_pset[gid as usize]);
+                }
             }
             for &gid in &self.sent {
                 rec.beep(gid);
-                digest ^= mix64(gid as u64 ^ BEEP_DIGEST_SALT);
+                if R::REPLAY {
+                    digest ^= mix64(gid as u64 ^ BEEP_DIGEST_SALT);
+                }
             }
         }
         let beeps = self.sent.len() as u32;
@@ -1293,13 +1333,30 @@ impl World {
             let root = self.marked_roots[i] as usize;
             let start = self.member_off[root] as usize;
             let end = self.member_end[root] as usize;
-            for j in start..end {
-                let gid = self.members[j];
-                self.recv.set(gid as usize);
-                self.recv_set.push(gid);
-                if R::TRACE {
-                    digest ^= mix64(gid as u64);
+            // Two loop bodies so the warm-cache (and non-digesting)
+            // path keeps the tight two-write member loop: the digest
+            // work runs only on the first replay-grade delivery after
+            // a bucket changed. Recorders without replay detail
+            // monomorphize to the bare else branch.
+            if R::TRACE && R::REPLAY && self.member_digest_epoch[root] != self.digest_epoch {
+                let mut bucket = 0u64;
+                for j in start..end {
+                    let gid = self.members[j];
+                    self.recv.set(gid as usize);
+                    self.recv_set.push(gid);
+                    bucket ^= mix64(gid as u64);
                 }
+                self.member_digest[root] = bucket;
+                self.member_digest_epoch[root] = self.digest_epoch;
+            } else {
+                for j in start..end {
+                    let gid = self.members[j];
+                    self.recv.set(gid as usize);
+                    self.recv_set.push(gid);
+                }
+            }
+            if R::TRACE && R::REPLAY {
+                digest ^= self.member_digest[root];
             }
         }
         for &root in &self.marked_roots {
@@ -1492,6 +1549,8 @@ impl World {
             self.members.push(gid as u32);
             self.member_off.push(pos);
             self.member_end.push(pos + 1);
+            self.member_digest.push(0);
+            self.member_digest_epoch.push(0);
         }
         self.send.grow(new_total);
         self.recv.grow(new_total);

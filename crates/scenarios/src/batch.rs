@@ -46,17 +46,33 @@ pub fn run_batch(scenarios: &[Scenario], threads: Threads) -> Vec<ScenarioResult
 /// [`run_batch`] with each worker driving its scenarios through a fresh
 /// recorder of type `R` — [`amoebot_telemetry::TimedRecorder`] turns on
 /// the per-phase timers that `--metrics-json` and the timed sweep report
-/// surface. Trace-recording types are deliberately unsupported here: a
-/// batch interleaves scenarios, and a round trace must capture exactly
-/// one world.
+/// surface. Whole-run trace writers are deliberately unsupported here (a
+/// round trace must capture exactly one world); the per-scenario
+/// [`amoebot_telemetry::FlightRecorder`] is fine — every scenario gets a
+/// fresh `R::default()`, and [`run_batch_inspect`] exposes it next to
+/// the result so a FAIL path can dump the black box.
 pub fn run_batch_with<R: Recorder + Default>(
     scenarios: &[Scenario],
     threads: Threads,
+) -> Vec<ScenarioResult> {
+    run_batch_inspect::<R>(scenarios, threads, |_, _| {})
+}
+
+/// [`run_batch_with`] plus a per-scenario hook: `inspect` runs on the
+/// worker thread right after each scenario finishes, seeing the result
+/// and the recorder that ran it — the flight-record dump path. The hook
+/// must not mutate shared state non-commutatively: it runs concurrently
+/// across workers, in completion (not scenario) order.
+pub fn run_batch_inspect<R: Recorder + Default>(
+    scenarios: &[Scenario],
+    threads: Threads,
+    inspect: impl Fn(&ScenarioResult, &R) + Sync,
 ) -> Vec<ScenarioResult> {
     let workers = threads.resolve().min(scenarios.len()).max(1);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<ScenarioResult>>> =
         scenarios.iter().map(|_| Mutex::new(None)).collect();
+    let inspect = &inspect;
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -65,7 +81,9 @@ pub fn run_batch_with<R: Recorder + Default>(
                 if i >= scenarios.len() {
                     break;
                 }
-                let result = run_scenario_with(&scenarios[i], &mut R::default());
+                let mut rec = R::default();
+                let result = run_scenario_with(&scenarios[i], &mut rec);
+                inspect(&result, &rec);
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }

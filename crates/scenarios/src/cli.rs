@@ -6,6 +6,7 @@
 //!                        [--out PATH] [--metrics-json PATH] [--no-timing]
 //!                        [--list] [--quiet]
 //! scenario-runner sweep  [--max-nodes N] [--checkpoint-dir DIR] [common flags]
+//! scenario-runner profile [--max-nodes N] [common flags]
 //! scenario-runner trace  PATH [--family NAME] [--size N] [--seed N]
 //! scenario-runner replay PATH
 //! ```
@@ -44,24 +45,39 @@
 //! engine, failing loudly with the round and event index of the first
 //! divergence.
 //!
+//! `profile` runs the sweep ladder with the phase timers armed and emits
+//! a deterministic folded-stack profile (`family;n<size>;<phase> <count>`
+//! lines) weighing each engine phase by its invocation count — the format
+//! flamegraph tooling consumes, byte-identical across thread counts.
+//!
+//! Batch and sweep runs additionally arm a per-scenario **flight
+//! recorder** (disable with `--no-flight`): a bounded ring of the most
+//! recent trace events. When a scenario check FAILs, the retained window
+//! is dumped under `--flight-dir` as a `.spft` blob named by — and
+//! embedding — the full reproduction key (plan seed, scenario seed,
+//! schedule event index), decodable with the standard trace tooling.
+//!
 //! Failures are never silent: per-scenario `FAIL` lines print even under
 //! `--quiet`, a `summary:` line always reports pass/fail counts, and the
 //! exit code is non-zero whenever any scenario fails cross-validation
 //! (or a replay diverges).
 
 use std::io::Write;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Mutex;
 
-use amoebot_telemetry::{NullRecorder, TimedRecorder};
+use amoebot_telemetry::{FlightRecorder, TimedFlightRecorder, TimedRecorder};
 
-use crate::batch::{run_batch, run_batch_with, Threads};
+use crate::batch::{run_batch_inspect, run_batch_with, Threads};
+use crate::flight::dump_flight_record;
 use crate::record::record_scenario;
 use crate::registry::{default_registry, Registry};
 use crate::report::{metrics_report, BatchReport};
 use crate::run::ScenarioResult;
 use crate::spec::{MicroWorkload, Scenario, Workload};
 use crate::sweep::{
-    run_sweep_checkpointed, sweep_suite, CheckpointStore, RungOutcome, SweepPoint, SweepReport,
+    run_sweep_observed, sweep_suite, CheckpointStore, RungOutcome, SweepPoint, SweepReport,
     DEFAULT_SIZES,
 };
 
@@ -80,13 +96,17 @@ struct Args {
     list: bool,
     quiet: bool,
     sweep: bool,
+    profile: bool,
     max_nodes: usize,
     checkpoint_dir: Option<String>,
+    flight_dir: String,
+    no_flight: bool,
 }
 
 const USAGE: &str = "usage: scenario-runner run    [--seed N] [--count N] [--threads N] \
      [--family NAME]... [--out PATH] [--metrics-json PATH] [--no-timing] [--list] [--quiet]\n\
      \x20      scenario-runner sweep  [--max-nodes N] [--checkpoint-dir DIR] [common flags]\n\
+     \x20      scenario-runner profile [--max-nodes N] [common flags]\n\
      \x20      scenario-runner trace  PATH [--family NAME] [--size N] [--seed N]\n\
      \x20      scenario-runner replay PATH\n\
      \x20      (the old flat-flag spellings --sweep / --record-trace / --replay-trace\n\
@@ -101,9 +121,12 @@ const USAGE: &str = "usage: scenario-runner run    [--seed N] [--count N] [--thr
      --no-timing    canonical report: omit wall-clock and timer fields\n\
      --list         list registered scenario families and exit\n\
      --quiet        suppress progress lines (failures still print)\n\
-     --max-nodes N  clip the sweep ladder at N nodes (default 1000000)\n\
+     --max-nodes N  clip the sweep/profile ladder at N nodes (default 1000000)\n\
      --checkpoint-dir DIR  sweep only: append finished rungs to DIR and\n\
      \x20              resume, skipping rungs already passed there\n\
+     --flight-dir DIR  where failing scenarios dump their flight records\n\
+     \x20              (default: flight-records)\n\
+     --no-flight    disarm the flight recorder (no black-box dumps)\n\
      --size N       structure size for trace recording (default 10000)\n\
      --rounds N     recorded run length override: broadcast rounds, or churn\n\
      \x20              events for blob-churn-broadcast (default: family-defined)";
@@ -136,6 +159,7 @@ pub(crate) fn parse_num_value<T: std::str::FromStr>(
 enum Mode {
     Batch,
     Sweep,
+    Profile,
     Replay,
     Trace,
 }
@@ -156,20 +180,25 @@ fn parse_args(argv: &[String], out: &mut dyn Write) -> ParseOutcome {
         list: false,
         quiet: false,
         sweep: false,
+        profile: false,
         max_nodes: 1_000_000,
         checkpoint_dir: None,
+        flight_dir: "flight-records".to_string(),
+        no_flight: false,
     };
     // A leading bare word selects the subcommand; absent one, the flat
     // flags below choose the mode (the deprecated spelling).
     let (mode, rest) = match argv.first().map(String::as_str) {
         Some("run") => (Some(Mode::Batch), &argv[1..]),
         Some("sweep") => (Some(Mode::Sweep), &argv[1..]),
+        Some("profile") => (Some(Mode::Profile), &argv[1..]),
         Some("replay") => (Some(Mode::Replay), &argv[1..]),
         Some("trace") => (Some(Mode::Trace), &argv[1..]),
         _ => (None, argv),
     };
     if let Some(m) = mode {
         args.sweep = m == Mode::Sweep;
+        args.profile = m == Mode::Profile;
     }
     let mut deprecated: Option<&str> = None;
     let mut it = rest.iter();
@@ -239,6 +268,8 @@ fn parse_args(argv: &[String], out: &mut dyn Write) -> ParseOutcome {
             }
             "--max-nodes" => args.max_nodes = num!("--max-nodes"),
             "--checkpoint-dir" => args.checkpoint_dir = Some(value!("--checkpoint-dir")),
+            "--flight-dir" => args.flight_dir = value!("--flight-dir"),
+            "--no-flight" => args.no_flight = true,
             "--help" | "-h" => {
                 // Requested help is a success, not a usage error.
                 println!("{USAGE}");
@@ -335,6 +366,47 @@ fn write_metrics_json(
     Ok(())
 }
 
+/// The flight-record directory, or `None` under `--no-flight`.
+fn flight_dir_of(args: &Args) -> Option<&Path> {
+    (!args.no_flight).then(|| Path::new(args.flight_dir.as_str()))
+}
+
+/// The per-scenario flight-dump hook shared by batch and sweep mode: runs
+/// on a worker thread right after each scenario, writes the retained black
+/// box for failures, and queues one diagnostic line per dump. Lines are
+/// collected rather than printed here — hooks fire concurrently in
+/// completion order, so they are sorted before printing to keep the
+/// diagnostic stream deterministic across thread counts.
+fn flight_dump_hook(
+    dir: Option<&Path>,
+    lines: &Mutex<Vec<String>>,
+    r: &ScenarioResult,
+    rec: &FlightRecorder,
+) {
+    let Some(dir) = dir else { return };
+    let line = match dump_flight_record(dir, r, rec) {
+        Ok(Some(path)) => format!("flight record written to {}", path.display()),
+        Ok(None) => return,
+        Err(e) => format!("cannot write flight record for {}: {e}", r.name),
+    };
+    match lines.lock() {
+        Ok(mut queued) => queued.push(line),
+        Err(poisoned) => poisoned.into_inner().push(line),
+    }
+}
+
+/// Drains and prints the queued flight-record lines in sorted order.
+fn print_flight_lines(lines: Mutex<Vec<String>>, out: &mut dyn Write) {
+    let mut lines = match lines.into_inner() {
+        Ok(queued) => queued,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    lines.sort_unstable();
+    for line in lines {
+        let _ = writeln!(out, "  {line}");
+    }
+}
+
 /// Runs the CLI against an explicit argument list (everything after the
 /// binary name) and returns the process exit code: `0` all scenarios
 /// passed (or the replayed trace verified), `1` at least one failure,
@@ -395,6 +467,9 @@ pub fn run_with_output(argv: &[String], out: &mut dyn Write) -> u8 {
     if args.sweep {
         return run_sweep_mode(&args, &registry, threads, out);
     }
+    if args.profile {
+        return run_profile_mode(&args, &registry, threads, out);
+    }
 
     let scenarios = registry.random_suite(args.seed, args.count, &args.families);
     if !args.quiet {
@@ -409,11 +484,19 @@ pub fn run_with_output(argv: &[String], out: &mut dyn Write) -> u8 {
 
     // Phase timers cost two clock reads per phase, so they are on only
     // when a metrics document was asked for (and timing is on at all).
+    // The flight recorder, by contrast, is always on (unless --no-flight):
+    // every scenario runs with its own black box, dumped only on FAIL.
     let timed = args.timing && args.metrics_json.is_some();
+    let flight_dir = flight_dir_of(&args);
+    let flight_lines = Mutex::new(Vec::new());
     let results = if timed {
-        run_batch_with::<TimedRecorder>(&scenarios, Threads::Count(threads))
+        run_batch_inspect::<TimedFlightRecorder>(&scenarios, Threads::Count(threads), |r, rec| {
+            flight_dump_hook(flight_dir, &flight_lines, r, &rec.inner)
+        })
     } else {
-        run_batch(&scenarios, Threads::Count(threads))
+        run_batch_inspect::<FlightRecorder>(&scenarios, Threads::Count(threads), |r, rec| {
+            flight_dump_hook(flight_dir, &flight_lines, r, rec)
+        })
     };
     for r in &results {
         // FAIL lines are diagnostics, not progress: they print even under
@@ -427,6 +510,7 @@ pub fn run_with_output(argv: &[String], out: &mut dyn Write) -> u8 {
             }
         }
     }
+    print_flight_lines(flight_lines, out);
 
     let report = BatchReport {
         master_seed: args.seed,
@@ -542,20 +626,25 @@ fn run_sweep_mode(args: &Args, registry: &Registry, threads: usize, out: &mut dy
     };
     // Timed sweeps keep the phase timers on: BENCH_sweep.json is the
     // perf-gate artifact, and its per-rung metric breakdown is what lets
-    // a regression name the phase that moved.
+    // a regression name the phase that moved. Either way the flight
+    // recorder rides along (unless --no-flight) and dumps on FAIL.
+    let flight_dir = flight_dir_of(args);
+    let flight_lines = Mutex::new(Vec::new());
     let ran = if args.timing {
-        run_sweep_checkpointed::<TimedRecorder>(
+        run_sweep_observed::<TimedFlightRecorder>(
             &suite,
             Threads::Count(threads),
             store.as_mut(),
             &mut progress,
+            |r, rec| flight_dump_hook(flight_dir, &flight_lines, r, &rec.inner),
         )
     } else {
-        run_sweep_checkpointed::<NullRecorder>(
+        run_sweep_observed::<FlightRecorder>(
             &suite,
             Threads::Count(threads),
             store.as_mut(),
             &mut progress,
+            |r, rec| flight_dump_hook(flight_dir, &flight_lines, r, rec),
         )
     };
     let (entries, fresh) = match ran {
@@ -565,6 +654,7 @@ fn run_sweep_mode(args: &Args, registry: &Registry, threads: usize, out: &mut dy
             return 2;
         }
     };
+    print_flight_lines(flight_lines, out);
     let report = SweepReport {
         master_seed: args.seed,
         max_nodes: args.max_nodes,
@@ -595,6 +685,80 @@ fn run_sweep_mode(args: &Args, registry: &Registry, threads: usize, out: &mut dy
         return 1;
     }
     0
+}
+
+/// The engine's phase timers, keyed by the folded-stack frame label each
+/// maps to, in engine execution order (see `amoebot_circuits::World`).
+const PROFILE_PHASES: [(&str, &str); 5] = [
+    ("phase_propagate_micros", "propagate"),
+    ("phase_region_dissolve_micros", "dissolve"),
+    ("phase_region_reunion_micros", "re-union"),
+    ("phase_membership_repack_micros", "repack"),
+    ("phase_global_relabel_micros", "relabel"),
+];
+
+/// `scenario-runner profile`: run the sweep ladder with the phase timers
+/// armed and emit a folded-stack profile — one
+/// `family;n<size>;<phase> <weight>` line per (rung, phase), the format
+/// flamegraph tooling consumes. Weights are phase *invocation counts*,
+/// not micros: counts are a pure function of the scenario, so the profile
+/// is byte-identical across runs and thread counts, and it still shows
+/// where a family's rounds go as sizes scale. Zero-count phases are
+/// omitted.
+fn run_profile_mode(args: &Args, registry: &Registry, threads: usize, out: &mut dyn Write) -> u8 {
+    let suite = sweep_suite(
+        registry,
+        args.seed,
+        &DEFAULT_SIZES,
+        args.max_nodes,
+        &args.families,
+    );
+    if suite.is_empty() {
+        let _ = writeln!(
+            out,
+            "no profile rungs selected (families: {:?}, max-nodes {}); see --list",
+            args.families, args.max_nodes
+        );
+        return 2;
+    }
+    if !args.quiet {
+        let _ = writeln!(
+            out,
+            "profiling {} (family, size) rungs up to {} nodes (seed {}) on {threads} threads...",
+            suite.len(),
+            args.max_nodes,
+            args.seed
+        );
+    }
+    let scenarios: Vec<Scenario> = suite.iter().map(|p| p.scenario.clone()).collect();
+    let results = run_batch_with::<TimedRecorder>(&scenarios, Threads::Count(threads));
+    let mut folded = String::new();
+    let mut failed = 0usize;
+    for (p, r) in suite.iter().zip(&results) {
+        if !r.pass {
+            failed += 1;
+            let _ = writeln!(out, "{}", sweep_line(p, r));
+            for c in r.checks.iter().filter(|c| !c.pass) {
+                let _ = writeln!(out, "       check {}: {}", c.name, c.detail);
+            }
+        }
+        for (timer, phase) in PROFILE_PHASES {
+            let count = r.metrics.timer_summary(timer).count;
+            if count > 0 {
+                folded.push_str(&format!("{};n{};{phase} {count}\n", p.family, p.size));
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "summary: {}/{} profile rungs passed, {failed} failed",
+        results.len() - failed,
+        results.len()
+    );
+    if let Err(code) = write_report(&folded, &args.out, args.quiet, out) {
+        return code;
+    }
+    u8::from(failed > 0)
 }
 
 /// `--record-trace PATH`: run one sized scenario with the trace recorder
@@ -1173,6 +1337,130 @@ mod tests {
             "replay subcommand verifies"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Tentpole: a failing adversary scenario dumps a flight record named
+    /// by the full reproduction key, and the blob decodes through the
+    /// standard trace codec with the key as its first event.
+    #[test]
+    fn failing_adversary_run_dumps_a_decodable_flight_record() {
+        use amoebot_telemetry::{TraceEvent, TraceReader};
+        let dir = temp_path("flight-dump");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (code, output) = run_captured(&[
+            "run",
+            "--family",
+            "adversary-selftest-fail",
+            "--count",
+            "1",
+            "--quiet",
+            "--no-timing",
+            "--out",
+            "/dev/null",
+            "--flight-dir",
+            dir.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 1);
+        assert!(
+            output.contains("flight record written to"),
+            "no flight-record diagnostic: {output:?}"
+        );
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .expect("flight dir must exist")
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(entries.len(), 1, "exactly one failing scenario ran");
+        let name = entries[0]
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .to_string();
+        assert!(
+            name.ends_with(".spft")
+                && name.contains("-plan")
+                && name.contains("-seed")
+                && name.contains("-event"),
+            "file name must carry every key fragment: {name}"
+        );
+        let bytes = std::fs::read(&entries[0]).unwrap();
+        let mut reader = TraceReader::open(&bytes).expect("dump must decode");
+        match reader.next_event().expect("first event readable") {
+            Some(TraceEvent::FlightKey { .. }) => {}
+            other => panic!("flight record must lead with its key, got {other:?}"),
+        }
+        while reader.next_event().expect("every event decodes").is_some() {}
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `--no-flight` disarms the recorder: same failing run, no dump.
+    #[test]
+    fn no_flight_suppresses_the_dump() {
+        let dir = temp_path("flight-off");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (code, output) = run_captured(&[
+            "run",
+            "--family",
+            "adversary-selftest-fail",
+            "--count",
+            "1",
+            "--quiet",
+            "--no-timing",
+            "--no-flight",
+            "--out",
+            "/dev/null",
+            "--flight-dir",
+            dir.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 1, "the scenario still fails");
+        assert!(
+            !output.contains("flight record"),
+            "--no-flight must suppress dump diagnostics: {output:?}"
+        );
+        assert!(!dir.exists(), "--no-flight must not create the flight dir");
+    }
+
+    /// Tentpole: the folded-stack profile is byte-identical across thread
+    /// counts and carries every engine phase label.
+    #[test]
+    fn profile_output_is_deterministic_across_thread_counts() {
+        let a = temp_path("profile-a.folded");
+        let b = temp_path("profile-b.folded");
+        for (path, threads) in [(&a, "1"), (&b, "8")] {
+            let (code, output) = run_captured(&[
+                "profile",
+                "--max-nodes",
+                "1000",
+                "--family",
+                "blob-broadcast",
+                "--seed",
+                "11",
+                "--threads",
+                threads,
+                "--quiet",
+                "--out",
+                path.to_str().unwrap(),
+            ]);
+            assert_eq!(code, 0, "profile run failed: {output}");
+            assert!(output.contains("summary:"), "{output:?}");
+        }
+        let folded = std::fs::read_to_string(&a).unwrap();
+        assert_eq!(
+            folded,
+            std::fs::read_to_string(&b).unwrap(),
+            "profile must not depend on thread count"
+        );
+        assert!(
+            folded.contains("blob-broadcast;n1000;propagate "),
+            "folded lines must be family;n<size>;phase weight: {folded}"
+        );
+        for line in folded.lines() {
+            let (stack, weight) = line.rsplit_once(' ').expect("weight separator");
+            assert_eq!(stack.split(';').count(), 3, "three folded frames: {line}");
+            weight.parse::<u64>().expect("weight is a count");
+        }
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
     }
 
     /// Satellite + tentpole: `sweep --checkpoint-dir` resumes through

@@ -84,8 +84,9 @@ impl Envelope {
 
 /// Renders one metrics registry as a JSON object. Counters and gauges are
 /// deterministic and always included (sorted by name); timers are
-/// wall-clock derived and appear only with `include_timing`, so the
-/// no-timing rendering stays byte-stable across runs.
+/// wall-clock derived and appear only with `include_timing` — each as
+/// count/sum/min/max plus the p50/p90/p99 estimates from the log2
+/// buckets — so the no-timing rendering stays byte-stable across runs.
 pub fn metrics_to_json(m: &Metrics, include_timing: bool) -> Json {
     let mut counters = Json::object();
     for (name, v) in m.counters_sorted() {
@@ -109,7 +110,10 @@ pub fn metrics_to_json(m: &Metrics, include_timing: bool) -> Json {
                     .field("count", h.count)
                     .field("sum", h.sum)
                     .field("min", h.min)
-                    .field("max", h.max),
+                    .field("max", h.max)
+                    .field("p50", h.p50)
+                    .field("p90", h.p90)
+                    .field("p99", h.p99),
             );
         }
         doc = doc.field("timers", timers);

@@ -23,6 +23,8 @@
 //! {"op":"mutate","session":S[,"verify":B]}  apply the next churn event
 //! {"op":"fault","session":S[,"verify":B]}   stage the next fault event + 1 faulted round
 //! {"op":"query","session":S[,"timing":B]}   spf-session-report/v1 envelope
+//! {"op":"stats","session":S}                spf-session-stats/v1 metrics envelope
+//! {"op":"watch","session":S[,"frames":N]}   stream N stats frames (default 1)
 //! {"op":"snapshot","session":S}             write <dir>/<S>.session.spfs
 //! {"op":"restore","session":S}              load <dir>/<S>.session.spfs
 //! {"op":"close","session":S}                drop the session
@@ -33,6 +35,21 @@
 //! `query` responses use the shared [`Envelope`] (schema
 //! [`SESSION_SCHEMA`]) and are canonical without `"timing":true`, like
 //! every other report in the workspace.
+//!
+//! # Observability
+//!
+//! Every session keeps deterministic **request counters** (total plus a
+//! per-op-kind breakdown; no wall-clock anywhere), surfaced by `query`
+//! and persisted through snapshot/restore. The `stats` op renders the
+//! canonical per-session metrics envelope ([`STATS_SCHEMA`]): rounds,
+//! beeps, relabel counters, phase-timer percentile summaries and the
+//! request counters — byte-identical regardless of shard count. `watch`
+//! turns a connection into a live feed: after the ack, the server pushes
+//! one `stats` frame per completed `step`/`mutate`/`fault` batch on the
+//! watched session (wherever that batch came from) until the requested
+//! frame count is served, then the connection resumes normal requests.
+//! Like `shutdown`, `watch` is connection-level: it needs a framed
+//! stream to push into, so [`ServerHandle::request`] rejects it.
 //!
 //! # Concurrency
 //!
@@ -76,6 +93,16 @@ use crate::spec::{derive_rng, pick};
 
 /// Schema identifier of `query` responses.
 pub const SESSION_SCHEMA: &str = "spf-session-report/v1";
+
+/// Schema identifier of `stats` responses and `watch` frames.
+pub const STATS_SCHEMA: &str = "spf-session-stats/v1";
+
+/// Session-op labels, in render order; indexes into `Session::ops`.
+/// Counted on arrival (before execution), so errored requests count too:
+/// the counters measure load, not success.
+const OP_KINDS: [&str; 8] = [
+    "create", "fault", "mutate", "query", "snapshot", "stats", "step", "watch",
+];
 
 /// Hard cap on a single wire frame (requests *and* responses).
 pub const MAX_FRAME: usize = 1 << 24;
@@ -135,6 +162,9 @@ pub struct Session {
     next_event: usize,
     fplan: Option<FaultPlan>,
     next_fault: usize,
+    /// Per-kind request counters (see [`OP_KINDS`]): deterministic
+    /// uptime accounting, persisted through snapshot/restore.
+    ops: [u64; OP_KINDS.len()],
 }
 
 /// Session names double as snapshot file stems, so they are restricted
@@ -199,7 +229,7 @@ impl Session {
         for v in 0..size {
             dw.world_mut().global_pin_config(v);
         }
-        Ok(Session {
+        let mut session = Session {
             name: name.to_string(),
             family: family.to_string(),
             size,
@@ -210,7 +240,36 @@ impl Session {
             next_event: 0,
             fplan,
             next_fault: 0,
-        })
+            ops: [0; OP_KINDS.len()],
+        };
+        // A session is born having served its `create`.
+        session.count_op("create");
+        Ok(session)
+    }
+
+    /// Bumps the request counter for `op` (unknown kinds are ignored).
+    fn count_op(&mut self, op: &str) {
+        if let Some(i) = OP_KINDS.iter().position(|k| *k == op) {
+            self.ops[i] += 1;
+        }
+    }
+
+    /// Total requests this session has served across its whole life,
+    /// snapshots included.
+    fn uptime_requests(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+
+    /// The non-zero per-kind counters as a JSON object, in the fixed
+    /// [`OP_KINDS`] order.
+    fn ops_json(&self) -> Json {
+        let mut doc = Json::object();
+        for (kind, &count) in OP_KINDS.iter().zip(&self.ops) {
+            if count > 0 {
+                doc = doc.field(kind, count);
+            }
+        }
+        doc
     }
 
     /// Runs `k` broadcast rounds (origin-stride beep + tick each) and
@@ -337,7 +396,53 @@ impl Session {
                 .field("fault_events", plan.events)
                 .field("stuck_pins", self.dw.world().stuck_pin_count());
         }
+        env = env
+            .field("uptime_requests", self.uptime_requests())
+            .field("ops_by_kind", self.ops_json());
         env.metrics(self.dw.world().metrics()).finish()
+    }
+
+    /// The canonical per-session metrics envelope ([`STATS_SCHEMA`]):
+    /// rounds, beeps, relabel counters, phase-timer percentile summaries
+    /// and the request counters. Deliberately wall-clock-free and
+    /// insertion-ordered, so the rendering is byte-identical for the
+    /// same request history regardless of shard count — the `watch`
+    /// frame format.
+    pub fn stats(&mut self) -> Json {
+        let circuits = self.dw.world_mut().circuit_count();
+        let m = self.dw.world().metrics();
+        let mut relabels = Json::object();
+        for (cname, v) in m.counters_sorted() {
+            if cname.starts_with("relabel_") {
+                relabels = relabels.field(cname, v);
+            }
+        }
+        let mut phases = Json::object();
+        for (tname, h) in m.timers_sorted() {
+            phases = phases.field(
+                tname,
+                Json::object()
+                    .field("count", h.count)
+                    .field("p50", h.p50)
+                    .field("p90", h.p90)
+                    .field("p99", h.p99),
+            );
+        }
+        Json::object()
+            .field("schema", STATS_SCHEMA)
+            .field("session", self.name.as_str())
+            .field("family", self.family.as_str())
+            .field("size", self.size)
+            .field("seed", self.seed)
+            .field("n", self.dw.len())
+            .field("steps", self.steps)
+            .field("rounds", self.dw.world().rounds())
+            .field("beeps", self.dw.world().beeps_sent())
+            .field("circuits", circuits)
+            .field("relabels", relabels)
+            .field("phase_percentiles", phases)
+            .field("uptime_requests", self.uptime_requests())
+            .field("ops_by_kind", self.ops_json())
     }
 
     /// The session as a sealed `SPFS` blob (kind `SESSION`): identity +
@@ -370,6 +475,10 @@ impl Session {
                 w.varint(plan.per_event as u64);
                 w.varint(self.next_fault as u64);
             }
+        }
+        w.varint(OP_KINDS.len() as u64);
+        for &count in &self.ops {
+            w.varint(count);
         }
         self.dw.encode_payload(&mut w);
         w.finish()
@@ -481,6 +590,17 @@ impl Session {
                 offset: fplan_offset,
             });
         }
+        let arity_offset = r.offset();
+        if r.varint()? as usize != OP_KINDS.len() {
+            return Err(WireError::BadValue {
+                what: "op-counter arity",
+                offset: arity_offset,
+            });
+        }
+        let mut ops = [0u64; OP_KINDS.len()];
+        for slot in ops.iter_mut() {
+            *slot = r.varint()?;
+        }
         let dw = DynamicWorld::decode_payload(&mut r)?;
         r.finish()?;
         Ok(Session {
@@ -494,6 +614,7 @@ impl Session {
             next_event,
             fplan,
             next_fault,
+            ops,
         })
     }
 
@@ -508,6 +629,15 @@ impl Session {
 enum Job {
     Request {
         doc: Json,
+        reply: mpsc::SyncSender<Json>,
+    },
+    /// Register a live-stats watcher on a session: every completed
+    /// `step`/`mutate`/`fault` on it afterwards pushes one rendered
+    /// stats frame into `sink`. Unregistration is lazy — a dropped
+    /// receiver makes the next push fail, which unhooks the watcher.
+    Watch {
+        session: String,
+        sink: mpsc::Sender<String>,
         reply: mpsc::SyncSender<Json>,
     },
     Install {
@@ -577,14 +707,18 @@ fn handle_request(
             }
         }
         "step" => match sessions.get_mut(name) {
-            Some(s) => match s.step(num("n", 1) as usize) {
-                Ok((rounds, beeps)) => ok_json().field("rounds", rounds).field("beeps", beeps),
-                Err(e) => err_json(e),
-            },
+            Some(s) => {
+                s.count_op(op);
+                match s.step(num("n", 1) as usize) {
+                    Ok((rounds, beeps)) => ok_json().field("rounds", rounds).field("beeps", beeps),
+                    Err(e) => err_json(e),
+                }
+            }
             None => err_json(format!("no such session {name:?}")),
         },
         "mutate" => match sessions.get_mut(name) {
             Some(s) => {
+                s.count_op(op);
                 let verify = doc.get("verify").and_then(Json::as_bool).unwrap_or(false);
                 s.mutate(verify).unwrap_or_else(err_json)
             }
@@ -592,6 +726,7 @@ fn handle_request(
         },
         "fault" => match sessions.get_mut(name) {
             Some(s) => {
+                s.count_op(op);
                 let verify = doc.get("verify").and_then(Json::as_bool).unwrap_or(false);
                 s.fault(verify).unwrap_or_else(err_json)
             }
@@ -599,17 +734,33 @@ fn handle_request(
         },
         "query" => match sessions.get_mut(name) {
             Some(s) => {
+                s.count_op(op);
                 let timing = doc.get("timing").and_then(Json::as_bool).unwrap_or(false);
                 s.query(timing)
             }
             None => err_json(format!("no such session {name:?}")),
         },
-        "snapshot" => match sessions.get(name) {
+        "stats" => match sessions.get_mut(name) {
+            Some(s) => {
+                s.count_op(op);
+                s.stats()
+            }
+            None => err_json(format!("no such session {name:?}")),
+        },
+        "watch" => err_json(
+            "op \"watch\" is connection-level (it streams frames); \
+             send it over a framed connection",
+        ),
+        "snapshot" => match sessions.get_mut(name) {
             Some(s) => {
                 let dir = match snapshot_dir {
                     Some(dir) => dir,
                     None => return err_json("server has no --snapshot-dir"),
                 };
+                // The snapshot op counts itself *before* serializing, so
+                // a restored session and the uninterrupted original
+                // agree on every counter.
+                s.count_op(op);
                 let bytes = s.snapshot_bytes();
                 let path = Session::snapshot_path(dir, name);
                 match std::fs::write(&path, &bytes) {
@@ -676,10 +827,47 @@ fn snapshot_all(
 
 fn worker(rx: mpsc::Receiver<Job>, snapshot_dir: Option<PathBuf>) {
     let mut sessions: BTreeMap<String, Session> = BTreeMap::new();
+    let mut watchers: BTreeMap<String, Vec<mpsc::Sender<String>>> = BTreeMap::new();
     while let Ok(job) = rx.recv() {
         match job {
             Job::Request { doc, reply } => {
                 let resp = handle_request(&mut sessions, snapshot_dir.as_deref(), &doc);
+                let op = doc.get("op").and_then(Json::as_str).unwrap_or("");
+                let name = doc.get("session").and_then(Json::as_str).unwrap_or("");
+                // A completed state-advancing batch notifies watchers;
+                // errored requests advance nothing, so they push nothing.
+                let notify = matches!(op, "step" | "mutate" | "fault")
+                    && resp.get("ok").and_then(Json::as_bool) != Some(false);
+                let closed = op == "close";
+                let _ = reply.send(resp);
+                if notify {
+                    if let (Some(list), Some(s)) = (watchers.get_mut(name), sessions.get_mut(name))
+                    {
+                        let frame = s.stats().render_compact();
+                        list.retain(|sink| sink.send(frame.clone()).is_ok());
+                        if list.is_empty() {
+                            watchers.remove(name);
+                        }
+                    }
+                }
+                if closed {
+                    // Dropping the senders ends the watchers' streams.
+                    watchers.remove(name);
+                }
+            }
+            Job::Watch {
+                session,
+                sink,
+                reply,
+            } => {
+                let resp = match sessions.get_mut(&session) {
+                    Some(s) => {
+                        s.count_op("watch");
+                        watchers.entry(session.clone()).or_default().push(sink);
+                        ok_json().field("watching", session.as_str())
+                    }
+                    None => err_json(format!("no such session {session:?}")),
+                };
                 let _ = reply.send(resp);
             }
             Job::Install { session, done } => {
@@ -724,6 +912,26 @@ impl ServerHandle {
             .shard_of(name)
             .send(Job::Request {
                 doc: doc.clone(),
+                reply,
+            })
+            .is_err()
+        {
+            return err_json("server is shutting down");
+        }
+        rx.recv()
+            .unwrap_or_else(|_| err_json("server is shutting down"))
+    }
+
+    /// Registers `sink` as a live-stats watcher on `name`'s session and
+    /// returns the ack (or error) response. Frames arrive on the paired
+    /// receiver; dropping it unregisters the watcher lazily.
+    pub fn watch(&self, name: &str, sink: mpsc::Sender<String>) -> Json {
+        let (reply, rx) = mpsc::sync_channel(1);
+        if self
+            .shard_of(name)
+            .send(Job::Watch {
+                session: name.to_string(),
+                sink,
                 reply,
             })
             .is_err()
@@ -863,10 +1071,57 @@ pub fn serve_connection(
             write_frame(w, resp.render_compact().as_bytes())?;
             return Ok(true);
         }
+        if doc.get("op").and_then(Json::as_str) == Some("watch") {
+            serve_watch(&doc, handle, w)?;
+            continue;
+        }
         let resp = handle.request(&doc);
         write_frame(w, resp.render_compact().as_bytes())?;
     }
     Ok(false)
+}
+
+/// The `watch` op's connection half: ack the registration, forward one
+/// stats frame per completed `step`/`mutate`/`fault` batch on the
+/// watched session until `frames` frames (default 1) are served — or
+/// the session closes / the server stops, whichever first — then emit
+/// an end marker and hand the connection back to the request loop.
+fn serve_watch(doc: &Json, handle: &ServerHandle, w: &mut impl Write) -> io::Result<()> {
+    let name = match doc.get("session").and_then(Json::as_str) {
+        Some(name) => name,
+        None => {
+            let resp = err_json("op \"watch\" needs a \"session\" field");
+            return write_frame(w, resp.render_compact().as_bytes());
+        }
+    };
+    let frames = doc
+        .get("frames")
+        .and_then(Json::as_u64)
+        .unwrap_or(1)
+        .clamp(1, 1 << 16);
+    let (sink, rx) = mpsc::channel();
+    let ack = handle.watch(name, sink);
+    if ack.get("ok").and_then(Json::as_bool) == Some(false) {
+        return write_frame(w, ack.render_compact().as_bytes());
+    }
+    write_frame(w, ack.field("frames", frames).render_compact().as_bytes())?;
+    let mut sent = 0u64;
+    while sent < frames {
+        match rx.recv() {
+            Ok(frame) => {
+                write_frame(w, frame.as_bytes())?;
+                sent += 1;
+            }
+            // Stream source gone (session closed or server stopping):
+            // end the watch early rather than hanging the connection.
+            Err(_) => break,
+        }
+    }
+    drop(rx);
+    let end = ok_json()
+        .field("watch_ended", name)
+        .field("frames_sent", sent);
+    write_frame(w, end.render_compact().as_bytes())
 }
 
 /// Runs the TCP accept loop until a client sends `shutdown`. Sessions
@@ -1514,6 +1769,194 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Satellite: the per-session request counters are deterministic,
+    /// wall-clock-free, and survive snapshot → fresh-server restore.
+    #[test]
+    fn op_counters_survive_snapshot_restore() {
+        let dir = temp_dir("counters");
+        let mk = |threads| {
+            Server::start(ServerConfig {
+                threads,
+                snapshot_dir: Some(dir.clone()),
+            })
+            .unwrap()
+        };
+        let (server, _) = mk(2);
+        let h = server.handle();
+        assert_ok(&h.request(&req(&[
+            ("op", s("create")),
+            ("session", s("counted")),
+            ("size", n(30)),
+            ("seed", n(4)),
+        ])));
+        for _ in 0..2 {
+            assert_ok(&h.request(&req(&[("op", s("step")), ("session", s("counted"))])));
+        }
+        // create + 2 steps + this query = 4 requests so far.
+        let doc = h.request(&req(&[("op", s("query")), ("session", s("counted"))]));
+        assert_eq!(doc.get("uptime_requests").and_then(Json::as_u64), Some(4));
+        let kinds = doc
+            .get("ops_by_kind")
+            .expect("ops_by_kind")
+            .render_compact();
+        assert!(kinds.contains("\"create\":1"), "{kinds}");
+        assert!(kinds.contains("\"step\":2"), "{kinds}");
+        assert!(kinds.contains("\"query\":1"), "{kinds}");
+        // The snapshot counts itself before serializing (5 on the wire).
+        assert_ok(&h.request(&req(&[("op", s("snapshot")), ("session", s("counted"))])));
+        assert_ok(&h.request(&req(&[("op", s("close")), ("session", s("counted"))])));
+        assert_eq!(server.shutdown().unwrap(), 0);
+
+        let (server, skipped) = mk(1);
+        assert!(skipped.is_empty(), "{skipped:?}");
+        let h = server.handle();
+        // Restored counters resume from the serialized 5: this query is 6.
+        let doc = h.request(&req(&[("op", s("query")), ("session", s("counted"))]));
+        assert_eq!(
+            doc.get("uptime_requests").and_then(Json::as_u64),
+            Some(6),
+            "{}",
+            doc.render_compact()
+        );
+        let kinds = doc
+            .get("ops_by_kind")
+            .expect("ops_by_kind")
+            .render_compact();
+        assert!(kinds.contains("\"snapshot\":1"), "{kinds}");
+        assert!(kinds.contains("\"step\":2"), "{kinds}");
+        assert!(kinds.contains("\"query\":2"), "{kinds}");
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Tentpole: `stats` renders byte-identically for the same request
+    /// history regardless of shard count, and carries the phase-timer
+    /// percentile objects plus the request counters.
+    #[test]
+    fn stats_is_deterministic_across_shard_counts() {
+        let renders: Vec<String> = [1usize, 8]
+            .into_iter()
+            .map(|threads| {
+                let (server, _) = Server::start(ServerConfig {
+                    threads,
+                    snapshot_dir: None,
+                })
+                .unwrap();
+                let h = server.handle();
+                assert_ok(&h.request(&req(&[
+                    ("op", s("create")),
+                    ("session", s("statty")),
+                    ("family", s("blob-churn-broadcast")),
+                    ("size", n(40)),
+                    ("seed", n(13)),
+                    ("events", n(4)),
+                    ("per_event", n(2)),
+                ])));
+                for _ in 0..2 {
+                    assert_ok(&h.request(&req(&[("op", s("mutate")), ("session", s("statty"))])));
+                    assert_ok(&h.request(&req(&[
+                        ("op", s("step")),
+                        ("session", s("statty")),
+                        ("n", n(3)),
+                    ])));
+                }
+                let doc = h.request(&req(&[("op", s("stats")), ("session", s("statty"))]));
+                assert_eq!(doc.get("schema").and_then(Json::as_str), Some(STATS_SCHEMA));
+                assert_eq!(doc.get("rounds").and_then(Json::as_u64), Some(6));
+                let text = doc.render_pretty();
+                assert!(text.contains("phase_percentiles"), "{text}");
+                assert!(text.contains("phase_propagate_micros"), "{text}");
+                assert!(text.contains("\"p99\""), "{text}");
+                assert!(text.contains("uptime_requests"), "{text}");
+                server.shutdown().unwrap();
+                text
+            })
+            .collect();
+        assert_eq!(
+            renders[0], renders[1],
+            "stats must not depend on shard count"
+        );
+    }
+
+    /// Tentpole: `watch` over a real socket — a second connection's
+    /// steps push live stats frames to the watcher, then the watcher's
+    /// connection resumes normal request service.
+    #[test]
+    fn watch_streams_stats_frames_over_tcp() {
+        let (server, _) = Server::start(ServerConfig {
+            threads: 2,
+            snapshot_dir: None,
+        })
+        .unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let serve = thread::spawn(move || serve_tcp(listener, server));
+        let roundtrip = |conn: &mut std::net::TcpStream, doc: &Json| -> Json {
+            write_frame(conn, doc.render_compact().as_bytes()).unwrap();
+            let frame = read_frame(conn).unwrap().expect("response frame");
+            Json::parse(std::str::from_utf8(&frame).unwrap()).unwrap()
+        };
+
+        let mut driver = std::net::TcpStream::connect(addr).unwrap();
+        assert_ok(&roundtrip(
+            &mut driver,
+            &req(&[
+                ("op", s("create")),
+                ("session", s("watched")),
+                ("size", n(40)),
+                ("seed", n(2)),
+            ]),
+        ));
+        // Watching a missing session is an error response, not a hang.
+        let mut watcher = std::net::TcpStream::connect(addr).unwrap();
+        let resp = roundtrip(
+            &mut watcher,
+            &req(&[("op", s("watch")), ("session", s("ghost"))]),
+        );
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        // Register for two frames; the ack confirms before any step.
+        let ack = roundtrip(
+            &mut watcher,
+            &req(&[
+                ("op", s("watch")),
+                ("session", s("watched")),
+                ("frames", n(2)),
+            ]),
+        );
+        assert_eq!(ack.get("watching").and_then(Json::as_str), Some("watched"));
+        assert_eq!(ack.get("frames").and_then(Json::as_u64), Some(2));
+        // Each completed step batch pushes exactly one stats frame.
+        assert_ok(&roundtrip(
+            &mut driver,
+            &req(&[("op", s("step")), ("session", s("watched")), ("n", n(3))]),
+        ));
+        let frame = read_frame(&mut watcher).unwrap().expect("first frame");
+        let frame = Json::parse(std::str::from_utf8(&frame).unwrap()).unwrap();
+        assert_eq!(
+            frame.get("schema").and_then(Json::as_str),
+            Some(STATS_SCHEMA)
+        );
+        assert_eq!(frame.get("rounds").and_then(Json::as_u64), Some(3));
+        assert_ok(&roundtrip(
+            &mut driver,
+            &req(&[("op", s("step")), ("session", s("watched"))]),
+        ));
+        let frame = read_frame(&mut watcher).unwrap().expect("second frame");
+        let frame = Json::parse(std::str::from_utf8(&frame).unwrap()).unwrap();
+        assert_eq!(frame.get("rounds").and_then(Json::as_u64), Some(4));
+        // End marker, then the connection serves ordinary requests again.
+        let end = read_frame(&mut watcher).unwrap().expect("end marker");
+        let end = Json::parse(std::str::from_utf8(&end).unwrap()).unwrap();
+        assert_eq!(end.get("frames_sent").and_then(Json::as_u64), Some(2));
+        let doc = roundtrip(
+            &mut watcher,
+            &req(&[("op", s("query")), ("session", s("watched"))]),
+        );
+        assert_eq!(doc.get("rounds").and_then(Json::as_u64), Some(4));
+        let _ = roundtrip(&mut driver, &req(&[("op", s("shutdown"))]));
+        serve.join().unwrap().unwrap();
     }
 
     #[test]

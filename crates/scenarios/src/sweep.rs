@@ -15,7 +15,7 @@ use std::path::{Path, PathBuf};
 
 use amoebot_telemetry::{NullRecorder, Recorder};
 
-use crate::batch::{run_batch_with, Threads};
+use crate::batch::{run_batch_inspect, Threads};
 use crate::json::Json;
 use crate::registry::Registry;
 use crate::report::{metrics_to_json, Envelope};
@@ -350,8 +350,23 @@ pub fn run_sweep_with<R: Recorder + Default>(
 pub fn run_sweep_checkpointed<R: Recorder + Default>(
     points: &[SweepPoint],
     threads: Threads,
+    checkpoint: Option<&mut CheckpointStore>,
+    on_rung: &mut dyn FnMut(RungOutcome<'_>),
+) -> std::io::Result<(Vec<SweepEntry>, Vec<ScenarioResult>)> {
+    run_sweep_observed::<R>(points, threads, checkpoint, on_rung, |_, _| {})
+}
+
+/// [`run_sweep_checkpointed`] plus the per-scenario `inspect` hook of
+/// [`crate::batch::run_batch_inspect`]: each freshly-run rung's recorder
+/// is exposed next to its result on the worker thread — the sweep FAIL
+/// path's flight-record dump. Resumed rungs never re-run, so the hook
+/// does not fire for them.
+pub fn run_sweep_observed<R: Recorder + Default>(
+    points: &[SweepPoint],
+    threads: Threads,
     mut checkpoint: Option<&mut CheckpointStore>,
     on_rung: &mut dyn FnMut(RungOutcome<'_>),
+    inspect: impl Fn(&ScenarioResult, &R) + Sync,
 ) -> std::io::Result<(Vec<SweepEntry>, Vec<ScenarioResult>)> {
     let mut slots: Vec<Option<SweepEntry>> = points.iter().map(|_| None).collect();
     let mut pending: Vec<usize> = Vec::new();
@@ -372,7 +387,7 @@ pub fn run_sweep_checkpointed<R: Recorder + Default>(
     let mut fresh = Vec::new();
     for ids in pending.chunks(chunk) {
         let scenarios: Vec<Scenario> = ids.iter().map(|&i| points[i].scenario.clone()).collect();
-        let results = run_batch_with::<R>(&scenarios, threads);
+        let results = run_batch_inspect::<R>(&scenarios, threads, &inspect);
         for (&i, r) in ids.iter().zip(&results) {
             let entry = SweepEntry::from_result(&points[i], r);
             if let Some(store) = checkpoint.as_deref_mut() {

@@ -19,14 +19,21 @@
 //!   round summaries). [`trace::TraceWriter`] implements [`Recorder`];
 //!   [`trace::TraceReader`] decodes with exact error offsets so a replay
 //!   can reject a corrupted blob at the first bad byte.
+//! * [`flight`] — the flight recorder: a bounded, allocation-free ring
+//!   buffer of recent [`TraceEvent`]s behind the same [`Recorder`]
+//!   consts, framed into a standalone `.spft` blob (embedding the full
+//!   reproduction key) when a failure needs its black box dumped.
 //!
-//! See DESIGN.md §1e for the architecture and the trace format spec.
+//! See DESIGN.md §1e for the architecture and the trace format spec, and
+//! §1i for the observability plane built on top of it.
 
+pub mod flight;
 pub mod metrics;
 pub mod recorder;
 pub mod trace;
 pub mod wire;
 
+pub use flight::{FlightRecorder, TimedFlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use metrics::{CounterId, GaugeId, HistSummary, Metrics, Span, Stopwatch, TimerId};
 pub use recorder::{
     mix64, NullRecorder, Recorder, RelabelKind, RoundSummary, TimedRecorder, BEEP_DIGEST_SALT,

@@ -89,12 +89,54 @@ impl Hist {
                 self.min.get()
             },
             max: self.max.get(),
+            p50: self.percentile(50),
+            p90: self.percentile(90),
+            p99: self.percentile(99),
         }
+    }
+
+    /// Estimates the `q`-th percentile (`q` in 1..=100) from the log2
+    /// buckets: the bucket holding the target rank is located exactly,
+    /// then the estimate interpolates linearly across the bucket's value
+    /// range and is clamped to the observed `[min, max]`. The clamp makes
+    /// single-sample and single-value histograms exact, and the whole
+    /// computation is integer-only, so merged shards estimate identically
+    /// regardless of merge order (bucket counts and extrema are
+    /// commutative under [`Hist::absorb`]).
+    fn percentile(&self, q: u64) -> u64 {
+        let count = self.count.get();
+        if count == 0 {
+            return 0;
+        }
+        // ceil(count * q / 100), >= 1 — the 1-based target rank.
+        let rank = (count as u128 * q as u128).div_ceil(100);
+        let rank = rank.max(1);
+        let mut below: u128 = 0;
+        for b in 0..BUCKETS {
+            let n = self.buckets[b].get() as u128;
+            if n == 0 {
+                continue;
+            }
+            if below + n >= rank {
+                let pos = rank - below; // 1..=n within this bucket
+                let lo: u64 = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                let hi: u64 = match b {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << b) - 1,
+                };
+                let est = lo as u128 + ((hi - lo) as u128 * pos) / n;
+                let est = est.min(u64::MAX as u128) as u64;
+                return est.clamp(self.min.get(), self.max.get());
+            }
+            below += n;
+        }
+        self.max.get()
     }
 }
 
 /// A rendered histogram snapshot (the buckets stay internal; `min`/`max`
-/// and the log2 distribution are what the reports consume).
+/// and the percentile estimates are what the reports consume).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HistSummary {
     /// Number of observations.
@@ -105,6 +147,13 @@ pub struct HistSummary {
     pub min: u64,
     /// Largest observation (0 when empty).
     pub max: u64,
+    /// Estimated median (0 when empty; exact when all samples share one
+    /// value, otherwise interpolated within the target log2 bucket).
+    pub p50: u64,
+    /// Estimated 90th percentile (same estimation contract as `p50`).
+    pub p90: u64,
+    /// Estimated 99th percentile (same estimation contract as `p50`).
+    pub p99: u64,
 }
 
 /// The per-engine metrics registry. See the module docs.
@@ -355,6 +404,86 @@ mod tests {
         assert_eq!(s.max, u64::MAX);
         assert_eq!(s.sum, u64::MAX); // saturated
         assert_eq!(m.timer_summary("missing"), HistSummary::default());
+    }
+
+    /// Satellite: percentile estimation at the log2-bucket boundaries —
+    /// empty histograms, single samples, and exact powers of two (the
+    /// lowest value of their bucket) must all come out exact.
+    #[test]
+    fn percentiles_are_exact_at_bucket_boundaries() {
+        // Empty histogram: all percentiles are 0.
+        let mut m = Metrics::new();
+        let t = m.timer("t");
+        let s = m.timer_summary("t");
+        assert_eq!((s.p50, s.p90, s.p99), (0, 0, 0));
+
+        // Single sample: min == max pins every percentile exactly, even
+        // though the sample sits at the very bottom of its bucket.
+        m.observe(t, 1024);
+        let s = m.timer_summary("t");
+        assert_eq!((s.p50, s.p90, s.p99), (1024, 1024, 1024));
+
+        // Exact powers of two, one per bucket: every percentile estimate
+        // stays inside the observed range and is monotone in q.
+        let mut m = Metrics::new();
+        let t = m.timer("t");
+        for k in 0..16u32 {
+            m.observe(t, 1u64 << k);
+        }
+        let s = m.timer_summary("t");
+        assert!(s.p50 >= s.min && s.p99 <= s.max);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        // p99 of 16 samples is the largest one: rank ceil(16*99/100)=16.
+        assert_eq!(s.p99, 1 << 15);
+
+        // All-zero samples exercise bucket 0's degenerate [0, 0] range.
+        let mut m = Metrics::new();
+        let t = m.timer("t");
+        for _ in 0..5 {
+            m.observe(t, 0);
+        }
+        let s = m.timer_summary("t");
+        assert_eq!((s.p50, s.p90, s.p99), (0, 0, 0));
+
+        // u64::MAX lands in the top bucket without overflowing the
+        // interpolation arithmetic.
+        let mut m = Metrics::new();
+        let t = m.timer("t");
+        m.observe(t, u64::MAX);
+        m.observe(t, u64::MAX - 1);
+        let s = m.timer_summary("t");
+        assert!(s.p99 >= u64::MAX - 1);
+    }
+
+    /// Satellite: merging shards in any order yields identical
+    /// percentile estimates — bucket counts and extrema are commutative.
+    #[test]
+    fn merge_then_percentile_is_order_independent() {
+        let shard = |values: &[u64]| {
+            let mut m = Metrics::new();
+            let t = m.timer("phase");
+            for &v in values {
+                m.observe(t, v);
+            }
+            m
+        };
+        let a = shard(&[1, 2, 3, 700, 900]);
+        let b = shard(&[4096, 4097, 65_000]);
+        let c = shard(&[0, 0, 12]);
+
+        let mut ab_c = Metrics::new();
+        ab_c.merge(&a);
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut c_b_a = Metrics::new();
+        c_b_a.merge(&c);
+        c_b_a.merge(&b);
+        c_b_a.merge(&a);
+        assert_eq!(
+            ab_c.timer_summary("phase"),
+            c_b_a.timer_summary("phase"),
+            "percentiles must not depend on shard merge order"
+        );
     }
 
     #[test]

@@ -1,12 +1,20 @@
 //! The [`Recorder`] trait: the event sink the engine's hot paths emit
 //! into, designed so that the no-op implementation compiles to nothing.
 //!
-//! Two associated consts gate the two cost classes independently:
+//! Three associated consts gate the cost classes independently:
 //!
-//! * [`Recorder::TRACE`] — per-event emission (config deltas, beeps,
-//!   structure edits, round summaries with delivery digests). Emission
-//!   sites are written `if R::TRACE { rec.event(...) }`, so with
-//!   [`NullRecorder`] the branch folds away at monomorphization.
+//! * [`Recorder::TRACE`] — per-event emission (beeps, structure edits,
+//!   churn/fault tags, round summaries). Emission sites are written
+//!   `if R::TRACE { rec.event(...) }`, so with [`NullRecorder`] the
+//!   branch folds away at monomorphization.
+//! * [`Recorder::REPLAY`] — replay-grade detail on top of `TRACE`: the
+//!   per-pin config-delta stream and the round delivery digests. These
+//!   are what makes a trace re-verifiable, but they cost O(dirty pins)
+//!   emissions + O(delivered) digest mixing per reconfigured tick —
+//!   ruinous for an *always-on* sink on relabel-heavy workloads. The
+//!   flight recorder keeps `REPLAY = false` (its records are windows,
+//!   not replayable runs); `TraceWriter` keeps it `true`. Defaults to
+//!   `true` so `TRACE` alone means "full detail".
 //! * [`Recorder::TIMED`] — phase timers on the tick and relabel paths.
 //!   Each timer costs two `Instant::now()` per phase, which matters both
 //!   at millions of clean ticks per second and on sparse region relabels
@@ -78,6 +86,10 @@ pub trait Recorder {
     const TRACE: bool;
     /// Whether per-tick phase timers are live (see module docs).
     const TIMED: bool;
+    /// Whether replay-grade detail (config deltas, round digests) is
+    /// emitted too; only consulted when [`Recorder::TRACE`] is on (see
+    /// module docs).
+    const REPLAY: bool = true;
 
     /// The world this recording starts from: links per edge, per-node
     /// port counts, and every edge as `(v, p, w, q)`. Emitted once,

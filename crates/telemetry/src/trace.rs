@@ -26,6 +26,7 @@
 //!   9 FaultDrop    gid
 //!  10 FaultInject  gid
 //!  11 FaultTag     index dropped injected disabled wiped
+//!  12 FlightKey    plan_seed scenario_seed event
 //! footer  := tag 0 | rounds | wall_micros
 //! ```
 //!
@@ -53,6 +54,7 @@ const TAG_ROUND_END: u8 = 8;
 const TAG_FAULT_DROP: u8 = 9;
 const TAG_FAULT_INJECT: u8 = 10;
 const TAG_FAULT_TAG: u8 = 11;
+const TAG_FLIGHT_KEY: u8 = 12;
 
 /// A decoded trace event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +134,18 @@ pub enum TraceEvent {
         disabled: u32,
         /// Crash-recovery state wipes.
         wiped: u32,
+    },
+    /// The full reproduction key of the failure a flight record
+    /// documents (plan seed, scenario seed, schedule event index),
+    /// stamped by [`TraceWriter::flight_key`] when a ring-buffer dump is
+    /// framed. Metadata only: replay skips it.
+    FlightKey {
+        /// Churn/fault plan seed (0 when the failure has no plan).
+        plan_seed: u64,
+        /// The failing scenario's seed.
+        scenario_seed: u64,
+        /// Schedule event index the failure named (0 when none).
+        event: u64,
     },
 }
 
@@ -267,6 +281,17 @@ impl TraceWriter {
     /// Whether nothing was written yet.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+
+    /// Stamps the reproduction key of the failure this blob documents
+    /// (see [`TraceEvent::FlightKey`]). Not a [`Recorder`] sink: the
+    /// engine never emits it; the flight-record framer calls it once,
+    /// right after the topology header.
+    pub fn flight_key(&mut self, plan_seed: u64, scenario_seed: u64, event: u64) {
+        self.buf.push(TAG_FLIGHT_KEY);
+        push_varint(&mut self.buf, plan_seed);
+        push_varint(&mut self.buf, scenario_seed);
+        push_varint(&mut self.buf, event);
     }
 
     /// Seals the trace: appends the footer (round count and the recorded
@@ -563,6 +588,11 @@ impl<'a> TraceReader<'a> {
                 disabled: read_u32(buf, pos, "fault disable count")?,
                 wiped: read_u32(buf, pos, "fault wipe count")?,
             },
+            TAG_FLIGHT_KEY => TraceEvent::FlightKey {
+                plan_seed: read_varint(buf, pos)?,
+                scenario_seed: read_varint(buf, pos)?,
+                event: read_varint(buf, pos)?,
+            },
             other => {
                 return Err(TraceError::BadTag {
                     tag: other,
@@ -665,6 +695,31 @@ mod tests {
         );
         // Idempotent after the footer.
         assert_eq!(r.next_event().unwrap(), None);
+    }
+
+    #[test]
+    fn flight_key_round_trips_through_the_codec() {
+        let mut w = TraceWriter::new();
+        w.topology(1, &[4, 4], &[(0, 0, 1, 2)]);
+        w.flight_key(0xFEED_F00D, 777, 3);
+        w.beep(1);
+        w.round_end(&RoundSummary::default());
+        let blob = w.finish(0);
+        let mut r = TraceReader::open(&blob).unwrap();
+        assert_eq!(
+            r.next_event().unwrap(),
+            Some(TraceEvent::FlightKey {
+                plan_seed: 0xFEED_F00D,
+                scenario_seed: 777,
+                event: 3
+            })
+        );
+        let mut rest = 0;
+        while r.next_event().unwrap().is_some() {
+            rest += 1;
+        }
+        assert_eq!(rest, 2);
+        assert_eq!(r.footer().map(|f| f.rounds), Some(1));
     }
 
     #[test]

@@ -36,7 +36,7 @@ fn synthesize(seed: u64, events: usize) -> (Vec<TraceEvent>, Vec<u8>) {
     let mut round = 0u64;
     for i in 0..events {
         let r = rand(1000 + i as u64);
-        let ev = match r % 11 {
+        let ev = match r % 12 {
             0 => TraceEvent::ConfigDelta {
                 gid: (r >> 8) as u32,
                 pset: (r >> 40) as u16,
@@ -76,6 +76,11 @@ fn synthesize(seed: u64, events: usize) -> (Vec<TraceEvent>, Vec<u8>) {
                 disabled: (r >> 24) as u32 % 100,
                 wiped: (r >> 32) as u32 % 100,
             },
+            10 => TraceEvent::FlightKey {
+                plan_seed: mix64(r),
+                scenario_seed: r >> 8,
+                event: (r >> 48) & 0xFF,
+            },
             _ => {
                 round += 1;
                 TraceEvent::RoundEnd(RoundSummary {
@@ -109,6 +114,11 @@ fn synthesize(seed: u64, events: usize) -> (Vec<TraceEvent>, Vec<u8>) {
                 disabled,
                 wiped,
             } => w.fault_tag(index, dropped, injected, disabled, wiped),
+            TraceEvent::FlightKey {
+                plan_seed,
+                scenario_seed,
+                event,
+            } => w.flight_key(plan_seed, scenario_seed, event),
             TraceEvent::RoundEnd(ref s) => w.round_end(s),
         }
         expected.push(ev);

@@ -25,14 +25,17 @@
 //!   `--threads 1 --seed 42`) and prints the markdown diff against the
 //!   previous baseline. One command instead of the by-hand procedure.
 //!
-//! Plus three gates outside the sweep schema: `lint` (the `spf-lint`
+//! Plus four gates outside the sweep schema: `lint` (the `spf-lint`
 //! static checks under `lint/budget.json`), `server-smoke` (the
 //! end-to-end `scenario-server` session-service check: snapshot,
-//! kill/restart, resume differential, 64-session throughput) and
+//! kill/restart, resume differential, 64-session throughput),
 //! `adversary-smoke` (the fault-injection gate: every registered
 //! adversary family re-converges across seeds, and the deliberately
 //! broken variant trips the self-stabilization checker with the full
-//! seed + event reproduction key in its FAIL line).
+//! seed + event reproduction key in its FAIL line) and `obs-smoke`
+//! (the flight-recorder gate: the planted failure must dump a `.spft`
+//! flight record whose name carries the reproduction key and whose
+//! bytes decode through the trace codec, `FlightKey` first).
 
 use std::process::ExitCode;
 
@@ -72,6 +75,15 @@ fn flatten_metrics(entry: &Json) -> Vec<(String, u64)> {
         for (name, h) in timers {
             if let Some(sum) = h.get("sum").and_then(Json::as_u64) {
                 out.push((name.clone(), sum));
+            }
+            // Percentile exposition (PR-10): timed sweeps carry per-phase
+            // p50/p90/p99, so tail regressions show up in the gate's
+            // metric deltas, not just the totals. Older reports simply
+            // lack the fields.
+            for q in ["p50", "p90", "p99"] {
+                if let Some(v) = h.get(q).and_then(Json::as_u64) {
+                    out.push((format!("{name}_{q}"), v));
+                }
             }
         }
     }
@@ -544,12 +556,151 @@ fn adversary_smoke() -> Result<u8, String> {
     Ok(0)
 }
 
+/// `cargo xtask obs-smoke` — the end-to-end gate for the observability
+/// plane: runs the deliberately-broken `adversary-selftest-fail` family
+/// through a real `scenario-runner` process with the flight recorder
+/// armed, and asserts the FAIL dumped a flight record whose file name
+/// carries every reproduction-key fragment and whose bytes decode
+/// through the standard trace codec, leading with a `FlightKey` event
+/// that matches the name. A recorder that cannot document a planted
+/// failure proves nothing when runs pass.
+fn obs_smoke() -> Result<u8, String> {
+    use amoebot_telemetry::{TraceEvent, TraceReader};
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .ok_or("xtask manifest has no parent directory")?
+        .to_path_buf();
+    eprintln!("running: cargo build --release --locked --bin scenario-runner");
+    let status = std::process::Command::new("cargo")
+        .args(["build", "--release", "--locked", "--bin", "scenario-runner"])
+        .current_dir(&root)
+        .status()
+        .map_err(|e| format!("cannot spawn cargo: {e}"))?;
+    if !status.success() {
+        return Err(format!("runner build failed ({status})"));
+    }
+    let bin = root.join("target/release/scenario-runner");
+    let dir = std::env::temp_dir().join(format!("spf-obs-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let output = std::process::Command::new(&bin)
+        .args([
+            "run",
+            "--family",
+            "adversary-selftest-fail",
+            "--count",
+            "1",
+            "--quiet",
+            "--no-timing",
+            "--out",
+            "/dev/null",
+            "--flight-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .map_err(|e| format!("cannot spawn {}: {e}", bin.display()))?;
+    let diagnostics = String::from_utf8_lossy(&output.stderr);
+    if output.status.code() != Some(1) {
+        return Err(format!(
+            "obs-smoke: the planted failure should exit 1, got {:?}\n{diagnostics}",
+            output.status.code()
+        ));
+    }
+    if !diagnostics.contains("flight record written to") {
+        return Err(format!(
+            "obs-smoke: no flight-record diagnostic in:\n{diagnostics}"
+        ));
+    }
+
+    let mut records: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("obs-smoke: flight dir {} missing: {e}", dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    records.sort();
+    let [record] = records.as_slice() else {
+        return Err(format!(
+            "obs-smoke: expected exactly one flight record, found {records:?}"
+        ));
+    };
+    let name = record
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or("obs-smoke: unreadable record file name")?
+        .to_string();
+    if !name.ends_with(".spft") {
+        return Err(format!("obs-smoke: {name} is not a .spft blob"));
+    }
+
+    let bytes =
+        std::fs::read(record).map_err(|e| format!("cannot read {}: {e}", record.display()))?;
+    let mut reader =
+        TraceReader::open(&bytes).map_err(|e| format!("obs-smoke: {name} rejected: {e}"))?;
+    let key = match reader.next_event() {
+        Ok(Some(TraceEvent::FlightKey {
+            plan_seed,
+            scenario_seed,
+            event,
+        })) => (plan_seed, scenario_seed, event),
+        other => {
+            return Err(format!(
+                "obs-smoke: {name} must lead with its FlightKey, got {other:?}"
+            ))
+        }
+    };
+    let mut events = 0usize;
+    loop {
+        match reader.next_event() {
+            Ok(Some(_)) => events += 1,
+            Ok(None) => break,
+            Err(e) => return Err(format!("obs-smoke: {name} event {events} rejected: {e}")),
+        }
+    }
+    // The file name is the key: greppable fragments, one per field.
+    for fragment in [
+        format!("-plan{}", key.0),
+        format!("-seed{}", key.1),
+        format!("-event{}", key.2),
+    ] {
+        if !name.contains(&fragment) {
+            return Err(format!(
+                "obs-smoke: file name {name} lost key fragment {fragment} \
+                 (embedded key: plan={} seed={} event={})",
+                key.0, key.1, key.2
+            ));
+        }
+    }
+    println!(
+        "obs-smoke: {name} decodes ({events} events after the key; \
+         plan={} seed={} event={})",
+        key.0, key.1, key.2
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("obs-smoke: PASS");
+    Ok(0)
+}
+
+/// Names the side(s) of a matched rung pair carrying no metric
+/// breakdown, or `None` when both sides have one. Split out so the
+/// "which side is silent" diagnostic is unit-testable.
+fn missing_breakdown_side(baseline: &Rung, fresh: &Rung) -> Option<&'static str> {
+    match (baseline.metrics.is_empty(), fresh.metrics.is_empty()) {
+        (true, true) => Some("both"),
+        (true, false) => Some("baseline"),
+        (false, true) => Some("fresh"),
+        (false, false) => None,
+    }
+}
+
 /// Prints the per-metric breakdown of a matched rung - relabel counts,
 /// beep totals and per-phase micros side by side - so a SLOW verdict
-/// names the phase that moved. Prints nothing unless *both* sides carry
-/// metrics (older reports predate the telemetry layer).
+/// names the phase that moved. Needs *both* sides to carry metrics
+/// (older reports predate the telemetry layer); a one-sided pair used
+/// to skip silently, which read as "no metric moved" — now it says
+/// which report is the silent one.
 fn print_metric_deltas(baseline: &Rung, fresh: &Rung) {
-    if baseline.metrics.is_empty() || fresh.metrics.is_empty() {
+    if let Some(side) = missing_breakdown_side(baseline, fresh) {
+        println!("        note: breakdowns missing in {side}; no metric deltas");
         return;
     }
     for (name, new) in &fresh.metrics {
@@ -754,6 +905,7 @@ const USAGE: &str = "usage: cargo xtask bench-report OLD.json NEW.json\n\
      \x20      cargo xtask bench-refresh\n\
      \x20      cargo xtask server-smoke\n\
      \x20      cargo xtask adversary-smoke\n\
+     \x20      cargo xtask obs-smoke\n\
      \x20      cargo xtask lint [--write-budget]";
 
 fn run(argv: &[String]) -> Result<u8, String> {
@@ -787,6 +939,12 @@ fn run(argv: &[String]) -> Result<u8, String> {
                 return Err(USAGE.to_string());
             }
             adversary_smoke()
+        }
+        Some("obs-smoke") => {
+            if argv.len() != 1 {
+                return Err(USAGE.to_string());
+            }
+            obs_smoke()
         }
         Some("bench-compare") => {
             let [b, f, rest @ ..] = &argv[1..] else {
@@ -927,7 +1085,8 @@ mod tests {
             r#""pass": true}"#,
             r#""metrics": {"counters": {"relabel_global": 3, "relabel_region": 40},
                            "timers": {"phase_propagate_micros":
-                                      {"count": 8, "sum": 1234, "min": 100, "max": 300}}},
+                                      {"count": 8, "sum": 1234, "min": 100, "max": 300,
+                                       "p50": 150, "p90": 280, "p99": 300}}},
                "pass": true}"#,
         );
         let path = write(&dir, "with.json", &with_metrics);
@@ -936,15 +1095,53 @@ mod tests {
             rungs[0].metrics,
             vec![
                 ("phase_propagate_micros".to_string(), 1234),
+                ("phase_propagate_micros_p50".to_string(), 150),
+                ("phase_propagate_micros_p90".to_string(), 280),
+                ("phase_propagate_micros_p99".to_string(), 300),
                 ("relabel_global".to_string(), 3),
                 ("relabel_region".to_string(), 40),
             ]
+        );
+        // Percentile fields are optional: pre-percentile timer objects
+        // still flatten to their sums alone.
+        let sum_only = report(1_000_000, true).replace(
+            r#""pass": true}"#,
+            r#""metrics": {"counters": {},
+                           "timers": {"phase_propagate_micros":
+                                      {"count": 8, "sum": 1234, "min": 100, "max": 300}}},
+               "pass": true}"#,
+        );
+        let sum_only = write(&dir, "sum_only.json", &sum_only);
+        assert_eq!(
+            load_rungs(&sum_only).unwrap()[0].metrics,
+            vec![("phase_propagate_micros".to_string(), 1234)]
         );
         // Pre-telemetry reports load fine with no metrics.
         let bare = write(&dir, "bare.json", &report(1_000_000, true));
         assert!(load_rungs(&bare).unwrap()[0].metrics.is_empty());
         // And the gate still runs over the mixed pair.
         assert_eq!(bench_compare(&bare, &path, 25.0, 20_000).unwrap().0, 0);
+    }
+
+    /// A one-sided metrics breakdown must name the silent report, not
+    /// skip quietly — "no metric deltas printed" used to be ambiguous
+    /// between "nothing moved" and "one report predates telemetry".
+    #[test]
+    fn missing_breakdown_diagnostic_names_the_silent_side() {
+        let bare = Rung {
+            family: "blob-broadcast".into(),
+            size: 1000,
+            nodes_per_sec: 1_000_000,
+            wall_micros: 1_000_000,
+            pass: true,
+            metrics: Vec::new(),
+        };
+        let mut rich = bare.clone();
+        rich.metrics = vec![("relabel_global".to_string(), 3)];
+        assert_eq!(missing_breakdown_side(&bare, &bare), Some("both"));
+        assert_eq!(missing_breakdown_side(&bare, &rich), Some("baseline"));
+        assert_eq!(missing_breakdown_side(&rich, &bare), Some("fresh"));
+        assert_eq!(missing_breakdown_side(&rich, &rich), None);
     }
 
     #[test]
